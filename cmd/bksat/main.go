@@ -1,0 +1,211 @@
+// Command bksat is the CDCL SAT solver CLI: it reads a DIMACS CNF, decides
+// satisfiability, and (for UNSAT) streams the conflict-clause proof to a
+// file the moment each clause is deduced — the workflow of the paper's §1:
+// "as soon as the SAT-solver hits a conflict, the corresponding conflict
+// clause is output to disk".
+//
+// Usage:
+//
+//	bksat [flags] formula.cnf
+//
+// Flags:
+//
+//	-proof FILE     write the conflict-clause proof trace (UNSAT only)
+//	-learn SCHEME   1uip | decision | hybrid (default hybrid)
+//	-heur NAME      berkmin | vsids (default berkmin)
+//	-max-conflicts N  give up after N conflicts (0 = unlimited)
+//	-seed N         perturb initial activities
+//	-stats          print search statistics
+//
+// Exit status: 10 for SAT (model printed as a "v" line), 20 for UNSAT,
+// 0 for unknown, 1 on error — the conventional SAT-competition codes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cnf"
+	"repro/internal/drat"
+	"repro/internal/proof"
+	"repro/internal/simplify"
+	"repro/internal/solver"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	proofPath := flag.String("proof", "", "write the conflict-clause proof to this file")
+	dratPath := flag.String("drat", "", "write a deletion-aware DRUP proof to this file")
+	learn := flag.String("learn", "hybrid", "learning scheme: 1uip | decision | hybrid")
+	heur := flag.String("heur", "berkmin", "decision heuristic: berkmin | vsids")
+	maxConflicts := flag.Int64("max-conflicts", 0, "conflict budget (0 = unlimited)")
+	seed := flag.Int64("seed", 0, "activity perturbation seed")
+	stats := flag.Bool("stats", false, "print search statistics")
+	simp := flag.Bool("simp", false, "preprocess before solving (NOTE: any proof then refers to the simplified formula)")
+	portfolio := flag.Int("portfolio", 0, "race N diversified solver configurations; the winner's proof is written at the end (streaming and -drat are unavailable in this mode)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bksat [flags] formula.cnf")
+		return 1
+	}
+
+	in, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bksat:", err)
+		return 1
+	}
+	defer in.Close()
+	f, err := cnf.ParseDimacs(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bksat:", err)
+		return 1
+	}
+
+	var pre *simplify.Result
+	if *simp {
+		pre, err = simplify.Simplify(f, simplify.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bksat:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "c simp: %d -> %d clauses\n", f.NumClauses(), pre.F.NumClauses())
+		f = pre.F
+	}
+
+	opts := solver.Options{MaxConflicts: *maxConflicts, Seed: *seed}
+	switch *learn {
+	case "1uip":
+		opts.Learn = solver.Learn1UIP
+	case "decision":
+		opts.Learn = solver.LearnDecision
+	case "hybrid":
+		opts.Learn = solver.LearnHybrid
+	default:
+		fmt.Fprintf(os.Stderr, "bksat: unknown learning scheme %q\n", *learn)
+		return 1
+	}
+	switch *heur {
+	case "berkmin":
+		opts.Heuristic = solver.HeurBerkMin
+	case "vsids":
+		opts.Heuristic = solver.HeurVSIDS
+	default:
+		fmt.Fprintf(os.Stderr, "bksat: unknown heuristic %q\n", *heur)
+		return 1
+	}
+
+	var proofFile *os.File
+	var rec *drat.Recorder
+	var st solver.Status
+	var tr *proof.Trace
+	var model []bool
+	var sstats solver.Stats
+	if *portfolio > 0 {
+		if *dratPath != "" {
+			fmt.Fprintln(os.Stderr, "bksat: -drat is unavailable with -portfolio")
+			return 1
+		}
+		configs := make([]solver.Options, *portfolio)
+		for i := range configs {
+			configs[i] = opts
+			configs[i].Learn = []solver.LearnScheme{
+				solver.LearnHybrid, solver.Learn1UIP, solver.LearnDecision,
+			}[i%3]
+		}
+		res, perr := solver.Portfolio(f, configs)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "bksat:", perr)
+			return 1
+		}
+		st, tr, model, sstats = res.Status, res.Trace, res.Model, res.Stats
+		fmt.Fprintf(os.Stderr, "c portfolio: configuration %d won\n", res.Winner)
+		if *proofPath != "" && st == solver.Unsat {
+			out, ferr := os.Create(*proofPath)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "bksat:", ferr)
+				return 1
+			}
+			defer out.Close()
+			if werr := proof.Write(out, tr); werr != nil {
+				fmt.Fprintln(os.Stderr, "bksat:", werr)
+				return 1
+			}
+		}
+	} else {
+		if *proofPath != "" {
+			proofFile, err = os.Create(*proofPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bksat:", err)
+				return 1
+			}
+			defer proofFile.Close()
+			opts.ProofWriter = proofFile
+		}
+		if *dratPath != "" {
+			rec = drat.NewRecorder()
+			opts.OnLearn = rec.Learn
+			opts.OnDelete = rec.Delete
+		}
+		st, tr, model, sstats, err = solver.Solve(f, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bksat:", err)
+			return 1
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "c conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d deleted=%d resolutions=%d\n",
+			sstats.Conflicts, sstats.Decisions, sstats.Propagations, sstats.Restarts,
+			sstats.Learned, sstats.Deleted, sstats.Resolutions)
+	}
+
+	switch st {
+	case solver.Sat:
+		fmt.Println("s SATISFIABLE")
+		if pre != nil {
+			model, err = pre.ExtendModel(model)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bksat:", err)
+				return 1
+			}
+		}
+		fmt.Print("v ")
+		for v, val := range model {
+			l := cnf.PosLit(cnf.Var(v))
+			if !val {
+				l = l.Neg()
+			}
+			fmt.Print(l.Dimacs(), " ")
+		}
+		fmt.Println("0")
+		return 10
+	case solver.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		if proofFile != nil {
+			fmt.Fprintf(os.Stderr, "c proof: %d conflict clauses, %d literals, termination: %v -> %s\n",
+				tr.Len(), tr.NumLiterals(), tr.Terminates(), *proofPath)
+		}
+		if rec != nil {
+			out, err := os.Create(*dratPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bksat:", err)
+				return 1
+			}
+			defer out.Close()
+			if err := drat.Write(out, rec.Proof()); err != nil {
+				fmt.Fprintln(os.Stderr, "bksat:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "c drat: %d additions, %d deletions -> %s\n",
+				rec.Proof().Additions(), rec.Proof().Deletions(), *dratPath)
+		}
+		return 20
+	default:
+		fmt.Println("s UNKNOWN")
+		return 0
+	}
+}

@@ -1,0 +1,139 @@
+// Command dpv ("deduction proof verifier") checks a conflict-clause proof of
+// unsatisfiability against its CNF formula — the paper's contribution as a
+// standalone tool. It implements both Proof_verification1 (-all) and
+// Proof_verification2 (the default), extracts the unsatisfiable core
+// (-core FILE) and can emit the trimmed proof (-trim FILE).
+//
+// Usage:
+//
+//	dpv [flags] formula.cnf proof.trace
+//
+// Flags:
+//
+//	-all          check every proof clause (Proof_verification1)
+//	-engine NAME  watched | counting BCP engine (default watched)
+//	-core FILE    write the unsatisfiable core as DIMACS
+//	-trim FILE    write the trimmed proof (used clauses only)
+//	-q            quiet: no statistics, exit code only
+//
+// Exit status: 0 when the proof is correct, 2 when it is rejected,
+// 1 on usage/IO errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/proof"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	all := flag.Bool("all", false, "check every clause (Proof_verification1)")
+	engine := flag.String("engine", "watched", "BCP engine: watched | counting")
+	corePath := flag.String("core", "", "write the unsatisfiable core (DIMACS) to this file")
+	trimPath := flag.String("trim", "", "write the trimmed proof to this file")
+	quiet := flag.Bool("q", false, "quiet")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: dpv [flags] formula.cnf proof.trace")
+		return 1
+	}
+
+	fin, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpv:", err)
+		return 1
+	}
+	defer fin.Close()
+	f, err := cnf.ParseDimacs(fin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpv:", err)
+		return 1
+	}
+
+	pin, err := os.Open(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpv:", err)
+		return 1
+	}
+	defer pin.Close()
+	tr, err := proof.Read(pin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpv:", err)
+		return 1
+	}
+
+	opt := core.Options{}
+	if *all {
+		opt.Mode = core.ModeCheckAll
+	}
+	switch *engine {
+	case "watched":
+		opt.Engine = core.EngineWatched
+	case "counting":
+		opt.Engine = core.EngineCounting
+	default:
+		fmt.Fprintf(os.Stderr, "dpv: unknown engine %q\n", *engine)
+		return 1
+	}
+
+	res, err := core.Verify(f, tr, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpv:", err)
+		return 1
+	}
+	if !res.OK {
+		fmt.Printf("s PROOF REJECTED\nc clause %d of the proof is not implied: %v\n",
+			res.FailedIndex, res.FailedClause)
+		return 2
+	}
+
+	if !*quiet {
+		fmt.Println("s PROOF VERIFIED")
+		fmt.Printf("c mode=%v engine=%v termination=%v\n", opt.Mode, opt.Engine, res.Termination)
+		fmt.Printf("c proof clauses=%d tested=%d (%.1f%%) skipped=%d tautologies=%d\n",
+			res.ProofClauses, res.Tested, res.TestedPct(), res.Skipped, res.Tautologies)
+		fmt.Printf("c unsat core: %d of %d original clauses (%.1f%%)\n",
+			len(res.Core), f.NumClauses(), res.CorePct(f.NumClauses()))
+		fmt.Printf("c propagations=%d\n", res.Propagations)
+	}
+
+	if *corePath != "" {
+		out, err := os.Create(*corePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpv:", err)
+			return 1
+		}
+		defer out.Close()
+		if err := cnf.WriteDimacs(out, core.CoreFormula(f, res)); err != nil {
+			fmt.Fprintln(os.Stderr, "dpv:", err)
+			return 1
+		}
+	}
+	if *trimPath != "" {
+		trimmed, err := core.Trim(tr, res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpv:", err)
+			return 1
+		}
+		out, err := os.Create(*trimPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpv:", err)
+			return 1
+		}
+		defer out.Close()
+		if err := proof.Write(out, trimmed); err != nil {
+			fmt.Fprintln(os.Stderr, "dpv:", err)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,110 @@
+// Command dratcheck verifies a deletion-aware DRUP proof (as produced by
+// bksat -drat, or by any solver emitting the standard text format) against
+// its CNF formula by forward reverse-unit-propagation.
+//
+// Usage:
+//
+//	dratcheck formula.cnf proof.drat
+//
+// Exit status: 0 verified, 2 rejected, 1 on IO/usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cnf"
+	"repro/internal/drat"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	quiet := flag.Bool("q", false, "quiet")
+	backward := flag.Bool("backward", false, "backward checking with marking (drat-trim style; checks only used clauses)")
+	trimPath := flag.String("trim", "", "with -backward: write the trimmed proof to this file")
+	corePath := flag.String("core", "", "with -backward: write the unsat core (DIMACS) to this file")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: dratcheck [-q] [-backward [-trim out.drat] [-core out.cnf]] formula.cnf proof.drat")
+		return 1
+	}
+	fin, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dratcheck:", err)
+		return 1
+	}
+	defer fin.Close()
+	f, err := cnf.ParseDimacs(fin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dratcheck:", err)
+		return 1
+	}
+	pin, err := os.Open(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dratcheck:", err)
+		return 1
+	}
+	defer pin.Close()
+	p, err := drat.Read(pin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dratcheck:", err)
+		return 1
+	}
+
+	var res *drat.Result
+	if *backward {
+		var trimmed *drat.Proof
+		var coreIdx []int
+		res, trimmed, coreIdx, err = drat.VerifyBackward(f, p)
+		if err == nil && res.OK {
+			if *trimPath != "" {
+				out, ferr := os.Create(*trimPath)
+				if ferr != nil {
+					fmt.Fprintln(os.Stderr, "dratcheck:", ferr)
+					return 1
+				}
+				defer out.Close()
+				if werr := drat.Write(out, trimmed); werr != nil {
+					fmt.Fprintln(os.Stderr, "dratcheck:", werr)
+					return 1
+				}
+			}
+			if *corePath != "" {
+				out, ferr := os.Create(*corePath)
+				if ferr != nil {
+					fmt.Fprintln(os.Stderr, "dratcheck:", ferr)
+					return 1
+				}
+				defer out.Close()
+				if werr := cnf.WriteDimacs(out, f.Restrict(coreIdx)); werr != nil {
+					fmt.Fprintln(os.Stderr, "dratcheck:", werr)
+					return 1
+				}
+			}
+			if !*quiet {
+				fmt.Printf("c trimmed: %d of %d additions kept; core: %d of %d clauses\n",
+					trimmed.Additions(), res.Additions, len(coreIdx), f.NumClauses())
+			}
+		}
+	} else {
+		res, err = drat.Verify(f, p)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dratcheck:", err)
+		return 1
+	}
+	if !res.OK {
+		fmt.Printf("s PROOF REJECTED\nc step %d: %s\n", res.FailedStep, res.Reason)
+		return 2
+	}
+	if !*quiet {
+		fmt.Println("s PROOF VERIFIED")
+		fmt.Printf("c additions=%d deletions=%d tautologies=%d rat=%d propagations=%d\n",
+			res.Additions, res.Deletions, res.Tautologies, res.RATChecks, res.Propagations)
+	}
+	return 0
+}

@@ -1,0 +1,78 @@
+// Command genaag emits reference combinational circuits in ASCII AIGER
+// (aag) format — companions for aigmiter. Functionally equal architectures
+// miter to UNSAT CNFs; different functions miter to SAT.
+//
+// Usage:
+//
+//	genaag -arch ripple|carrysel|koggestone|mulshift|muldiag -w WIDTH [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/circuit"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	arch := flag.String("arch", "ripple", "architecture: ripple | carrysel | koggestone | mulshift | muldiag")
+	width := flag.Int("w", 8, "operand width in bits")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	c := circuit.New()
+	a := c.InputWord(*width)
+	b := c.InputWord(*width)
+	var sum circuit.Word
+	var carry circuit.Signal
+	switch *arch {
+	case "ripple":
+		cin := c.Input()
+		sum, carry = c.RippleAdd(a, b, cin)
+		sum = append(sum, carry)
+	case "carrysel":
+		cin := c.Input()
+		sum, carry = c.CarrySelectAdd(a, b, cin)
+		sum = append(sum, carry)
+	case "koggestone":
+		cin := c.Input()
+		sum, carry = c.KoggeStoneAdd(a, b, cin)
+		sum = append(sum, carry)
+	case "mulshift":
+		sum = c.MulShiftAdd(a, b)
+	case "muldiag":
+		sum = c.MulDiagonal(a, b)
+	default:
+		fmt.Fprintf(os.Stderr, "genaag: unknown architecture %q\n", *arch)
+		return 1
+	}
+	for _, s := range sum {
+		c.Output(s)
+	}
+
+	aig, _, err := c.LowerToAIG()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genaag:", err)
+		return 1
+	}
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genaag:", err)
+			return 1
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := aig.WriteAAG(w); err != nil {
+		fmt.Fprintln(os.Stderr, "genaag:", err)
+		return 1
+	}
+	return 0
+}

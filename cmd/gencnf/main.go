@@ -1,0 +1,115 @@
+// Command gencnf emits benchmark instances from the generator families as
+// DIMACS files.
+//
+// Usage:
+//
+//	gencnf -family NAME [-o FILE] [params...]
+//
+// Families and their parameters:
+//
+//	pipe     -a stages  -b width
+//	control  -a width   -b rounds
+//	barrel   -a bits    -b steps
+//	longmult -a width   -b bit
+//	addeq    -a width
+//	addeq3   -a width
+//	alueq    -a width
+//	sorteq   -a lines
+//	factor   -a n
+//	fifo     -a depth   -b cycles
+//	counter  -a width   -b steps
+//	php      -a holes
+//	xorchain -a length
+//	rand     -a vars    -b seed
+//
+// With -list, prints the standard experiment suites and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cnf"
+	"repro/internal/gen"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	family := flag.String("family", "", "instance family (see doc)")
+	a := flag.Int("a", 4, "first parameter")
+	b := flag.Int("b", 4, "second parameter")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list the standard suites")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("# main suite (Tables 1 and 2)")
+		for _, inst := range bench.SuiteMain() {
+			s := inst.F.Stats()
+			fmt.Printf("%-16s family=%-8s vars=%d clauses=%d\n", inst.Name, inst.Family, s.Vars, s.Clauses)
+		}
+		fmt.Println("# fifo suite (Table 3)")
+		for _, inst := range bench.SuiteFifo() {
+			s := inst.F.Stats()
+			fmt.Printf("%-16s family=%-8s vars=%d clauses=%d\n", inst.Name, inst.Family, s.Vars, s.Clauses)
+		}
+		return 0
+	}
+
+	var inst gen.Instance
+	switch *family {
+	case "pipe":
+		inst = gen.Pipe(*a, *b)
+	case "control":
+		inst = gen.Control(*a, *b)
+	case "barrel":
+		inst = gen.Barrel(*a, *b)
+	case "longmult":
+		inst = gen.Longmult(*a, *b)
+	case "addeq":
+		inst = gen.AdderEquiv(*a)
+	case "addeq3":
+		inst = gen.AdderEquiv3(*a)
+	case "alueq":
+		inst = gen.AluEquiv(*a)
+	case "sorteq":
+		inst = gen.SorterEquiv(*a)
+	case "factor":
+		inst = gen.Factor(uint64(*a))
+	case "fifo":
+		inst = gen.Fifo(*a, *b)
+	case "counter":
+		inst = gen.Counter(*a, *b)
+	case "php":
+		inst = gen.PHP(*a)
+	case "xorchain":
+		inst = gen.XorChain(*a)
+	case "rand":
+		inst = gen.RandUnsat(int64(*b), *a)
+	default:
+		fmt.Fprintf(os.Stderr, "gencnf: unknown family %q (use -list)\n", *family)
+		return 1
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gencnf:", err)
+			return 1
+		}
+		defer file.Close()
+		w = file
+	}
+	fmt.Fprintf(w, "c %s (family %s)\n", inst.Name, inst.Family)
+	if err := cnf.WriteDimacs(w, inst.F); err != nil {
+		fmt.Fprintln(os.Stderr, "gencnf:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,85 @@
+// Command proofstat analyzes a conflict-clause proof trace: sizes, clause
+// length distribution, per-clause resolution counts and the local/global
+// clause split of the paper's §5. It also converts between the text and
+// binary trace formats.
+//
+// Usage:
+//
+//	proofstat proof.trace               # print statistics
+//	proofstat -threshold 64 proof.trace # custom local/global threshold
+//	proofstat -to-binary out.bin proof.trace
+//	proofstat -to-text out.trace proof.bin
+//
+// Input format (text vs binary) is auto-detected from the magic bytes.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/proof"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	threshold := flag.Int64("threshold", 0, "resolution count above which a clause is 'global' (default 32)")
+	toBinary := flag.String("to-binary", "", "convert the trace to binary format at this path")
+	toText := flag.String("to-text", "", "convert the trace to text format at this path")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: proofstat [flags] proof.trace")
+		return 1
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proofstat:", err)
+		return 1
+	}
+
+	var tr *proof.Trace
+	if bytes.HasPrefix(data, []byte("CCPF")) {
+		tr, err = proof.ReadBinary(bytes.NewReader(data))
+	} else {
+		tr, err = proof.Read(bytes.NewReader(data))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proofstat:", err)
+		return 1
+	}
+
+	if *toBinary != "" {
+		if err := writeWith(*toBinary, tr, proof.WriteBinary); err != nil {
+			fmt.Fprintln(os.Stderr, "proofstat:", err)
+			return 1
+		}
+	}
+	if *toText != "" {
+		if err := writeWith(*toText, tr, proof.Write); err != nil {
+			fmt.Fprintln(os.Stderr, "proofstat:", err)
+			return 1
+		}
+	}
+	if *toBinary != "" || *toText != "" {
+		return 0
+	}
+
+	fmt.Printf("termination: %v\n", tr.Terminates())
+	fmt.Print(tr.ComputeStats(*threshold))
+	return 0
+}
+
+func writeWith(path string, tr *proof.Trace, w func(io.Writer, *proof.Trace) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return w(f, tr)
+}

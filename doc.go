@@ -1,0 +1,10 @@
+// Package repro reproduces "Verification of Proofs of Unsatisfiability for
+// CNF Formulas" (E. Goldberg, Y. Novikov, DATE 2003): a CDCL SAT solver
+// that logs conflict-clause proofs, an independent BCP-based proof verifier
+// with unsatisfiable-core extraction, a resolution-graph proof baseline,
+// benchmark generators and the harness regenerating the paper's Tables 1-3.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for measured-vs-paper results. The root-level
+// bench_test.go holds one benchmark group per table/figure.
+package repro

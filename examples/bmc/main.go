@@ -1,0 +1,91 @@
+// BMC: bounded model checking and k-induction on a small sequential
+// design, with every UNSAT answer backed by a proof that the paper's
+// verifier independently checked — the end-to-end workflow the paper's
+// BMC benchmark formulas (barrel, longmult, fifo, w10) came from.
+//
+// The design: a 4-bit counter with an enable input and a synchronous
+// clear. Property 1 ("counter never reaches 12") is violated and BMC
+// produces a replayable trace. Property 2 ("the counter's value never
+// exceeds 15") is trivially true and 1-inductive.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuit"
+	"repro/internal/seq"
+	"repro/internal/solver"
+)
+
+func counterDesign(target uint64) *seq.Design {
+	c := circuit.New()
+	state := c.InputWord(4) // latches
+	en := c.Input()         // primary inputs
+	clr := c.Input()
+	inc := c.Inc(state)
+	stepped := c.MuxWord(en, inc, state)
+	next := c.MuxWord(clr, c.ConstWord(4, 0), stepped)
+	return &seq.Design{
+		C:        c,
+		Init:     make([]bool, 4),
+		Next:     next,
+		Property: c.NeqWord(state, c.ConstWord(4, target)),
+	}
+}
+
+func main() {
+	d := counterDesign(12)
+
+	fmt.Println("property: counter != 12, bound 10")
+	res, err := seq.BMC(d, 10, solver.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  verdict: %v (proof checked: %v)\n", res.Verdict, res.ProofChecked)
+
+	fmt.Println("property: counter != 12, bound 14")
+	res, err = seq.BMC(d, 14, solver.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  verdict: %v, counterexample of %d steps\n", res.Verdict, len(res.Trace))
+	if res.Verdict == seq.Violated {
+		var inputs [][]bool
+		for _, st := range res.Trace {
+			inputs = append(inputs, st.Inputs)
+		}
+		_, good, err := d.Simulate(inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bad := -1
+		for t, g := range good {
+			if !g {
+				bad = t
+				break
+			}
+		}
+		fmt.Printf("  replayed on the reference simulator: property fails at step %d\n", bad)
+	}
+
+	// An inductive invariant: two redundant copies of the counter agree.
+	c := circuit.New()
+	a := c.InputWord(4)
+	b := c.InputWord(4)
+	en := c.Input()
+	nextA := c.MuxWord(en, c.Inc(a), a)
+	nextB := c.MuxWord(en, c.Inc(b), b)
+	dup := &seq.Design{
+		C:        c,
+		Init:     make([]bool, 8),
+		Next:     append(nextA, nextB...),
+		Property: c.EqWord(a, b),
+	}
+	fmt.Println("property: redundant counters stay equal (k-induction, k=1)")
+	res, err = seq.KInduction(dup, 1, solver.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  verdict: %v for ALL bounds (proof checked: %v)\n", res.Verdict, res.ProofChecked)
+}

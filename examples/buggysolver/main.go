@@ -1,0 +1,89 @@
+// Buggysolver: the paper's motivating scenario — "due to the growing
+// complexity of the state-of-the-art algorithms it is unlikely that a
+// SAT-solver will be free of bugs. Hence it is important to run an
+// independent check of the information returned by a SAT-solver so that the
+// latter can be used even if it is buggy."
+//
+// We simulate three solver bugs by corrupting a correct proof in three
+// ways and show that the verifier catches each one, pointing at the exact
+// questionable clause.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/proof"
+	"repro/internal/solver"
+)
+
+func main() {
+	inst := gen.PHP(6)
+	f := inst.F
+
+	status, trace, _, _, err := solver.Solve(f, solver.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if status != solver.Unsat {
+		log.Fatalf("unexpected status %v", status)
+	}
+	fmt.Printf("healthy solver: %d conflict clauses\n", trace.Len())
+
+	check := func(label string, t *proof.Trace) {
+		res, err := core.Verify(f, t, core.Options{Mode: core.ModeCheckAll})
+		if err != nil {
+			fmt.Printf("%-28s -> structurally invalid: %v\n", label, err)
+			return
+		}
+		if res.OK {
+			fmt.Printf("%-28s -> ACCEPTED (tested %d clauses)\n", label, res.Tested)
+		} else {
+			fmt.Printf("%-28s -> REJECTED at proof clause %d: %v\n",
+				label, res.FailedIndex, res.FailedClause)
+		}
+	}
+
+	check("original proof", trace)
+
+	// Bug 1: a learned clause lost a literal (e.g. a bad backtracking
+	// implementation dropped it). The shortened clause claims more than the
+	// solver derived.
+	bug1 := trace.Clone()
+	for i, c := range bug1.Clauses {
+		if len(c) >= 3 {
+			bug1.Clauses[i] = append(cnf.Clause(nil), c[:len(c)-1]...)
+			// Replace the rest of the clause with a fresh variable so the
+			// remainder is genuinely unjustified rather than accidentally
+			// still implied (CDCL proofs are full of redundancy).
+			bug1.Clauses[i][len(bug1.Clauses[i])-1] = cnf.PosLit(cnf.Var(f.NumVars + 5))
+			break
+		}
+	}
+	check("corrupted clause literals", bug1)
+
+	// Bug 2: the solver stopped early and fabricated a final conflicting
+	// pair over an unconstrained variable. Note the fabrication must come
+	// with a truncated prefix to be caught: a fabricated pair on top of a
+	// complete refutation is still RUP-derivable and hence a CORRECT proof
+	// — exactly the paper's remark that the procedure "may validate a
+	// correct proof produced by a buggy SAT-solver".
+	bug2 := &proof.Trace{Clauses: append([]cnf.Clause(nil), trace.Clauses[:3]...)}
+	fresh := cnf.Var(f.NumVars + 9)
+	bug2.Clauses = append(bug2.Clauses,
+		cnf.Clause{cnf.PosLit(fresh)},
+		cnf.Clause{cnf.NegLit(fresh)})
+	check("fabricated final pair", bug2)
+
+	// Bug 3: the trace was truncated (lost buffered writes) and no longer
+	// ends in a final conflicting pair — structurally invalid.
+	bug3 := trace.Clone()
+	bug3.Clauses = bug3.Clauses[:bug3.Len()-2]
+	if bug3.Resolutions != nil {
+		bug3.Resolutions = bug3.Resolutions[:len(bug3.Clauses)]
+	}
+	check("truncated trace", bug3)
+}

@@ -1,0 +1,50 @@
+// Quickstart: solve an unsatisfiable CNF formula, obtain the conflict-clause
+// proof, and verify it with the independent checker — the complete
+// solver-then-verifier workflow of the paper in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+func main() {
+	// (x1 v x2) (x1 v ~x2) (~x1 v x3) (~x1 v ~x3) — a tiny UNSAT formula.
+	f := cnf.NewFormula(0).
+		Add(1, 2).
+		Add(1, -2).
+		Add(-1, 3).
+		Add(-1, -3)
+
+	// Solve. For UNSAT instances the solver returns the chronologically
+	// ordered trace of every conflict clause it deduced, ending in the
+	// final conflicting pair.
+	status, trace, _, stats, err := solver.Solve(f, solver.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("status:", status)
+	fmt.Println("conflicts:", stats.Conflicts)
+	fmt.Println("proof clauses:")
+	for i, c := range trace.Clauses {
+		fmt.Printf("  %d: %v\n", i, c)
+	}
+
+	// Verify with the independent checker (Proof_verification2): each
+	// marked conflict clause is falsified and BCP must hit a conflict.
+	res, err := core.Verify(f, trace, core.Options{Mode: core.ModeCheckMarked})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.OK {
+		log.Fatalf("the solver is buggy: proof clause %d is not implied", res.FailedIndex)
+	}
+	fmt.Printf("proof verified: tested %d/%d clauses (%.0f%%)\n",
+		res.Tested, res.ProofClauses, res.TestedPct())
+	fmt.Printf("unsatisfiable core: clauses %v (%d of %d)\n",
+		res.Core, len(res.Core), f.NumClauses())
+}

@@ -1,0 +1,84 @@
+// Unsatcore: extract the unsatisfiable core of an equivalence-checking
+// miter buried in irrelevant constraints — the paper's §4 by-product,
+// "the extraction of an unsatisfiable core of the formula can help to
+// understand the cause of unsatisfiability".
+//
+// We build a miter of two adder implementations (UNSAT because they are
+// equivalent), then append a layer of satisfiable "environment" clauses
+// over fresh variables. The verifier's core isolates the miter clauses and
+// discards the environment; iterating to a fixpoint shrinks it further.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+func main() {
+	inst := gen.AdderEquiv(8)
+	miterClauses := inst.F.NumClauses()
+
+	// Bury the miter in environment clauses over fresh variables: a chain
+	// of implications that is trivially satisfiable and logically
+	// irrelevant to the contradiction.
+	f := inst.F.Clone()
+	base := f.NumVars
+	for i := 0; i < 300; i++ {
+		f.Add(base+i+1, -(base + i + 2))
+		f.Add(base+i+1, base+i+3)
+	}
+	fmt.Printf("formula: %d clauses (%d miter + %d environment)\n",
+		f.NumClauses(), miterClauses, f.NumClauses()-miterClauses)
+
+	status, trace, _, _, err := solver.Solve(f, solver.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if status != solver.Unsat {
+		log.Fatalf("unexpected status %v", status)
+	}
+
+	res, err := core.Verify(f, trace, core.Options{Mode: core.ModeCheckMarked})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.OK {
+		log.Fatalf("proof rejected at clause %d", res.FailedIndex)
+	}
+
+	inEnv := 0
+	for _, i := range res.Core {
+		if i >= miterClauses {
+			inEnv++
+		}
+	}
+	fmt.Printf("first core: %d clauses (%.1f%%), %d from the environment\n",
+		len(res.Core), res.CorePct(f.NumClauses()), inEnv)
+
+	// Iterate to a fixpoint: re-solve the core until it stops shrinking.
+	cur := core.CoreFormula(f, res)
+	for round := 1; ; round++ {
+		st, tr, _, _, err := solver.Solve(cur, solver.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st != solver.Unsat {
+			log.Fatalf("core became satisfiable?! (round %d)", round)
+		}
+		r, err := core.Verify(cur, tr, core.Options{Mode: core.ModeCheckMarked})
+		if err != nil || !r.OK {
+			log.Fatalf("round %d: verification failed: %v", round, err)
+		}
+		next := core.CoreFormula(cur, r)
+		fmt.Printf("round %d: %d -> %d clauses\n", round, cur.NumClauses(), next.NumClauses())
+		if next.NumClauses() == cur.NumClauses() {
+			break
+		}
+		cur = next
+	}
+	fmt.Printf("fixpoint core: %d of %d original clauses\n", cur.NumClauses(), f.NumClauses())
+}

@@ -1,0 +1,386 @@
+package bcp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func cl(dimacs ...int) cnf.Clause {
+	c := make(cnf.Clause, 0, len(dimacs))
+	for _, d := range dimacs {
+		c = append(c, cnf.FromDimacs(d))
+	}
+	return c
+}
+
+// engines returns one of each propagator implementation for table-driven
+// tests that must hold for both.
+func engines(n int) map[string]Propagator {
+	return map[string]Propagator{
+		"watched":  NewEngine(n),
+		"counting": NewCounting(n),
+	}
+}
+
+func TestRefuteFindsChainConflict(t *testing.T) {
+	for name, e := range engines(4) {
+		t.Run(name, func(t *testing.T) {
+			// x1 -> x2 -> x3 -> x4, plus (~x1 ~x4): refuting (~x1) assumes
+			// x1 and propagates to a falsified (~x1 ~x4).
+			e.Add(cl(-1, 2))
+			e.Add(cl(-2, 3))
+			c3 := e.Add(cl(-3, 4))
+			c4 := e.Add(cl(-1, -4))
+			conflict, selfContra := e.Refute(cl(-1))
+			if selfContra {
+				t.Fatal("reported self-contradictory")
+			}
+			// Either of the last two clauses ends up falsified depending on
+			// propagation order; both are correct conflicts.
+			if conflict != c3 && conflict != c4 {
+				t.Fatalf("conflict = %d, want %d or %d", conflict, c3, c4)
+			}
+		})
+	}
+}
+
+func TestRefuteNoConflict(t *testing.T) {
+	for name, e := range engines(3) {
+		t.Run(name, func(t *testing.T) {
+			e.Add(cl(1, 2))
+			e.Add(cl(-2, 3))
+			conflict, selfContra := e.Refute(cl(-1))
+			if conflict != NoConflict || selfContra {
+				t.Fatalf("conflict = %d selfContra = %v, want none", conflict, selfContra)
+			}
+		})
+	}
+}
+
+func TestRefuteUnitConflict(t *testing.T) {
+	for name, e := range engines(1) {
+		t.Run(name, func(t *testing.T) {
+			u := e.Add(cl(1))
+			// Refuting clause (1) assumes x1=false, clashing with unit (1).
+			conflict, selfContra := e.Refute(cl(1))
+			if selfContra || conflict != u {
+				t.Fatalf("conflict = %d selfContra = %v, want unit %d", conflict, selfContra, u)
+			}
+		})
+	}
+}
+
+func TestRefuteEmptyAssumptions(t *testing.T) {
+	for name, e := range engines(2) {
+		t.Run(name, func(t *testing.T) {
+			e.Add(cl(1))
+			e.Add(cl(-1, 2))
+			bad := e.Add(cl(-2))
+			conflict, _ := e.Refute(nil)
+			// Unit propagation alone refutes the database; conflict is
+			// either the falsified binary-implied unit or (-2) depending on
+			// unit injection order — both are legitimate falsified clauses.
+			if conflict == NoConflict {
+				t.Fatal("no conflict from unit propagation")
+			}
+			_ = bad
+		})
+	}
+}
+
+func TestRefuteTautologyIsSelfContradictory(t *testing.T) {
+	for name, e := range engines(2) {
+		t.Run(name, func(t *testing.T) {
+			e.Add(cl(1, 2))
+			conflict, selfContra := e.Refute(cl(1, -1))
+			if !selfContra || conflict != NoConflict {
+				t.Fatalf("conflict=%d selfContra=%v, want NoConflict/true", conflict, selfContra)
+			}
+		})
+	}
+}
+
+func TestEmptyClauseConflictsImmediately(t *testing.T) {
+	for name, e := range engines(1) {
+		t.Run(name, func(t *testing.T) {
+			id := e.Add(cnf.Clause{})
+			conflict, _ := e.Refute(cl(1))
+			if conflict != id {
+				t.Fatalf("conflict = %d, want empty clause %d", conflict, id)
+			}
+		})
+	}
+}
+
+func TestDeactivateStopsPropagation(t *testing.T) {
+	for name, e := range engines(4) {
+		t.Run(name, func(t *testing.T) {
+			e.Add(cl(-1, 2))
+			link := e.Add(cl(-2, 3))
+			e.Add(cl(-3, 4))
+			e.Add(cl(-1, -4))
+			if conflict, _ := e.Refute(cl(-1)); conflict == NoConflict {
+				t.Fatal("expected conflict before deactivation")
+			}
+			e.Deactivate(link)
+			if conflict, _ := e.Refute(cl(-1)); conflict != NoConflict {
+				t.Fatalf("conflict = %d after deactivating the chain link", conflict)
+			}
+		})
+	}
+}
+
+func TestDeactivateUnit(t *testing.T) {
+	for name, e := range engines(2) {
+		t.Run(name, func(t *testing.T) {
+			u := e.Add(cl(1))
+			e.Add(cl(-1, 2))
+			bad := e.Add(cl(-2))
+			if conflict, _ := e.Refute(nil); conflict == NoConflict {
+				t.Fatal("expected conflict")
+			}
+			_ = bad
+			e.Deactivate(u)
+			if conflict, _ := e.Refute(nil); conflict != NoConflict {
+				t.Fatalf("conflict = %d after deactivating the unit", conflict)
+			}
+		})
+	}
+}
+
+func TestDeactivateEmptyClause(t *testing.T) {
+	for name, e := range engines(1) {
+		t.Run(name, func(t *testing.T) {
+			id := e.Add(cnf.Clause{})
+			e.Deactivate(id)
+			if conflict, _ := e.Refute(nil); conflict != NoConflict {
+				t.Fatalf("deactivated empty clause still conflicts: %d", conflict)
+			}
+		})
+	}
+}
+
+func TestRepeatedRefutesAreIndependent(t *testing.T) {
+	for name, e := range engines(4) {
+		t.Run(name, func(t *testing.T) {
+			e.Add(cl(-1, 2))
+			e.Add(cl(-2, 3))
+			e.Add(cl(-1, -3))
+			for i := 0; i < 5; i++ {
+				if conflict, _ := e.Refute(cl(-1)); conflict == NoConflict {
+					t.Fatalf("iteration %d: lost the conflict", i)
+				}
+				if conflict, _ := e.Refute(cl(1)); conflict != NoConflict {
+					t.Fatalf("iteration %d: spurious conflict %d", i, conflict)
+				}
+			}
+		})
+	}
+}
+
+func TestWalkConflictMarksChain(t *testing.T) {
+	for name, e := range engines(4) {
+		t.Run(name, func(t *testing.T) {
+			a := e.Add(cl(-1, 2))
+			b := e.Add(cl(-2, 3))
+			bystander := e.Add(cl(-1, 4)) // propagates but feeds nothing
+			bad := e.Add(cl(-3, -1))
+			conflict, _ := e.Refute(cl(-1))
+			if conflict == NoConflict {
+				t.Fatal("no conflict")
+			}
+			got := map[ID]bool{}
+			e.WalkConflict(conflict, func(id ID) { got[id] = true })
+			for _, want := range []ID{a, b, bad} {
+				if !got[want] {
+					t.Errorf("clause %d not marked; got %v", want, got)
+				}
+			}
+			if got[bystander] {
+				t.Errorf("bystander clause %d marked", bystander)
+			}
+		})
+	}
+}
+
+func TestWalkConflictMarksUnits(t *testing.T) {
+	for name, e := range engines(3) {
+		t.Run(name, func(t *testing.T) {
+			u := e.Add(cl(1))
+			mid := e.Add(cl(-1, 2))
+			bad := e.Add(cl(-2, 3))
+			conflict, _ := e.Refute(cl(3))
+			if conflict == NoConflict {
+				t.Fatal("no conflict")
+			}
+			got := map[ID]bool{}
+			e.WalkConflict(conflict, func(id ID) { got[id] = true })
+			for _, want := range []ID{u, mid, bad} {
+				if !got[want] {
+					t.Errorf("clause %d not marked; got %v", want, got)
+				}
+			}
+		})
+	}
+}
+
+func TestWalkConflictNoDuplicates(t *testing.T) {
+	for name, e := range engines(4) {
+		t.Run(name, func(t *testing.T) {
+			e.Add(cl(-1, 2))
+			e.Add(cl(-2, 3))
+			e.Add(cl(-2, -3, -1))
+			conflict, _ := e.Refute(cl(-1))
+			if conflict == NoConflict {
+				t.Fatal("no conflict")
+			}
+			count := map[ID]int{}
+			e.WalkConflict(conflict, func(id ID) { count[id]++ })
+			for id, n := range count {
+				if n != 1 {
+					t.Errorf("clause %d visited %d times", id, n)
+				}
+			}
+		})
+	}
+}
+
+func TestDuplicateLiteralClause(t *testing.T) {
+	for name, e := range engines(2) {
+		t.Run(name, func(t *testing.T) {
+			// (x1 x1) must behave exactly like the unit (x1).
+			e.Add(cl(1, 1))
+			e.Add(cl(-1, 2))
+			bad := e.Add(cl(-2))
+			conflict, _ := e.Refute(nil)
+			if conflict == NoConflict {
+				t.Fatalf("no conflict; want falsified clause (e.g. %d)", bad)
+			}
+		})
+	}
+}
+
+func TestGrowVariableRange(t *testing.T) {
+	for name, e := range engines(1) {
+		t.Run(name, func(t *testing.T) {
+			e.Add(cl(50, 51))
+			e.Add(cl(-50))
+			e.Add(cl(-51))
+			if conflict, _ := e.Refute(nil); conflict == NoConflict {
+				t.Fatal("no conflict after growing range")
+			}
+		})
+	}
+}
+
+func TestPropagationsCounter(t *testing.T) {
+	for name, e := range engines(4) {
+		t.Run(name, func(t *testing.T) {
+			e.Add(cl(-1, 2))
+			e.Add(cl(-2, 3))
+			e.Refute(cl(-1))
+			if e.Propagations() < 2 {
+				t.Errorf("Propagations = %d, want >= 2", e.Propagations())
+			}
+		})
+	}
+}
+
+// TestEnginesAgreeOnRandomDatabases cross-checks the two propagators: on the
+// same clause database and the same refutation queries they must agree on
+// whether a conflict exists (the conflicting clause ID may differ since
+// propagation order differs).
+func TestEnginesAgreeOnRandomDatabases(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 200; round++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 2 + rng.Intn(25)
+		we := NewEngine(nVars)
+		ce := NewCounting(nVars)
+		var clauses []cnf.Clause
+		for i := 0; i < nClauses; i++ {
+			n := 1 + rng.Intn(4)
+			c := make(cnf.Clause, 0, n)
+			for j := 0; j < n; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 0))
+			}
+			clauses = append(clauses, c)
+			we.Add(c)
+			ce.Add(c)
+		}
+		for q := 0; q < 10; q++ {
+			n := rng.Intn(3)
+			target := make(cnf.Clause, 0, n)
+			for j := 0; j < n; j++ {
+				target = append(target, cnf.NewLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 0))
+			}
+			wc, ws := we.Refute(target)
+			cc, cs := ce.Refute(target)
+			if ws != cs || (wc == NoConflict) != (cc == NoConflict) {
+				t.Fatalf("round %d query %v: watched (%d,%v) vs counting (%d,%v)\nclauses: %v",
+					round, target, wc, ws, cc, cs, clauses)
+			}
+			// Occasionally deactivate a clause in both engines.
+			if rng.Intn(3) == 0 && len(clauses) > 0 {
+				id := ID(rng.Intn(len(clauses)))
+				we.Deactivate(id)
+				ce.Deactivate(id)
+			}
+		}
+	}
+}
+
+// TestConflictIsSound verifies that whenever an engine reports a conflict,
+// the refuted clause really is implied: no total assignment satisfies all
+// active clauses while falsifying the target.
+func TestConflictIsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 200; round++ {
+		nVars := 3 + rng.Intn(5) // keep small for exhaustive checking
+		nClauses := 2 + rng.Intn(15)
+		e := NewEngine(nVars)
+		var clauses []cnf.Clause
+		for i := 0; i < nClauses; i++ {
+			n := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, n)
+			for j := 0; j < n; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 0))
+			}
+			clauses = append(clauses, c)
+			e.Add(c)
+		}
+		n := 1 + rng.Intn(2)
+		target := make(cnf.Clause, 0, n)
+		for j := 0; j < n; j++ {
+			target = append(target, cnf.NewLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 0))
+		}
+		conflict, selfContra := e.Refute(target)
+		if selfContra || conflict == NoConflict {
+			continue
+		}
+		// Exhaustively confirm: every assignment falsifying target violates
+		// some clause.
+		for m := 0; m < 1<<nVars; m++ {
+			assign := make([]bool, nVars)
+			for i := range assign {
+				assign[i] = m&(1<<i) != 0
+			}
+			if cnf.EvalClause(target, assign) {
+				continue
+			}
+			all := true
+			for _, c := range clauses {
+				if !cnf.EvalClause(c, assign) {
+					all = false
+					break
+				}
+			}
+			if all {
+				t.Fatalf("round %d: engine claimed %v implied by %v, but %v is a countermodel",
+					round, target, clauses, assign)
+			}
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package bcp
+
+import "repro/internal/cnf"
+
+// Engine is the two-watched-literal propagator. Clauses of length >= 2 keep
+// two watched positions (lits[0] and lits[1]); a clause is revisited only
+// when one of its watched literals becomes false. Unit and empty clauses are
+// tracked separately and (re)injected at the start of every Refute, because
+// refutation always restarts from an empty trail.
+type Engine struct {
+	nVars   int
+	clauses []watchedClause
+	watches [][]ID // indexed by literal: clauses currently watching it
+
+	// retainInactive keeps deactivated clauses in the watch/unit lists
+	// (skipped during propagation) so Reactivate is a flag flip. Enabled
+	// by NewEngineReactivable; costs list compaction.
+	retainInactive bool
+
+	units  []ID // active unit clauses (lazily compacted)
+	empty  []ID // active empty clauses
+	taut   int  // count of tautologies, for stats only
+	nUnits int  // active unit count (maintained on Deactivate)
+
+	assign []int8
+	reason []ID
+	trail  []cnf.Lit
+	qhead  int
+
+	seen      []bool // per-var scratch for WalkConflict
+	seenReset []cnf.Var
+
+	propagations int64
+}
+
+type watchedClause struct {
+	lits   cnf.Clause
+	active bool
+	taut   bool // tautologies can never be activated
+}
+
+var _ Propagator = (*Engine)(nil)
+
+// NewEngine returns a watched-literal engine over n variables. The variable
+// range grows automatically when Add or Refute mention larger variables.
+func NewEngine(n int) *Engine {
+	e := &Engine{nVars: n}
+	e.growTo(n)
+	return e
+}
+
+// NewEngineReactivable returns an engine whose Deactivate is reversible via
+// Reactivate — used by the backward DRUP checker, which walks deletion
+// steps in reverse. Inactive clauses stay in the watch lists (skipped
+// during propagation), trading list compaction for O(1) reactivation.
+func NewEngineReactivable(n int) *Engine {
+	e := NewEngine(n)
+	e.retainInactive = true
+	return e
+}
+
+// Reactivate undoes a Deactivate. Only valid on engines created with
+// NewEngineReactivable.
+func (e *Engine) Reactivate(id ID) {
+	if !e.retainInactive {
+		panic("bcp: Reactivate requires NewEngineReactivable")
+	}
+	c := &e.clauses[id]
+	if c.active || c.taut {
+		return
+	}
+	c.active = true
+	if len(c.lits) == 1 {
+		e.nUnits++
+	}
+}
+
+func (e *Engine) growTo(n int) {
+	if n <= e.nVars && len(e.assign) >= n {
+		return
+	}
+	if n < e.nVars {
+		n = e.nVars
+	}
+	for len(e.assign) < n {
+		e.assign = append(e.assign, 0)
+		e.reason = append(e.reason, reasonAssumption)
+		e.seen = append(e.seen, false)
+		e.watches = append(e.watches, nil, nil)
+	}
+	e.nVars = n
+}
+
+// NumClauses returns how many clauses were added.
+func (e *Engine) NumClauses() int { return len(e.clauses) }
+
+// Propagations returns the cumulative number of implied assignments.
+func (e *Engine) Propagations() int64 { return e.propagations }
+
+// Add inserts a clause and returns its ID.
+func (e *Engine) Add(c cnf.Clause) ID {
+	norm, taut := c.Normalize()
+	if mv := norm.MaxVar(); int(mv) >= e.nVars {
+		e.growTo(int(mv) + 1)
+	}
+	id := ID(len(e.clauses))
+	e.clauses = append(e.clauses, watchedClause{lits: norm, active: !taut, taut: taut})
+	if taut {
+		e.taut++
+		return id
+	}
+	switch len(norm) {
+	case 0:
+		e.empty = append(e.empty, id)
+	case 1:
+		e.units = append(e.units, id)
+		e.nUnits++
+	default:
+		e.watches[norm[0]] = append(e.watches[norm[0]], id)
+		e.watches[norm[1]] = append(e.watches[norm[1]], id)
+	}
+	return id
+}
+
+// Deactivate removes the clause from future propagations.
+func (e *Engine) Deactivate(id ID) {
+	c := &e.clauses[id]
+	if !c.active {
+		return
+	}
+	c.active = false
+	if len(c.lits) == 1 {
+		e.nUnits--
+	}
+	// Watched clauses are removed lazily from watch lists during
+	// propagation; unit/empty lists are skipped by the active flag.
+}
+
+// reset clears the trail and all assignments made by the previous Refute.
+func (e *Engine) reset() {
+	for _, l := range e.trail {
+		v := l.Var()
+		e.assign[v] = 0
+		e.reason[v] = reasonAssumption
+	}
+	e.trail = e.trail[:0]
+	e.qhead = 0
+}
+
+// enqueue makes l true with the given reason. It returns false when l is
+// already false (a conflict the caller must handle).
+func (e *Engine) enqueue(l cnf.Lit, why ID) bool {
+	switch litValue(e.assign, l) {
+	case 1:
+		return true // already true
+	case -1:
+		return false // conflict
+	}
+	assignLit(e.assign, l)
+	e.reason[l.Var()] = why
+	e.trail = append(e.trail, l)
+	if why != reasonAssumption {
+		e.propagations++
+	}
+	return true
+}
+
+// Refute implements Propagator.
+func (e *Engine) Refute(c cnf.Clause) (ID, bool) {
+	if mv := c.MaxVar(); int(mv) >= e.nVars {
+		e.growTo(int(mv) + 1)
+	}
+	e.reset()
+
+	// An active empty clause conflicts immediately.
+	if e.retainInactive {
+		for _, id := range e.empty {
+			if e.clauses[id].active {
+				return id, false
+			}
+		}
+	} else {
+		w := 0
+		for _, id := range e.empty {
+			if e.clauses[id].active {
+				e.empty[w] = id
+				w++
+			}
+		}
+		e.empty = e.empty[:w]
+		if len(e.empty) > 0 {
+			return e.empty[0], false
+		}
+	}
+
+	// Assumptions first: falsify every literal of c. If two literals of c
+	// clash, c is a tautology and cannot be falsified.
+	for _, l := range c {
+		if !e.enqueue(l.Neg(), reasonAssumption) {
+			return NoConflict, true
+		}
+	}
+
+	// Inject active unit clauses, compacting the list as we go (unless
+	// inactive entries must be retained for reactivation).
+	w := 0
+	conflict := NoConflict
+	for i, id := range e.units {
+		uc := &e.clauses[id]
+		if !uc.active {
+			if e.retainInactive {
+				e.units[w] = id
+				w++
+			}
+			continue
+		}
+		e.units[w] = id
+		w++
+		if !e.enqueue(uc.lits[0], id) {
+			// Preserve the not-yet-scanned suffix before bailing out.
+			for _, rest := range e.units[i+1:] {
+				e.units[w] = rest
+				w++
+			}
+			conflict = id
+			break
+		}
+	}
+	e.units = e.units[:w]
+	if conflict != NoConflict {
+		return conflict, false
+	}
+
+	return e.propagate()
+}
+
+// propagate runs watched-literal propagation until fixpoint or conflict.
+func (e *Engine) propagate() (ID, bool) {
+	for e.qhead < len(e.trail) {
+		p := e.trail[e.qhead] // p just became true; p.Neg() is false
+		e.qhead++
+		falseLit := p.Neg()
+		ws := e.watches[falseLit]
+		out := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			id := ws[i]
+			c := &e.clauses[id]
+			if !c.active {
+				if e.retainInactive {
+					out = append(out, id) // keep: may be reactivated later
+				}
+				continue
+			}
+			lits := c.lits
+			// Ensure the false watch is lits[1].
+			if lits[0] == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			// If the other watch is true, the clause is satisfied.
+			if litValue(e.assign, lits[0]) == 1 {
+				out = append(out, id)
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(lits); k++ {
+				if litValue(e.assign, lits[k]) != -1 {
+					lits[1], lits[k] = lits[k], lits[1]
+					e.watches[lits[1]] = append(e.watches[lits[1]], id)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // clause moved to another watch list
+			}
+			// Clause is unit on lits[0] (or falsified).
+			out = append(out, id)
+			if !e.enqueue(lits[0], id) {
+				// Conflict: keep the remaining watchers in place.
+				out = append(out, ws[i+1:]...)
+				e.watches[falseLit] = out
+				return id, false
+			}
+		}
+		e.watches[falseLit] = out
+	}
+	return NoConflict, false
+}
+
+// WalkConflict implements Propagator. It marks, transitively, every clause
+// responsible for the conflict, mirroring the paper's Conflict_analysis:
+// start from the falsified clause; for each of its (false) literals, if the
+// variable was propagated, visit its reason clause and recurse; assumption
+// variables (literals of the refuted clause C) contribute nothing.
+func (e *Engine) WalkConflict(conflict ID, visit func(ID)) {
+	if conflict == NoConflict {
+		return
+	}
+	defer func() {
+		for _, v := range e.seenReset {
+			e.seen[v] = false
+		}
+		e.seenReset = e.seenReset[:0]
+	}()
+
+	// Each clause implies at most one variable and an implying clause can
+	// never itself be falsified (its implied literal stays true), so with
+	// per-variable deduplication every clause is visited at most once.
+	visit(conflict)
+	stack := append([]cnf.Lit(nil), e.clauses[conflict].lits...)
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := l.Var()
+		if e.seen[v] {
+			continue
+		}
+		e.seen[v] = true
+		e.seenReset = append(e.seenReset, v)
+		r := e.reason[v]
+		if r == reasonAssumption {
+			continue
+		}
+		visit(r)
+		for _, rl := range e.clauses[r].lits {
+			if rl.Var() != v {
+				stack = append(stack, rl)
+			}
+		}
+	}
+}
+
+// Assignment returns the current value of a variable after the last Refute:
+// +1 true, -1 false, 0 unassigned. Exposed for tests and diagnostics.
+func (e *Engine) Assignment(v cnf.Var) int8 {
+	if int(v) >= len(e.assign) {
+		return 0
+	}
+	return e.assign[v]
+}
+
+// ActiveUnits reports how many unit clauses are currently active.
+func (e *Engine) ActiveUnits() int { return e.nUnits }

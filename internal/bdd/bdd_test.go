@@ -1,0 +1,198 @@
+package bdd
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+func cl(dimacs ...int) cnf.Clause {
+	c := make(cnf.Clause, 0, len(dimacs))
+	for _, d := range dimacs {
+		c = append(c, cnf.FromDimacs(d))
+	}
+	return c
+}
+
+func TestTerminalOps(t *testing.T) {
+	m := New(2, 0)
+	if r, _ := m.And(True, False); r != False {
+		t.Error("And(T,F)")
+	}
+	if r, _ := m.Or(False, True); r != True {
+		t.Error("Or(F,T)")
+	}
+	if r, _ := m.Not(True); r != False {
+		t.Error("Not(T)")
+	}
+	if r, _ := m.Xor(True, True); r != False {
+		t.Error("Xor(T,T)")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	m := New(3, 0)
+	a, _ := m.Var(0)
+	b, _ := m.Var(1)
+	ab1, _ := m.And(a, b)
+	ab2, _ := m.And(b, a)
+	if ab1 != ab2 {
+		t.Error("And not canonical across argument order")
+	}
+	aa, _ := m.And(a, a)
+	if aa != a {
+		t.Error("And(a,a) != a")
+	}
+	na, _ := m.Not(a)
+	contra, _ := m.And(a, na)
+	if contra != False {
+		t.Error("And(a,~a) != False")
+	}
+}
+
+func TestEvalMatchesTruthTable(t *testing.T) {
+	m := New(3, 0)
+	a, _ := m.Var(0)
+	b, _ := m.Var(1)
+	c, _ := m.Var(2)
+	ab, _ := m.And(a, b)
+	f, _ := m.Xor(ab, c) // (a&b) ^ c
+	for mask := 0; mask < 8; mask++ {
+		assign := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		want := (assign[0] && assign[1]) != assign[2]
+		if got := m.Eval(f, assign); got != want {
+			t.Errorf("Eval(%v) = %v, want %v", assign, got, want)
+		}
+	}
+}
+
+func TestFromFormulaAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 300; round++ {
+		nVars := 2 + rng.Intn(7)
+		f := cnf.NewFormula(nVars)
+		for i := 0; i < 1+rng.Intn(3*nVars); i++ {
+			k := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 0))
+			}
+			f.AddClause(c)
+		}
+		m := New(nVars, 0)
+		r, err := m.FromFormula(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force satisfiability and model count.
+		count := 0
+		for mask := 0; mask < 1<<nVars; mask++ {
+			assign := make([]bool, nVars)
+			for i := range assign {
+				assign[i] = mask&(1<<i) != 0
+			}
+			sat := f.Eval(assign)
+			if sat {
+				count++
+			}
+			if got := m.Eval(r, assign); got != sat {
+				t.Fatalf("round %d: Eval disagrees with formula on %v", round, assign)
+			}
+		}
+		if (r == False) != (count == 0) {
+			t.Fatalf("round %d: BDD unsat=%v, brute count=%d", round, r == False, count)
+		}
+		if got := m.SatCount(r); got != float64(count) {
+			t.Fatalf("round %d: SatCount=%v, brute=%d", round, got, count)
+		}
+		if assign, ok := m.AnySat(r); ok {
+			if !f.Eval(assign) {
+				t.Fatalf("round %d: AnySat returned non-model %v", round, assign)
+			}
+		} else if count != 0 {
+			t.Fatalf("round %d: AnySat failed on satisfiable function", round)
+		}
+	}
+}
+
+func TestUnsatOracleAgreesWithSolver(t *testing.T) {
+	instances := []gen.Instance{
+		gen.PHP(4),
+		gen.XorChain(11),
+		gen.AdderEquiv(6),
+		gen.Counter(4, 8),
+	}
+	for _, inst := range instances {
+		got, err := Unsat(inst.F, 4_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if !got {
+			t.Errorf("%s: BDD says satisfiable", inst.Name)
+		}
+		st, _, _, _, err := solver.Solve(inst.F, solver.Options{})
+		if err != nil || st != solver.Unsat {
+			t.Fatalf("%s: solver says %v (%v)", inst.Name, st, err)
+		}
+	}
+	// And one satisfiable case.
+	sat := cnf.NewFormula(0).Add(1, 2).Add(-1, 2)
+	got, err := Unsat(sat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("satisfiable formula reported UNSAT")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// Multiplier-style instances blow BDDs up — the motivating weakness.
+	inst := gen.Longmult(8, 7)
+	_, err := Unsat(inst.F, 20_000)
+	if !errors.Is(err, ErrNodeLimit) {
+		t.Errorf("expected ErrNodeLimit, got %v", err)
+	}
+}
+
+func TestSatCountKnownValues(t *testing.T) {
+	// A single clause over k of n variables has 2^n - 2^(n-k) models.
+	m := New(5, 0)
+	r, err := m.FromClause(cl(1, -2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SatCount(r); got != 32-4 {
+		t.Errorf("SatCount = %v, want 28", got)
+	}
+	if got := m.SatCount(True); got != 32 {
+		t.Errorf("SatCount(True) = %v", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Errorf("SatCount(False) = %v", got)
+	}
+}
+
+func TestVarOutOfRange(t *testing.T) {
+	m := New(2, 0)
+	if _, err := m.Var(5); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+}
+
+func TestXorChainIsBDDFriendly(t *testing.T) {
+	// Parity constraints are linear-sized in BDDs: a long chain must fit
+	// in a small node budget even though it is hard-ish for resolution.
+	inst := gen.XorChain(101)
+	got, err := Unsat(inst.F, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("xor chain not refuted")
+	}
+}

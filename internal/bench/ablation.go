@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+// SchemeRow compares learning schemes on one instance — the quantitative
+// backing for the paper's §5 claim that 1UIP ("local") and decision-scheme
+// ("global") clauses trade conflict-clause proof size against
+// resolution-graph size in opposite directions.
+type SchemeRow struct {
+	Name          string
+	Scheme        solver.LearnScheme
+	Conflicts     int64
+	ProofClauses  int
+	ProofLits     int64
+	ResNodes      int64
+	ResPerClause  float64 // avg resolutions per deduced clause ("globality")
+	LitsPerClause float64
+	RatioPct      float64 // 100 * lits / resolution nodes
+}
+
+// SchemesAblation solves each instance under each learning scheme.
+func SchemesAblation(insts []gen.Instance, base solver.Options) ([]SchemeRow, error) {
+	schemes := []solver.LearnScheme{solver.Learn1UIP, solver.LearnHybrid, solver.LearnDecision}
+	var rows []SchemeRow
+	for _, inst := range insts {
+		for _, sc := range schemes {
+			opt := base
+			opt.Learn = sc
+			run, err := RunInstance(inst, opt, core.Options{Mode: core.ModeCheckMarked})
+			if err != nil {
+				return nil, fmt.Errorf("scheme %v: %w", sc, err)
+			}
+			n := run.Trace.Len()
+			res := run.Trace.TotalResolutions()
+			lits := run.Trace.NumLiterals()
+			row := SchemeRow{
+				Name:         inst.Name,
+				Scheme:       sc,
+				Conflicts:    run.Stats.Conflicts,
+				ProofClauses: n,
+				ProofLits:    lits,
+				ResNodes:     res,
+			}
+			if n > 0 {
+				row.ResPerClause = float64(res) / float64(n)
+				row.LitsPerClause = float64(lits) / float64(n)
+			}
+			if res > 0 {
+				row.RatioPct = 100 * float64(lits) / float64(res)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// VerifyModeRow compares Proof_verification1 (check all) against
+// Proof_verification2 (check marked) on one instance.
+type VerifyModeRow struct {
+	Name       string
+	ProofSize  int
+	Tested1    int
+	Time1      time.Duration
+	Tested2    int
+	Time2      time.Duration
+	SpeedupPct float64 // 100 * (1 - Time2/Time1)
+	TestedPct2 float64
+}
+
+// VerifyModesAblation solves once per instance and verifies the same proof
+// under both procedures.
+func VerifyModesAblation(insts []gen.Instance, sopt solver.Options) ([]VerifyModeRow, error) {
+	var rows []VerifyModeRow
+	for _, inst := range insts {
+		st, tr, _, _, err := solver.Solve(inst.F, sopt)
+		if err != nil {
+			return nil, err
+		}
+		if st != solver.Unsat {
+			return nil, fmt.Errorf("bench: %s: %v", inst.Name, st)
+		}
+		t0 := time.Now()
+		res1, err := core.Verify(inst.F, tr, core.Options{Mode: core.ModeCheckAll})
+		d1 := time.Since(t0)
+		if err != nil || !res1.OK {
+			return nil, fmt.Errorf("bench: %s check-all: %v %+v", inst.Name, err, res1)
+		}
+		t1 := time.Now()
+		res2, err := core.Verify(inst.F, tr, core.Options{Mode: core.ModeCheckMarked})
+		d2 := time.Since(t1)
+		if err != nil || !res2.OK {
+			return nil, fmt.Errorf("bench: %s check-marked: %v %+v", inst.Name, err, res2)
+		}
+		row := VerifyModeRow{
+			Name:       inst.Name,
+			ProofSize:  tr.Len(),
+			Tested1:    res1.Tested,
+			Time1:      d1,
+			Tested2:    res2.Tested,
+			Time2:      d2,
+			TestedPct2: res2.TestedPct(),
+		}
+		if d1 > 0 {
+			row.SpeedupPct = 100 * (1 - float64(d2)/float64(d1))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// EngineRow compares the watched-literal and counting BCP engines inside
+// the verifier (the paper's §6 remark that watched literals are especially
+// effective on proofs full of long clauses).
+type EngineRow struct {
+	Name         string
+	TimeWatched  time.Duration
+	TimeCounting time.Duration
+	PropsWatched int64
+	PropsCount   int64
+	SlowdownX    float64 // counting time / watched time
+}
+
+// EngineAblation verifies the same proof with both engines.
+func EngineAblation(insts []gen.Instance, sopt solver.Options) ([]EngineRow, error) {
+	var rows []EngineRow
+	for _, inst := range insts {
+		st, tr, _, _, err := solver.Solve(inst.F, sopt)
+		if err != nil {
+			return nil, err
+		}
+		if st != solver.Unsat {
+			return nil, fmt.Errorf("bench: %s: %v", inst.Name, st)
+		}
+		t0 := time.Now()
+		rw, err := core.Verify(inst.F, tr, core.Options{Engine: core.EngineWatched})
+		dw := time.Since(t0)
+		if err != nil || !rw.OK {
+			return nil, fmt.Errorf("bench: %s watched: %v", inst.Name, err)
+		}
+		t1 := time.Now()
+		rc, err := core.Verify(inst.F, tr, core.Options{Engine: core.EngineCounting})
+		dc := time.Since(t1)
+		if err != nil || !rc.OK {
+			return nil, fmt.Errorf("bench: %s counting: %v", inst.Name, err)
+		}
+		row := EngineRow{
+			Name:         inst.Name,
+			TimeWatched:  dw,
+			TimeCounting: dc,
+			PropsWatched: rw.Propagations,
+			PropsCount:   rc.Propagations,
+		}
+		if dw > 0 {
+			row.SlowdownX = float64(dc) / float64(dw)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TrimRow measures proof trimming: original vs trimmed proof size, and that
+// the trimmed proof still verifies.
+type TrimRow struct {
+	Name         string
+	Original     int
+	Trimmed      int
+	TrimmedLits  int64
+	OriginalLits int64
+	KeptPct      float64
+}
+
+// TrimAblation trims each proof to its used clauses and re-verifies it.
+func TrimAblation(insts []gen.Instance, sopt solver.Options) ([]TrimRow, error) {
+	var rows []TrimRow
+	for _, inst := range insts {
+		run, err := RunInstance(inst, sopt, core.Options{Mode: core.ModeCheckMarked})
+		if err != nil {
+			return nil, err
+		}
+		trimmed, err := core.Trim(run.Trace, run.Verify)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Verify(inst.F, trimmed, core.Options{Mode: core.ModeCheckAll})
+		if err != nil {
+			return nil, err
+		}
+		if !res.OK {
+			return nil, fmt.Errorf("bench: %s: trimmed proof rejected at %d", inst.Name, res.FailedIndex)
+		}
+		row := TrimRow{
+			Name:         inst.Name,
+			Original:     run.Trace.Len(),
+			Trimmed:      trimmed.Len(),
+			OriginalLits: run.Trace.NumLiterals(),
+			TrimmedLits:  trimmed.NumLiterals(),
+		}
+		if row.Original > 0 {
+			row.KeptPct = 100 * float64(row.Trimmed) / float64(row.Original)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CoreRow measures iterated unsat-core minimization: re-solving the core
+// until a fixpoint.
+type CoreRow struct {
+	Name       string
+	Original   int
+	FirstCore  int
+	FinalCore  int
+	Iterations int
+}
+
+// CoreFixpoint repeatedly extracts the unsat core and re-solves it until
+// the core stops shrinking (a by-product application the paper's §4
+// motivates: "the extraction of an unsatisfiable core ... can help to
+// understand the cause of unsatisfiability").
+func CoreFixpoint(inst gen.Instance, sopt solver.Options, maxIter int) (*CoreRow, error) {
+	row := &CoreRow{Name: inst.Name, Original: inst.F.NumClauses()}
+	cur := inst.F
+	for i := 0; i < maxIter; i++ {
+		run, err := RunInstance(gen.Instance{Name: inst.Name, Family: inst.Family, F: cur}, sopt,
+			core.Options{Mode: core.ModeCheckMarked})
+		if err != nil {
+			return nil, err
+		}
+		coreF := core.CoreFormula(cur, run.Verify)
+		row.Iterations = i + 1
+		if i == 0 {
+			row.FirstCore = coreF.NumClauses()
+		}
+		row.FinalCore = coreF.NumClauses()
+		if coreF.NumClauses() == cur.NumClauses() {
+			break
+		}
+		cur = coreF
+	}
+	return row, nil
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/dpll"
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+// BaselineRow compares the reproduction's CDCL solver against the two
+// technologies it historically displaced on these workloads: plain DPLL
+// (no learning — and hence no conflict-clause proof at all) and BDDs.
+type BaselineRow struct {
+	Name    string
+	Clauses int
+
+	CDCLTime      time.Duration
+	CDCLConflicts int64
+
+	DPLLTime       time.Duration
+	DPLLBacktracks int64
+	DPLLTimedOut   bool
+
+	BDDTime     time.Duration
+	BDDNodes    int
+	BDDBlewUp   bool
+	BDDNodesCap int
+}
+
+// BaselinesAblation runs all three engines per instance. dpllBudget bounds
+// DPLL decisions; bddNodes bounds BDD construction.
+func BaselinesAblation(insts []gen.Instance, sopt solver.Options, dpllBudget int64, bddNodes int) ([]BaselineRow, error) {
+	var rows []BaselineRow
+	for _, inst := range insts {
+		row := BaselineRow{Name: inst.Name, Clauses: inst.F.NumClauses(), BDDNodesCap: bddNodes}
+
+		t0 := time.Now()
+		st, _, _, stats, err := solver.Solve(inst.F, sopt)
+		row.CDCLTime = time.Since(t0)
+		row.CDCLConflicts = stats.Conflicts
+		if err != nil {
+			return nil, err
+		}
+		if st != solver.Unsat {
+			return nil, fmt.Errorf("bench: %s: CDCL returned %v", inst.Name, st)
+		}
+
+		t1 := time.Now()
+		dst, _, dstats, err := dpll.Solve(inst.F, dpllBudget)
+		row.DPLLTime = time.Since(t1)
+		row.DPLLBacktracks = dstats.Backtracks
+		if err != nil {
+			return nil, err
+		}
+		switch dst {
+		case dpll.Unsat:
+		case dpll.Unknown:
+			row.DPLLTimedOut = true
+		default:
+			return nil, fmt.Errorf("bench: %s: DPLL returned %v on an UNSAT instance", inst.Name, dst)
+		}
+
+		t2 := time.Now()
+		m := bdd.New(inst.F.NumVars, bddNodes)
+		r, err := m.FromFormula(inst.F)
+		row.BDDTime = time.Since(t2)
+		row.BDDNodes = m.NumNodes()
+		switch {
+		case errors.Is(err, bdd.ErrNodeLimit):
+			row.BDDBlewUp = true
+		case err != nil:
+			return nil, err
+		case r != bdd.False:
+			return nil, fmt.Errorf("bench: %s: BDD claims satisfiable", inst.Name)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

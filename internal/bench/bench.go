@@ -1,0 +1,257 @@
+// Package bench is the experiment harness: it runs the solver and the proof
+// verifier over the benchmark suites and produces the rows of the paper's
+// Tables 1–3 plus the ablations DESIGN.md calls out. The cmd/tables binary
+// and the repository-level bench_test.go benchmarks are thin wrappers over
+// this package.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/proof"
+	"repro/internal/solver"
+)
+
+// Run holds everything measured for one instance: the solve, the proof, and
+// the verification.
+type Run struct {
+	Inst gen.Instance
+
+	SolveTime  time.Duration
+	VerifyTime time.Duration
+
+	Stats  solver.Stats
+	Trace  *proof.Trace
+	Verify *core.Result
+}
+
+// DefaultSolverOptions returns the configuration used throughout the
+// reproduction: BerkMin heuristic with hybrid learning (the paper notes
+// BerkMin "once in a while deduces clauses in terms of decision variables",
+// and that this new feature both speeds some instances up and makes
+// resolution graphs blow up, which Tables 2–3 rely on).
+func DefaultSolverOptions() solver.Options {
+	return solver.Options{
+		Learn:        solver.LearnHybrid,
+		Heuristic:    solver.HeurBerkMin,
+		MaxConflicts: 5_000_000,
+	}
+}
+
+// RunInstance solves the instance, verifies the proof, and returns all
+// measurements. It fails when the solve does not prove UNSAT or when the
+// independent verifier rejects the proof.
+func RunInstance(inst gen.Instance, sopt solver.Options, vopt core.Options) (*Run, error) {
+	t0 := time.Now()
+	st, tr, _, stats, err := solver.Solve(inst.F, sopt)
+	solveTime := time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", inst.Name, err)
+	}
+	if st != solver.Unsat {
+		return nil, fmt.Errorf("bench: %s: solver returned %v (conflicts=%d)", inst.Name, st, stats.Conflicts)
+	}
+	t1 := time.Now()
+	res, err := core.Verify(inst.F, tr, vopt)
+	verifyTime := time.Since(t1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", inst.Name, err)
+	}
+	if !res.OK {
+		return nil, fmt.Errorf("bench: %s: proof REJECTED at clause %d — solver bug", inst.Name, res.FailedIndex)
+	}
+	return &Run{
+		Inst:       inst,
+		SolveTime:  solveTime,
+		VerifyTime: verifyTime,
+		Stats:      stats,
+		Trace:      tr,
+		Verify:     res,
+	}, nil
+}
+
+// SuiteMain returns the scaled instance suite standing in for the paper's
+// Tables 1 and 2 instance list: pipelined-microprocessor verification
+// (pipe), PicoJava-style control verification (ctl), bounded model checking
+// (barrel, longmult, cnt) and combinational equivalence checking (addeq,
+// alueq). See DESIGN.md §3 for the substitution rationale.
+func SuiteMain() []gen.Instance {
+	return []gen.Instance{
+		// verification of pipelined microprocessors [15]
+		gen.Pipe(2, 6),
+		gen.Pipe(3, 6),
+		gen.Pipe(3, 8),
+		gen.Pipe(4, 8),
+		gen.Pipe(5, 8),
+		// verification of PicoJava II microprocessor [21]
+		gen.Control(6, 3),
+		gen.Control(8, 3),
+		gen.Control(6, 4),
+		gen.Control(8, 4),
+		// bounded model checking [20]
+		gen.Barrel(8, 3),
+		gen.Barrel(16, 3),
+		gen.Longmult(6, 5),
+		gen.Longmult(7, 6),
+		gen.Longmult(8, 7),
+		// equivalence checking [19]
+		gen.AdderEquiv(16),
+		gen.AdderEquiv(32),
+		gen.AdderEquiv3(24),
+		gen.AluEquiv(8),
+		gen.AluEquiv(12),
+		gen.SorterEquiv(14),
+		// bounded model checking, SAT-2002 [18]
+		gen.Counter(8, 40),
+		gen.Counter(10, 60),
+		gen.Counter(10, 80),
+	}
+}
+
+// SuiteFifo returns the growing-size fifo family standing in for Table 3's
+// fifo8_300/350/400.
+func SuiteFifo() []gen.Instance {
+	return []gen.Instance{
+		gen.Fifo(8, 30),
+		gen.Fifo(8, 60),
+		gen.Fifo(8, 90),
+	}
+}
+
+// SuiteAblation returns the instances used for the learning-scheme
+// ablation. Pure decision-scheme learning (the weakest configuration — the
+// paper's solvers always mixed it with 1UIP) cannot finish the counter and
+// control families in reasonable budgets, so this suite is restricted to
+// instances all three schemes solve.
+func SuiteAblation() []gen.Instance {
+	return []gen.Instance{
+		gen.Pipe(2, 6),
+		gen.Barrel(8, 2),
+		gen.Longmult(6, 5),
+		gen.AdderEquiv(16),
+		gen.AluEquiv(8),
+		gen.Fifo(8, 15),
+		gen.PHP(6),
+	}
+}
+
+// SuiteQuick returns a small fast suite for unit tests and -short benches.
+func SuiteQuick() []gen.Instance {
+	return []gen.Instance{
+		gen.AdderEquiv(8),
+		gen.Pipe(2, 4),
+		gen.Barrel(8, 2),
+		gen.Fifo(4, 8),
+		gen.PHP(5),
+	}
+}
+
+// --- Table 1 ----------------------------------------------------------------
+
+// Row1 is a row of Table 1 (unsatisfiable core extraction).
+type Row1 struct {
+	Name            string
+	ConflictClauses int     // |F*|
+	TestedPct       float64 // % of F* actually checked by Verify2
+	InitClauses     int     // clauses in the initial CNF
+	CorePct         float64 // % of initial clauses in the unsat core
+}
+
+// Table1 runs Verify2 over the suite and produces Table 1 rows.
+func Table1(insts []gen.Instance, sopt solver.Options) ([]Row1, error) {
+	rows := make([]Row1, 0, len(insts))
+	for _, inst := range insts {
+		run, err := RunInstance(inst, sopt, core.Options{Mode: core.ModeCheckMarked})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row1{
+			Name:            inst.Name,
+			ConflictClauses: run.Trace.Len(),
+			TestedPct:       run.Verify.TestedPct(),
+			InitClauses:     inst.F.NumClauses(),
+			CorePct:         run.Verify.CorePct(inst.F.NumClauses()),
+		})
+	}
+	return rows, nil
+}
+
+// --- Table 2 ----------------------------------------------------------------
+
+// Row2 is a row of Table 2 (proof verification; conflict-clause proof vs
+// resolution-graph proof sizes).
+type Row2 struct {
+	Name       string
+	SolveTime  time.Duration
+	VerifyTime time.Duration
+	// ResNodes is the lower bound on resolution-graph internal nodes (the
+	// total number of resolution steps over all deduced clauses).
+	ResNodes int64
+	// ProofLits is the conflict-clause proof size in literals.
+	ProofLits int64
+	// RatioPct is 100 * ProofLits / ResNodes (the paper's last column).
+	RatioPct float64
+}
+
+// Table2 runs the suite and produces Table 2 rows.
+func Table2(insts []gen.Instance, sopt solver.Options) ([]Row2, error) {
+	rows := make([]Row2, 0, len(insts))
+	for _, inst := range insts {
+		run, err := RunInstance(inst, sopt, core.Options{Mode: core.ModeCheckMarked})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row2For(run))
+	}
+	return rows, nil
+}
+
+func row2For(run *Run) Row2 {
+	resNodes := run.Trace.TotalResolutions()
+	lits := run.Trace.NumLiterals()
+	ratio := 0.0
+	if resNodes > 0 {
+		ratio = 100 * float64(lits) / float64(resNodes)
+	}
+	return Row2{
+		Name:       run.Inst.Name,
+		SolveTime:  run.SolveTime,
+		VerifyTime: run.VerifyTime,
+		ResNodes:   resNodes,
+		ProofLits:  lits,
+		RatioPct:   ratio,
+	}
+}
+
+// --- Table 3 ----------------------------------------------------------------
+
+// Row3 is a row of Table 3 (growth of resolution proof size relative to the
+// conflict-clause proof as instances grow).
+type Row3 struct {
+	Name      string
+	ResNodes  int64
+	ProofLits int64
+	RatioPct  float64
+}
+
+// Table3 runs the growing family and produces Table 3 rows.
+func Table3(insts []gen.Instance, sopt solver.Options) ([]Row3, error) {
+	rows := make([]Row3, 0, len(insts))
+	for _, inst := range insts {
+		run, err := RunInstance(inst, sopt, core.Options{Mode: core.ModeCheckMarked})
+		if err != nil {
+			return nil, err
+		}
+		r2 := row2For(run)
+		rows = append(rows, Row3{
+			Name:      r2.Name,
+			ResNodes:  r2.ResNodes,
+			ProofLits: r2.ProofLits,
+			RatioPct:  r2.RatioPct,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV export for every row type, so measurements feed spreadsheets and
+// plotting scripts without scraping the tab-rendered tables.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ms(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
+}
+
+// CSVTable1 writes Table 1 rows as CSV.
+func CSVTable1(w io.Writer, rows []Row1) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Name,
+			strconv.Itoa(r.ConflictClauses),
+			fmt.Sprintf("%.2f", r.TestedPct),
+			strconv.Itoa(r.InitClauses),
+			fmt.Sprintf("%.2f", r.CorePct),
+		}
+	}
+	return writeCSV(w, []string{"name", "conflict_clauses", "tested_pct", "init_clauses", "core_pct"}, out)
+}
+
+// CSVTable2 writes Table 2 rows as CSV (times in milliseconds).
+func CSVTable2(w io.Writer, rows []Row2) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Name,
+			ms(r.SolveTime),
+			ms(r.VerifyTime),
+			strconv.FormatInt(r.ResNodes, 10),
+			strconv.FormatInt(r.ProofLits, 10),
+			fmt.Sprintf("%.2f", r.RatioPct),
+		}
+	}
+	return writeCSV(w, []string{"name", "solve_ms", "verify_ms", "res_nodes", "proof_lits", "ratio_pct"}, out)
+}
+
+// CSVTable3 writes Table 3 rows as CSV.
+func CSVTable3(w io.Writer, rows []Row3) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Name,
+			strconv.FormatInt(r.ResNodes, 10),
+			strconv.FormatInt(r.ProofLits, 10),
+			fmt.Sprintf("%.2f", r.RatioPct),
+		}
+	}
+	return writeCSV(w, []string{"name", "res_nodes", "proof_lits", "ratio_pct"}, out)
+}
+
+// CSVSchemes writes the learning-scheme ablation as CSV.
+func CSVSchemes(w io.Writer, rows []SchemeRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Name,
+			r.Scheme.String(),
+			strconv.FormatInt(r.Conflicts, 10),
+			strconv.Itoa(r.ProofClauses),
+			strconv.FormatInt(r.ProofLits, 10),
+			strconv.FormatInt(r.ResNodes, 10),
+			fmt.Sprintf("%.2f", r.ResPerClause),
+			fmt.Sprintf("%.2f", r.LitsPerClause),
+			fmt.Sprintf("%.2f", r.RatioPct),
+		}
+	}
+	return writeCSV(w, []string{
+		"name", "scheme", "conflicts", "proof_clauses", "proof_lits",
+		"res_nodes", "res_per_clause", "lits_per_clause", "ratio_pct",
+	}, out)
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+// These tests encode the paper's headline result shapes as assertions on
+// moderate instances, so a regression that silently changed a shape (not
+// just a number) fails the suite. EXPERIMENTS.md records the full-size
+// measurements.
+
+// Table 1 shape: Proof_verification2 tests strictly less than 100% of F*
+// on unrolling-style instances, and the unsatisfiable core is a strict
+// subset of the initial CNF.
+func TestShapeTable1(t *testing.T) {
+	rows, err := Table1([]gen.Instance{gen.Pipe(2, 5), gen.Counter(8, 30)}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.TestedPct >= 100 {
+			t.Errorf("%s: Verification2 tested everything (%.1f%%)", r.Name, r.TestedPct)
+		}
+		if r.CorePct >= 100 {
+			t.Errorf("%s: core is the whole formula (%.1f%%)", r.Name, r.CorePct)
+		}
+	}
+}
+
+// Table 2 shape: under hybrid (partly global) learning the conflict-clause
+// proof is smaller than the resolution graph.
+func TestShapeTable2(t *testing.T) {
+	rows, err := Table2([]gen.Instance{gen.Barrel(8, 2), gen.Counter(8, 30)}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ProofLits >= r.ResNodes {
+			t.Errorf("%s: conflict proof (%d lits) not smaller than resolution graph (%d nodes)",
+				r.Name, r.ProofLits, r.ResNodes)
+		}
+	}
+}
+
+// Table 3 shape: the conflict-to-resolution size ratio falls as the fifo
+// unrolling depth grows (compare the extremes; middle points can wobble on
+// small instances).
+func TestShapeTable3(t *testing.T) {
+	rows, err := Table3([]gen.Instance{gen.Fifo(8, 15), gen.Fifo(8, 45)}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1].RatioPct >= rows[0].RatioPct {
+		t.Errorf("ratio did not fall with size: %.1f%% -> %.1f%%",
+			rows[0].RatioPct, rows[1].RatioPct)
+	}
+}
+
+// §5 shape: decision-scheme clauses are global — more resolutions per
+// clause than 1UIP — and collapse the size ratio.
+func TestShapeSchemes(t *testing.T) {
+	rows, err := SchemesAblation([]gen.Instance{gen.Barrel(8, 2)}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uip, dec SchemeRow
+	for _, r := range rows {
+		switch r.Scheme {
+		case solver.Learn1UIP:
+			uip = r
+		case solver.LearnDecision:
+			dec = r
+		}
+	}
+	if dec.ResPerClause <= 2*uip.ResPerClause {
+		t.Errorf("decision res/clause %.1f not well above 1UIP %.1f",
+			dec.ResPerClause, uip.ResPerClause)
+	}
+	if dec.RatioPct >= uip.RatioPct {
+		t.Errorf("decision ratio %.1f%% not below 1UIP %.1f%%", dec.RatioPct, uip.RatioPct)
+	}
+}
+
+// Verification-vs-solve shape: verification stays within a small multiple
+// of solve time (the paper reports 2-3x; we assert a loose 8x envelope to
+// keep the test robust to machine noise).
+func TestShapeVerifyTime(t *testing.T) {
+	rows, err := Table2([]gen.Instance{gen.Control(6, 3)}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.VerifyTime > 8*r.SolveTime {
+		t.Errorf("verification %v exceeds 8x solve time %v", r.VerifyTime, r.SolveTime)
+	}
+}

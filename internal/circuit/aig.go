@@ -1,0 +1,229 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// AIG lowering and the ASCII AIGER ("aag") interchange format — the
+// standard exchange representation for gate-level verification problems.
+// Or/Xor/Mux gates are lowered to and-inverter form with structural
+// hashing, so a round trip through the format preserves functions (not
+// node counts).
+
+// LowerToAIG returns an equivalent circuit containing only inputs and AND
+// gates (plus free inversions), together with a signal translation from
+// this circuit into the lowered one.
+func (c *Circuit) LowerToAIG() (*Circuit, func(Signal) Signal, error) {
+	dst := New()
+	type key struct{ a, b Signal }
+	hash := map[key]Signal{}
+	and := func(a, b Signal) Signal {
+		if b < a {
+			a, b = b, a
+		}
+		if s, ok := hash[key{a, b}]; ok {
+			return s
+		}
+		s := dst.And(a, b)
+		hash[key{a, b}] = s
+		return s
+	}
+	or := func(a, b Signal) Signal { return and(a.Not(), b.Not()).Not() }
+
+	nodeMap := make([]Signal, len(c.gates))
+	nodeMap[0] = False
+	translate := func(s Signal) Signal {
+		out := nodeMap[s.node()]
+		if s.inverted() {
+			out = out.Not()
+		}
+		return out
+	}
+	for id := 1; id < len(c.gates); id++ {
+		g := c.gates[id]
+		switch g.Op {
+		case OpInput:
+			nodeMap[id] = dst.Input()
+		case OpAnd:
+			nodeMap[id] = and(translate(g.In[0]), translate(g.In[1]))
+		case OpOr:
+			nodeMap[id] = or(translate(g.In[0]), translate(g.In[1]))
+		case OpXor:
+			a, b := translate(g.In[0]), translate(g.In[1])
+			nodeMap[id] = or(and(a, b.Not()), and(a.Not(), b))
+		case OpMux:
+			s, a, b := translate(g.In[0]), translate(g.In[1]), translate(g.In[2])
+			nodeMap[id] = or(and(s, a), and(s.Not(), b))
+		default:
+			return nil, nil, fmt.Errorf("circuit: LowerToAIG: unexpected op %v", g.Op)
+		}
+	}
+	for _, o := range c.outputs {
+		dst.Output(translate(o))
+	}
+	return dst, translate, nil
+}
+
+// aigLit encodes a signal in AIGER literal numbering for a circuit already
+// in AIG form: node i becomes AIGER variable i, literal 2i (+1 inverted);
+// the constant-false node 0 maps to AIGER's constant 0/1 naturally.
+func aigLit(s Signal) int { return int(s) }
+
+func sigFromAIG(l int) Signal { return Signal(l) }
+
+// WriteAAG writes the circuit in ASCII AIGER (aag) format, reencoding
+// variables into the canonical order (inputs first, then AND gates in
+// topological order). The circuit must be in AIG form (inputs and AND
+// gates only) — call LowerToAIG first for general circuits. Registered
+// outputs become AIGER outputs.
+func (c *Circuit) WriteAAG(w io.Writer) error {
+	nAnds := 0
+	for _, g := range c.gates {
+		switch g.Op {
+		case OpConst, OpInput:
+		case OpAnd:
+			nAnds++
+		default:
+			return fmt.Errorf("circuit: WriteAAG: gate %v is not AND/input (lower first)", g.Op)
+		}
+	}
+	// Reencode: input node -> var 1..nIn, AND nodes -> nIn+1.. in id order.
+	remap := make([]int, len(c.gates))
+	for i, id := range c.inputs {
+		remap[id] = i + 1
+	}
+	nextVar := len(c.inputs) + 1
+	for id, g := range c.gates {
+		if g.Op == OpAnd {
+			remap[id] = nextVar
+			nextVar++
+		}
+	}
+	lit := func(s Signal) int {
+		l := remap[s.node()] * 2
+		if s.inverted() {
+			l++
+		}
+		return l
+	}
+
+	bw := bufio.NewWriter(w)
+	maxVar := nextVar - 1
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", maxVar, len(c.inputs), len(c.outputs), nAnds)
+	for i := range c.inputs {
+		fmt.Fprintf(bw, "%d\n", (i+1)*2)
+	}
+	for _, o := range c.outputs {
+		fmt.Fprintf(bw, "%d\n", lit(o))
+	}
+	for id, g := range c.gates {
+		if g.Op != OpAnd {
+			continue
+		}
+		fmt.Fprintf(bw, "%d %d %d\n",
+			remap[id]*2, lit(g.In[0]), lit(g.In[1]))
+	}
+	return bw.Flush()
+}
+
+// ReadAAG parses an ASCII AIGER (aag) combinational file (no latches).
+// AND definitions may appear in any topological order as long as operands
+// precede definitions, which the official format guarantees for
+// reencoded files; out-of-order files are rejected.
+func ReadAAG(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("aag: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 6 || header[0] != "aag" {
+		return nil, fmt.Errorf("aag: bad header %q", sc.Text())
+	}
+	nums := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		n, err := strconv.Atoi(header[i+1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("aag: bad header field %q", header[i+1])
+		}
+		nums[i] = n
+	}
+	maxVar, nIn, nLatch, nOut, nAnd := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if nLatch != 0 {
+		return nil, fmt.Errorf("aag: latches are not supported (combinational only)")
+	}
+
+	c := New()
+	// Node IDs must match AIGER variables: inputs occupy 1..nIn by
+	// convention in reencoded files; enforce it.
+	readInt := func() (int, error) {
+		if !sc.Scan() {
+			return 0, fmt.Errorf("aag: truncated file")
+		}
+		return strconv.Atoi(strings.TrimSpace(sc.Text()))
+	}
+	for i := 0; i < nIn; i++ {
+		lit, err := readInt()
+		if err != nil {
+			return nil, err
+		}
+		in := c.Input()
+		if aigLit(in) != lit {
+			return nil, fmt.Errorf("aag: input literal %d out of order (want %d)", lit, aigLit(in))
+		}
+	}
+	outs := make([]int, nOut)
+	for i := range outs {
+		lit, err := readInt()
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = lit
+	}
+	for i := 0; i < nAnd; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("aag: truncated AND section")
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("aag: bad AND line %q", sc.Text())
+		}
+		var lhs, a, b int
+		var err error
+		if lhs, err = strconv.Atoi(fields[0]); err != nil {
+			return nil, err
+		}
+		if a, err = strconv.Atoi(fields[1]); err != nil {
+			return nil, err
+		}
+		if b, err = strconv.Atoi(fields[2]); err != nil {
+			return nil, err
+		}
+		if lhs%2 != 0 {
+			return nil, fmt.Errorf("aag: AND lhs %d is negated", lhs)
+		}
+		if a >= lhs || b >= lhs {
+			return nil, fmt.Errorf("aag: AND %d uses operand defined later", lhs)
+		}
+		// The builder may fold the AND (constant operands etc.); that
+		// would desynchronize node numbering, so build the node directly.
+		got := c.newGate(OpAnd, sigFromAIG(a), sigFromAIG(b), 0)
+		if aigLit(got) != lhs {
+			return nil, fmt.Errorf("aag: AND literal %d out of dense order (want %d)", lhs, aigLit(got))
+		}
+	}
+	if len(c.gates)-1 != maxVar {
+		return nil, fmt.Errorf("aag: header declares %d variables, file defines %d", maxVar, len(c.gates)-1)
+	}
+	for _, o := range outs {
+		if o/2 > maxVar {
+			return nil, fmt.Errorf("aag: output literal %d out of range", o)
+		}
+		c.Output(sigFromAIG(o))
+	}
+	return c, nil
+}

@@ -1,0 +1,171 @@
+package circuit
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randomCircuit(rng *rand.Rand, nIn int) (*Circuit, Signal) {
+	c := New()
+	pool := make([]Signal, 0, 32)
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, c.Input())
+	}
+	for g := 0; g < 8+rng.Intn(20); g++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		if rng.Intn(2) == 0 {
+			a = a.Not()
+		}
+		var s Signal
+		switch rng.Intn(4) {
+		case 0:
+			s = c.And(a, b)
+		case 1:
+			s = c.Or(a, b)
+		case 2:
+			s = c.Xor(a, b)
+		default:
+			s = c.Mux(pool[rng.Intn(len(pool))], a, b)
+		}
+		pool = append(pool, s)
+	}
+	out := pool[len(pool)-1]
+	c.Output(out)
+	return c, out
+}
+
+func TestLowerToAIGPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for round := 0; round < 60; round++ {
+		nIn := 2 + rng.Intn(5)
+		src, out := randomCircuit(rng, nIn)
+		aig, translate, err := src.LowerToAIG()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range aigGates(aig) {
+			if g != OpConst && g != OpInput && g != OpAnd {
+				t.Fatalf("non-AIG gate %v survives lowering", g)
+			}
+		}
+		for mask := 0; mask < 1<<nIn; mask++ {
+			inputs := make([]bool, nIn)
+			for i := range inputs {
+				inputs[i] = mask&(1<<i) != 0
+			}
+			sv, err := src.Eval(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			av, err := aig.Eval(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ValueOf(sv, out) != ValueOf(av, translate(out)) {
+				t.Fatalf("round %d: lowering changed the function on %v", round, inputs)
+			}
+		}
+	}
+}
+
+func aigGates(c *Circuit) []GateOp {
+	ops := make([]GateOp, len(c.gates))
+	for i, g := range c.gates {
+		ops[i] = g.Op
+	}
+	return ops
+}
+
+func TestAAGRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for round := 0; round < 40; round++ {
+		nIn := 2 + rng.Intn(4)
+		src, out := randomCircuit(rng, nIn)
+		aig, translate, err := src.LowerToAIG()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := aig.WriteAAG(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadAAG(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round %d: %v\n%s", round, err, buf.String())
+		}
+		if back.NumInputs() != nIn || len(back.Outputs()) != 1 {
+			t.Fatalf("round %d: shape changed: %d inputs, %d outputs",
+				round, back.NumInputs(), len(back.Outputs()))
+		}
+		for mask := 0; mask < 1<<nIn; mask++ {
+			inputs := make([]bool, nIn)
+			for i := range inputs {
+				inputs[i] = mask&(1<<i) != 0
+			}
+			sv, err := src.Eval(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bv, err := back.Eval(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ValueOf(sv, out) != ValueOf(bv, back.Outputs()[0]) {
+				t.Fatalf("round %d: AAG round trip changed the function on %v", round, inputs)
+			}
+		}
+		_ = translate
+	}
+}
+
+func TestWriteAAGRejectsRichGates(t *testing.T) {
+	c := New()
+	a := c.Input()
+	b := c.Input()
+	c.Output(c.Xor(a, b))
+	var buf bytes.Buffer
+	if err := c.WriteAAG(&buf); err == nil {
+		t.Error("XOR gate accepted without lowering")
+	}
+}
+
+func TestReadAAGErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"aig 1 1 0 0 0\n2\n",            // binary header not supported
+		"aag 1 1 1 0 0\n2\n2 3\n",       // latches unsupported
+		"aag x 1 0 0 0\n2\n",            // junk counts
+		"aag 1 1 0 1 0\n2\n",            // truncated outputs
+		"aag 2 1 0 0 1\n2\n4 6 2\n",     // AND uses operand defined later
+		"aag 2 1 0 0 1\n2\n5 2 2\n",     // negated AND lhs
+		"aag 5 1 0 0 1\n2\n4 2 2\n",     // header/variable count mismatch
+		"aag 2 1 0 1 1\n2\n99\n4 2 2\n", // output literal out of range
+	}
+	for _, in := range cases {
+		if _, err := ReadAAG(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadAAG(%q) succeeded", in)
+		}
+	}
+}
+
+func TestReadAAGHandExample(t *testing.T) {
+	// A two-input AND with inverted output: aag reencode of ¬(a ∧ b).
+	in := "aag 3 2 0 1 1\n2\n4\n7\n6 2 4\n"
+	c, err := ReadAAG(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 4; mask++ {
+		a, b := mask&1 != 0, mask&2 != 0
+		outs, err := c.EvalOutputs([]bool{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outs[0] != !(a && b) {
+			t.Fatalf("NAND(%v,%v) = %v", a, b, outs[0])
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+func TestGateSimulation(t *testing.T) {
+	c := New()
+	a := c.Input()
+	b := c.Input()
+	and := c.And(a, b)
+	or := c.Or(a, b)
+	xor := c.Xor(a, b)
+	mux := c.Mux(a, b, b.Not())
+	for _, tc := range []struct{ a, b bool }{{false, false}, {false, true}, {true, false}, {true, true}} {
+		vals, err := c.Eval([]bool{tc.a, tc.b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ValueOf(vals, and); got != (tc.a && tc.b) {
+			t.Errorf("and(%v,%v) = %v", tc.a, tc.b, got)
+		}
+		if got := ValueOf(vals, or); got != (tc.a || tc.b) {
+			t.Errorf("or(%v,%v) = %v", tc.a, tc.b, got)
+		}
+		if got := ValueOf(vals, xor); got != (tc.a != tc.b) {
+			t.Errorf("xor(%v,%v) = %v", tc.a, tc.b, got)
+		}
+		want := tc.b
+		if tc.a {
+			want = tc.b
+		} else {
+			want = !tc.b
+		}
+		if got := ValueOf(vals, mux); got != want {
+			t.Errorf("mux(%v; %v) = %v, want %v", tc.a, tc.b, got, want)
+		}
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	c := New()
+	a := c.Input()
+	if c.And(a, False) != False || c.And(False, a) != False {
+		t.Error("And with False")
+	}
+	if c.And(a, True) != a {
+		t.Error("And with True")
+	}
+	if c.Or(a, True) != True {
+		t.Error("Or with True")
+	}
+	if c.Or(a, False) != a {
+		t.Error("Or with False")
+	}
+	if c.Xor(a, False) != a || c.Xor(a, True) != a.Not() {
+		t.Error("Xor with constants")
+	}
+	if c.And(a, a) != a || c.And(a, a.Not()) != False {
+		t.Error("And idempotence/complement")
+	}
+	if c.Or(a, a.Not()) != True {
+		t.Error("Or complement")
+	}
+	if c.Xor(a, a) != False || c.Xor(a, a.Not()) != True {
+		t.Error("Xor self")
+	}
+	if c.Mux(True, a, a.Not()) != a || c.Mux(False, a, a.Not()) != a.Not() {
+		t.Error("Mux constant select")
+	}
+	before := c.NumGates()
+	if c.Mux(c.Input(), a, a) != a {
+		t.Error("Mux equal branches")
+	}
+	if c.NumGates() != before+1 { // only the new input
+		t.Error("Mux equal branches created gates")
+	}
+}
+
+func TestNotIsFree(t *testing.T) {
+	c := New()
+	a := c.Input()
+	n := c.NumGates()
+	b := c.Not(a)
+	if c.NumGates() != n {
+		t.Error("Not created a gate")
+	}
+	if b.Not() != a {
+		t.Error("double negation is not identity")
+	}
+}
+
+func TestEvalInputMismatch(t *testing.T) {
+	c := New()
+	c.Input()
+	if _, err := c.Eval(nil); err == nil {
+		t.Error("missing inputs accepted")
+	}
+}
+
+func TestWordArithmetic(t *testing.T) {
+	const n = 6
+	c := New()
+	aw := c.InputWord(n)
+	bw := c.InputWord(n)
+	ripple, _ := c.RippleAdd(aw, bw, False)
+	csel, _ := c.CarrySelectAdd(aw, bw, False)
+	sub, _ := c.Sub(aw, bw)
+	inc := c.Inc(aw)
+	mul1 := c.MulShiftAdd(aw, bw)
+	mul2 := c.MulDiagonal(aw, bw)
+
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		a := uint64(rng.Intn(1 << n))
+		b := uint64(rng.Intn(1 << n))
+		inputs := make([]bool, 2*n)
+		for i := 0; i < n; i++ {
+			inputs[i] = a&(1<<uint(i)) != 0
+			inputs[n+i] = b&(1<<uint(i)) != 0
+		}
+		vals, err := c.Eval(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1<<n - 1)
+		if got := WordVal(vals, ripple); got != (a+b)&mask {
+			t.Fatalf("ripple %d+%d = %d", a, b, got)
+		}
+		if got := WordVal(vals, csel); got != (a+b)&mask {
+			t.Fatalf("carry-select %d+%d = %d", a, b, got)
+		}
+		if got := WordVal(vals, sub); got != (a-b)&mask {
+			t.Fatalf("sub %d-%d = %d", a, b, got)
+		}
+		if got := WordVal(vals, inc); got != (a+1)&mask {
+			t.Fatalf("inc %d = %d", a, got)
+		}
+		if got := WordVal(vals, mul1); got != (a*b)&mask {
+			t.Fatalf("mul-shift-add %d*%d = %d", a, b, got)
+		}
+		if got := WordVal(vals, mul2); got != (a*b)&mask {
+			t.Fatalf("mul-diagonal %d*%d = %d", a, b, got)
+		}
+	}
+}
+
+func TestRotations(t *testing.T) {
+	const n = 8
+	c := New()
+	aw := c.InputWord(n)
+	sh := c.InputWord(3)
+	barrel := c.BarrelRotLeft(aw, sh)
+	naive := c.NaiveRotLeft(aw, sh)
+	rot3 := c.RotLeftConst(aw, 3)
+	shl2 := c.ShiftLeftConst(aw, 2)
+
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 200; iter++ {
+		a := uint64(rng.Intn(1 << n))
+		s := uint64(rng.Intn(8))
+		inputs := make([]bool, n+3)
+		for i := 0; i < n; i++ {
+			inputs[i] = a&(1<<uint(i)) != 0
+		}
+		for i := 0; i < 3; i++ {
+			inputs[n+i] = s&(1<<uint(i)) != 0
+		}
+		vals, err := c.Eval(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1<<n - 1)
+		wantRot := ((a << s) | (a >> (n - s))) & mask
+		if s == 0 {
+			wantRot = a
+		}
+		if got := WordVal(vals, barrel); got != wantRot {
+			t.Fatalf("barrel rot(%d, %d) = %d, want %d", a, s, got, wantRot)
+		}
+		if got := WordVal(vals, naive); got != wantRot {
+			t.Fatalf("naive rot(%d, %d) = %d, want %d", a, s, got, wantRot)
+		}
+		if got := WordVal(vals, rot3); got != ((a<<3)|(a>>(n-3)))&mask {
+			t.Fatalf("rot3(%d) = %d", a, got)
+		}
+		if got := WordVal(vals, shl2); got != (a<<2)&mask {
+			t.Fatalf("shl2(%d) = %d", a, got)
+		}
+	}
+}
+
+func TestKoggeStoneAdd(t *testing.T) {
+	const n = 6
+	c := New()
+	aw := c.InputWord(n)
+	bw := c.InputWord(n)
+	cin := c.Input()
+	sum, cout := c.KoggeStoneAdd(aw, bw, cin)
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 300; iter++ {
+		a := uint64(rng.Intn(1 << n))
+		b := uint64(rng.Intn(1 << n))
+		ci := uint64(rng.Intn(2))
+		inputs := make([]bool, 2*n+1)
+		for i := 0; i < n; i++ {
+			inputs[i] = a&(1<<uint(i)) != 0
+			inputs[n+i] = b&(1<<uint(i)) != 0
+		}
+		inputs[2*n] = ci == 1
+		vals, err := c.Eval(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := a + b + ci
+		if got := WordVal(vals, sum); got != total&(1<<n-1) {
+			t.Fatalf("kogge-stone %d+%d+%d = %d", a, b, ci, got)
+		}
+		if got := ValueOf(vals, cout); got != (total>>n == 1) {
+			t.Fatalf("kogge-stone carry(%d+%d+%d) = %v", a, b, ci, got)
+		}
+	}
+}
+
+func TestSortingNetworks(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		c := New()
+		in := make([]Signal, n)
+		for i := range in {
+			in[i] = c.Input()
+		}
+		batcher := c.OddEvenMergeSort(in)
+		insertion := c.InsertionSortNetwork(in)
+		for mask := 0; mask < 1<<n; mask++ {
+			inputs := make([]bool, n)
+			ones := 0
+			for i := range inputs {
+				inputs[i] = mask&(1<<i) != 0
+				if inputs[i] {
+					ones++
+				}
+			}
+			vals, err := c.Eval(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				want := i >= n-ones // ones sort to the top
+				if got := ValueOf(vals, batcher[i]); got != want {
+					t.Fatalf("n=%d mask=%b batcher[%d] = %v, want %v", n, mask, i, got, want)
+				}
+				if got := ValueOf(vals, insertion[i]); got != want {
+					t.Fatalf("n=%d mask=%b insertion[%d] = %v, want %v", n, mask, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWordPredicates(t *testing.T) {
+	const n = 4
+	c := New()
+	aw := c.InputWord(n)
+	bw := c.InputWord(n)
+	eq := c.EqWord(aw, bw)
+	for a := uint64(0); a < 1<<n; a++ {
+		for b := uint64(0); b < 1<<n; b++ {
+			inputs := make([]bool, 2*n)
+			for i := 0; i < n; i++ {
+				inputs[i] = a&(1<<uint(i)) != 0
+				inputs[n+i] = b&(1<<uint(i)) != 0
+			}
+			vals, _ := c.Eval(inputs)
+			if got := ValueOf(vals, eq); got != (a == b) {
+				t.Fatalf("eq(%d,%d) = %v", a, b, got)
+			}
+		}
+	}
+}
+
+func TestConstWord(t *testing.T) {
+	c := New()
+	w := c.ConstWord(8, 0xA5)
+	vals, _ := c.Eval(nil)
+	if got := WordVal(vals, w); got != 0xA5 {
+		t.Errorf("ConstWord = %#x", got)
+	}
+}
+
+// TestTseitinAgreesWithSimulation is the central circuit test: for random
+// circuits and random input vectors, the Tseitin CNF with the inputs pinned
+// must be satisfiable exactly when the asserted output simulates to true.
+func TestTseitinAgreesWithSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 60; round++ {
+		c := New()
+		nIn := 3 + rng.Intn(4)
+		pool := make([]Signal, 0, 32)
+		for i := 0; i < nIn; i++ {
+			pool = append(pool, c.Input())
+		}
+		for g := 0; g < 10+rng.Intn(20); g++ {
+			a := pool[rng.Intn(len(pool))]
+			b := pool[rng.Intn(len(pool))]
+			if rng.Intn(2) == 0 {
+				a = a.Not()
+			}
+			var s Signal
+			switch rng.Intn(4) {
+			case 0:
+				s = c.And(a, b)
+			case 1:
+				s = c.Or(a, b)
+			case 2:
+				s = c.Xor(a, b)
+			default:
+				s = c.Mux(pool[rng.Intn(len(pool))], a, b)
+			}
+			pool = append(pool, s)
+		}
+		out := pool[len(pool)-1]
+
+		inputs := make([]bool, nIn)
+		for i := range inputs {
+			inputs[i] = rng.Intn(2) == 0
+		}
+		vals, err := c.Eval(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ValueOf(vals, out)
+
+		// Pin inputs, assert output true; SAT iff simulation says true.
+		f := c.ToCNF(out)
+		for i, v := range c.InputVars() {
+			if inputs[i] {
+				f.AddClause(cnf.Clause{cnf.PosLit(v)})
+			} else {
+				f.AddClause(cnf.Clause{cnf.NegLit(v)})
+			}
+		}
+		st, _, _, _, err := solver.Solve(f, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want && st != solver.Sat {
+			t.Fatalf("round %d: simulation true but CNF %v", round, st)
+		}
+		if !want && st != solver.Unsat {
+			t.Fatalf("round %d: simulation false but CNF %v", round, st)
+		}
+	}
+}
+
+func TestTseitinAssertFalseIsUnsat(t *testing.T) {
+	c := New()
+	if st, _, _, _, _ := solver.Solve(c.ToCNF(False), solver.Options{}); st != solver.Unsat {
+		t.Errorf("assert False: %v", st)
+	}
+	if st, _, _, _, _ := solver.Solve(c.ToCNF(True), solver.Options{}); st != solver.Sat {
+		t.Errorf("assert True: %v", st)
+	}
+}
+
+func TestOutputsRegistration(t *testing.T) {
+	c := New()
+	a := c.Input()
+	idx := c.Output(a.Not())
+	if idx != 0 || len(c.Outputs()) != 1 {
+		t.Fatal("output registration broken")
+	}
+	outs, err := c.EvalOutputs([]bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != false {
+		t.Error("EvalOutputs wrong")
+	}
+}

@@ -1,0 +1,66 @@
+package circuit
+
+// Sorting networks over single-bit lines: a compare-and-swap on bits is
+// (AND, OR). Two structurally different networks sorting the same inputs
+// are functionally equivalent, giving another classic equivalence-checking
+// family (gen.SorterEquiv).
+
+// cas performs a compare-and-swap: output (min, max) = (AND, OR).
+func (c *Circuit) cas(a, b Signal) (Signal, Signal) {
+	return c.And(a, b), c.Or(a, b)
+}
+
+// OddEvenMergeSort sorts the lines ascending (index 0 = minimum) with
+// Batcher's odd-even merge network. The line count is padded internally to
+// a power of two with constant-True lines (which sort to the top and are
+// dropped).
+func (c *Circuit) OddEvenMergeSort(lines []Signal) []Signal {
+	n := 1
+	for n < len(lines) {
+		n <<= 1
+	}
+	work := make([]Signal, n)
+	copy(work, lines)
+	for i := len(lines); i < n; i++ {
+		work[i] = True
+	}
+	c.oddEvenSort(work, 0, n)
+	return work[:len(lines)]
+}
+
+func (c *Circuit) oddEvenSort(w []Signal, lo, n int) {
+	if n <= 1 {
+		return
+	}
+	m := n / 2
+	c.oddEvenSort(w, lo, m)
+	c.oddEvenSort(w, lo+m, m)
+	c.oddEvenMerge(w, lo, n, 1)
+}
+
+func (c *Circuit) oddEvenMerge(w []Signal, lo, n, step int) {
+	m := step * 2
+	if m >= n {
+		if lo+step < len(w) {
+			w[lo], w[lo+step] = c.cas(w[lo], w[lo+step])
+		}
+		return
+	}
+	c.oddEvenMerge(w, lo, n, m)
+	c.oddEvenMerge(w, lo+step, n, m)
+	for i := lo + step; i+step < lo+n; i += m {
+		w[i], w[i+step] = c.cas(w[i], w[i+step])
+	}
+}
+
+// InsertionSortNetwork sorts the lines ascending with the naive O(n²)
+// network of adjacent compare-and-swaps.
+func (c *Circuit) InsertionSortNetwork(lines []Signal) []Signal {
+	w := append([]Signal(nil), lines...)
+	for i := 1; i < len(w); i++ {
+		for j := i; j > 0; j-- {
+			w[j-1], w[j] = c.cas(w[j-1], w[j])
+		}
+	}
+	return w
+}

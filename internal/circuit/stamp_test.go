@@ -1,0 +1,96 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCopyIntoPreservesFunction stamps a random circuit twice into a fresh
+// destination with swapped input wiring and checks the copies compute what
+// the source computes.
+func TestCopyIntoPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for round := 0; round < 50; round++ {
+		src := New()
+		nIn := 2 + rng.Intn(4)
+		pool := make([]Signal, 0, 32)
+		for i := 0; i < nIn; i++ {
+			pool = append(pool, src.Input())
+		}
+		for g := 0; g < 5+rng.Intn(15); g++ {
+			a := pool[rng.Intn(len(pool))]
+			b := pool[rng.Intn(len(pool))]
+			if rng.Intn(2) == 0 {
+				a = a.Not()
+			}
+			var s Signal
+			switch rng.Intn(4) {
+			case 0:
+				s = src.And(a, b)
+			case 1:
+				s = src.Or(a, b)
+			case 2:
+				s = src.Xor(a, b)
+			default:
+				s = src.Mux(pool[rng.Intn(len(pool))], a, b)
+			}
+			pool = append(pool, s)
+		}
+		out := pool[len(pool)-1]
+
+		dst := New()
+		dstIns := make([]Signal, nIn)
+		for i := range dstIns {
+			dstIns[i] = dst.Input()
+		}
+		tr1, err := src.CopyInto(dst, dstIns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Second stamp with inverted wiring.
+		inverted := make([]Signal, nIn)
+		for i := range inverted {
+			inverted[i] = dstIns[i].Not()
+		}
+		tr2, err := src.CopyInto(dst, inverted)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for mask := 0; mask < 1<<nIn; mask++ {
+			inputs := make([]bool, nIn)
+			flipped := make([]bool, nIn)
+			for i := range inputs {
+				inputs[i] = mask&(1<<i) != 0
+				flipped[i] = !inputs[i]
+			}
+			srcVals, err := src.Eval(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dstVals, err := dst.Eval(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ValueOf(srcVals, out) != ValueOf(dstVals, tr1(out)) {
+				t.Fatalf("round %d: stamped copy differs on %v", round, inputs)
+			}
+			srcFlip, err := src.Eval(flipped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ValueOf(srcFlip, out) != ValueOf(dstVals, tr2(out)) {
+				t.Fatalf("round %d: inverted-wiring copy differs on %v", round, inputs)
+			}
+		}
+	}
+}
+
+func TestCopyIntoBadInputCount(t *testing.T) {
+	src := New()
+	src.Input()
+	dst := New()
+	if _, err := src.CopyInto(dst, nil); err == nil {
+		t.Error("mismatched input map accepted")
+	}
+}

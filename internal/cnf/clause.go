@@ -1,0 +1,170 @@
+package cnf
+
+import (
+	"sort"
+	"strings"
+)
+
+// Clause is a disjunction of literals. Clauses are plain slices so the
+// solver and verifier can share them without copying; functions that
+// normalize or simplify return fresh slices and never mutate their input.
+type Clause []Lit
+
+// Clone returns a copy of the clause.
+func (c Clause) Clone() Clause {
+	out := make(Clause, len(c))
+	copy(out, c)
+	return out
+}
+
+// MaxVar returns the largest variable mentioned in the clause, or VarUndef
+// for the empty clause.
+func (c Clause) MaxVar() Var {
+	m := VarUndef
+	for _, l := range c {
+		if v := l.Var(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Has reports whether the clause contains the literal.
+func (c Clause) Has(l Lit) bool {
+	for _, x := range c {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// IsUnit reports whether the clause has exactly one literal.
+func (c Clause) IsUnit() bool { return len(c) == 1 }
+
+// Normalize returns a sorted, duplicate-free copy of the clause and reports
+// whether it is a tautology (contains a literal and its complement).
+// The result of a tautologous clause is still returned for inspection.
+func (c Clause) Normalize() (Clause, bool) {
+	out := c.Clone()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	taut := false
+	for i, l := range out {
+		if i > 0 && l == out[w-1] {
+			continue
+		}
+		if w > 0 && l == out[w-1].Neg() {
+			taut = true
+		}
+		out[w] = l
+		w++
+	}
+	return out[:w], taut
+}
+
+// Equal reports whether two clauses contain exactly the same literals in the
+// same order. Combine with Normalize for set equality.
+func (c Clause) Equal(d Clause) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameLits reports whether the clauses are equal as literal sets.
+func (c Clause) SameLits(d Clause) bool {
+	cn, _ := c.Normalize()
+	dn, _ := d.Normalize()
+	return cn.Equal(dn)
+}
+
+// Subsumes reports whether every literal of c occurs in d.
+func (c Clause) Subsumes(d Clause) bool {
+	for _, l := range c {
+		if !d.Has(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// Resolve resolves the clause with other on pivot variable v: the result
+// contains all literals of both clauses except the two literals of v.
+// It reports ok=false when the clauses do not clash on v (c must contain
+// one polarity of v and other the opposite). The resolvent is normalized
+// (sorted, deduplicated); taut reports whether it is tautologous.
+func (c Clause) Resolve(other Clause, v Var) (res Clause, taut, ok bool) {
+	var inC, inO Lit = LitUndef, LitUndef
+	for _, l := range c {
+		if l.Var() == v {
+			inC = l
+		}
+	}
+	for _, l := range other {
+		if l.Var() == v {
+			inO = l
+		}
+	}
+	if inC == LitUndef || inO == LitUndef || inC != inO.Neg() {
+		return nil, false, false
+	}
+	res = make(Clause, 0, len(c)+len(other)-2)
+	for _, l := range c {
+		if l.Var() != v {
+			res = append(res, l)
+		}
+	}
+	for _, l := range other {
+		if l.Var() != v {
+			res = append(res, l)
+		}
+	}
+	res, taut = res.Normalize()
+	return res, taut, true
+}
+
+// ClashVar returns the unique variable on which c and d clash (appear with
+// opposite polarity). It reports ok=false when there is no clash variable or
+// more than one, in which case resolving the clauses would be unsound or
+// tautologous.
+func ClashVar(c, d Clause) (v Var, ok bool) {
+	var clash []Var
+	for _, lc := range c {
+		for _, ld := range d {
+			if lc != ld.Neg() {
+				continue
+			}
+			seen := false
+			for _, u := range clash {
+				if u == lc.Var() {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				clash = append(clash, lc.Var())
+			}
+		}
+	}
+	if len(clash) != 1 {
+		return VarUndef, false
+	}
+	return clash[0], true
+}
+
+// String formats the clause as DIMACS literals terminated by 0.
+func (c Clause) String() string {
+	var b strings.Builder
+	for _, l := range c {
+		b.WriteString(l.String())
+		b.WriteByte(' ')
+	}
+	b.WriteByte('0')
+	return b.String()
+}

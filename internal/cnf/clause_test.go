@@ -1,0 +1,179 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func clauseOf(dimacs ...int) Clause {
+	c := make(Clause, 0, len(dimacs))
+	for _, d := range dimacs {
+		c = append(c, FromDimacs(d))
+	}
+	return c
+}
+
+func TestClauseNormalize(t *testing.T) {
+	tests := []struct {
+		in   Clause
+		want Clause
+		taut bool
+	}{
+		{clauseOf(3, 1, 2), clauseOf(1, 2, 3), false},
+		{clauseOf(1, 1, 1), clauseOf(1), false},
+		{clauseOf(1, -1), clauseOf(1, -1), true},
+		{clauseOf(2, -1, 1, 2), clauseOf(1, -1, 2), true},
+		{clauseOf(), clauseOf(), false},
+	}
+	for _, tt := range tests {
+		got, taut := tt.in.Normalize()
+		if taut != tt.taut {
+			t.Errorf("Normalize(%v) taut = %v, want %v", tt.in, taut, tt.taut)
+		}
+		if !got.SameLits(tt.want) {
+			t.Errorf("Normalize(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestClauseNormalizeDoesNotMutate(t *testing.T) {
+	in := clauseOf(3, 1, 2)
+	orig := in.Clone()
+	in.Normalize()
+	if !in.Equal(orig) {
+		t.Errorf("Normalize mutated its receiver: %v -> %v", orig, in)
+	}
+}
+
+func TestClauseResolve(t *testing.T) {
+	c := clauseOf(1, 2)
+	d := clauseOf(-1, 3)
+	res, taut, ok := c.Resolve(d, 0)
+	if !ok || taut {
+		t.Fatalf("Resolve: ok=%v taut=%v", ok, taut)
+	}
+	if !res.SameLits(clauseOf(2, 3)) {
+		t.Errorf("Resolve = %v, want (2 3)", res)
+	}
+}
+
+func TestClauseResolveTautology(t *testing.T) {
+	c := clauseOf(1, 2)
+	d := clauseOf(-1, -2)
+	res, taut, ok := c.Resolve(d, 0)
+	if !ok {
+		t.Fatal("Resolve reported no clash on var 0")
+	}
+	if !taut {
+		t.Errorf("Resolve = %v, expected tautology", res)
+	}
+}
+
+func TestClauseResolveNoClash(t *testing.T) {
+	c := clauseOf(1, 2)
+	d := clauseOf(1, 3)
+	if _, _, ok := c.Resolve(d, 0); ok {
+		t.Error("Resolve succeeded without clashing literals")
+	}
+	if _, _, ok := c.Resolve(d, 5); ok {
+		t.Error("Resolve succeeded on absent pivot")
+	}
+}
+
+func TestClauseResolveEmpty(t *testing.T) {
+	c := clauseOf(1)
+	d := clauseOf(-1)
+	res, taut, ok := c.Resolve(d, 0)
+	if !ok || taut || len(res) != 0 {
+		t.Errorf("unit resolution: res=%v taut=%v ok=%v, want empty/false/true", res, taut, ok)
+	}
+}
+
+func TestClashVar(t *testing.T) {
+	if v, ok := ClashVar(clauseOf(1, 2), clauseOf(-1, 3)); !ok || v != 0 {
+		t.Errorf("ClashVar = %v, %v; want 0, true", v, ok)
+	}
+	if _, ok := ClashVar(clauseOf(1, 2), clauseOf(-1, -2)); ok {
+		t.Error("ClashVar accepted a double clash")
+	}
+	if _, ok := ClashVar(clauseOf(1, 2), clauseOf(3)); ok {
+		t.Error("ClashVar accepted non-clashing clauses")
+	}
+	// Duplicate clash literals still count as one variable.
+	if v, ok := ClashVar(clauseOf(1, 1, 2), clauseOf(-1, -1, 3)); !ok || v != 0 {
+		t.Errorf("ClashVar with duplicates = %v, %v; want 0, true", v, ok)
+	}
+}
+
+func TestClauseSubsumes(t *testing.T) {
+	if !clauseOf(1, 2).Subsumes(clauseOf(2, 1, 3)) {
+		t.Error("subset not detected")
+	}
+	if clauseOf(1, 4).Subsumes(clauseOf(1, 2, 3)) {
+		t.Error("non-subset detected as subsuming")
+	}
+	if !Clause(nil).Subsumes(clauseOf(1)) {
+		t.Error("empty clause must subsume everything")
+	}
+}
+
+// Property: the resolvent of two clauses is implied by their conjunction —
+// any assignment satisfying both parents satisfies the resolvent (when it is
+// not a tautology, which is trivially satisfied anyway).
+func TestResolventImpliedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nVars = 6
+	randClause := func(must Lit) Clause {
+		n := 1 + rng.Intn(3)
+		c := Clause{must}
+		for i := 0; i < n; i++ {
+			c = append(c, NewLit(Var(rng.Intn(nVars)), rng.Intn(2) == 0))
+		}
+		out, _ := c.Normalize()
+		return out
+	}
+	for iter := 0; iter < 500; iter++ {
+		v := Var(rng.Intn(nVars))
+		c := randClause(PosLit(v))
+		d := randClause(NegLit(v))
+		if c.Has(NegLit(v)) || d.Has(PosLit(v)) {
+			continue // tautologous on the pivot; Resolve rejects the ambiguity
+		}
+		res, taut, ok := c.Resolve(d, v)
+		if !ok {
+			t.Fatalf("Resolve failed on constructed clash: %v, %v", c, d)
+		}
+		if taut {
+			continue
+		}
+		for m := 0; m < 1<<nVars; m++ {
+			assign := make([]bool, nVars)
+			for i := range assign {
+				assign[i] = m&(1<<i) != 0
+			}
+			if EvalClause(c, assign) && EvalClause(d, assign) && !EvalClause(res, assign) {
+				t.Fatalf("resolvent %v not implied by %v and %v under %v", res, c, d, assign)
+			}
+		}
+	}
+}
+
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		c := make(Clause, 0, len(raw))
+		for _, d := range raw {
+			v := int(d)%8 + 9 // 1..17 positive
+			if d%2 == 0 {
+				v = -v
+			}
+			c = append(c, FromDimacs(v))
+		}
+		n1, t1 := c.Normalize()
+		n2, t2 := n1.Normalize()
+		return n1.Equal(n2) && t1 == t2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

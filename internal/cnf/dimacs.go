@@ -1,0 +1,100 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDimacs reads a CNF formula in DIMACS format. It tolerates comment
+// lines anywhere, a missing header (the formula is then sized from its
+// content), literals above the declared variable count (the range grows),
+// and clauses spanning multiple lines. It rejects a truncated final clause
+// and a header declaring more clauses than the file provides.
+func ParseDimacs(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+
+	f := &Formula{}
+	declaredClauses := -1
+	var cur Clause
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == 'c' || line[0] == '%' {
+			continue
+		}
+		if line[0] == 'p' {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("dimacs: line %d: bad header %q", lineNo, line)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			nc, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
+				return nil, fmt.Errorf("dimacs: line %d: bad header %q", lineNo, line)
+			}
+			f.NumVars = nv
+			declaredClauses = nc
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			d, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs: line %d: unexpected token %q", lineNo, tok)
+			}
+			if d == 0 {
+				f.Clauses = append(f.Clauses, cur)
+				cur = nil
+				continue
+			}
+			l := FromDimacs(d)
+			if int(l.Var()) >= f.NumVars {
+				f.NumVars = int(l.Var()) + 1
+			}
+			cur = append(cur, l)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		return nil, fmt.Errorf("dimacs: last clause not terminated by 0")
+	}
+	if declaredClauses >= 0 && len(f.Clauses) < declaredClauses {
+		return nil, fmt.Errorf("dimacs: header declares %d clauses, found %d",
+			declaredClauses, len(f.Clauses))
+	}
+	return f, nil
+}
+
+// ParseDimacsString parses a DIMACS formula held in a string.
+func ParseDimacsString(s string) (*Formula, error) {
+	return ParseDimacs(strings.NewReader(s))
+}
+
+// WriteDimacs writes the formula in DIMACS format.
+func WriteDimacs(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := bw.WriteString(strconv.Itoa(l.Dimacs())); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,152 @@
+package cnf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Formula is a CNF formula: a conjunction of clauses over variables
+// 0..NumVars-1. NumVars may exceed the largest mentioned variable (DIMACS
+// headers permit this and some generators reserve spare variables).
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewFormula returns an empty formula over n variables.
+func NewFormula(n int) *Formula {
+	return &Formula{NumVars: n}
+}
+
+// Add appends a clause built from DIMACS-style integer literals. It grows
+// NumVars as needed and is intended for tests and examples where writing
+// raw Lit values would be noisy.
+func (f *Formula) Add(dimacs ...int) *Formula {
+	c := make(Clause, 0, len(dimacs))
+	for _, d := range dimacs {
+		l := FromDimacs(d)
+		if int(l.Var()) >= f.NumVars {
+			f.NumVars = int(l.Var()) + 1
+		}
+		c = append(c, l)
+	}
+	f.Clauses = append(f.Clauses, c)
+	return f
+}
+
+// AddClause appends a clause of internal literals, growing NumVars as
+// needed. The clause is stored as given (no copy, no normalization).
+func (f *Formula) AddClause(c Clause) {
+	if v := c.MaxVar(); int(v) >= f.NumVars {
+		f.NumVars = int(v) + 1
+	}
+	f.Clauses = append(f.Clauses, c)
+}
+
+// NumClauses returns the number of clauses.
+func (f *Formula) NumClauses() int { return len(f.Clauses) }
+
+// NumLiterals returns the total number of literal occurrences.
+func (f *Formula) NumLiterals() int {
+	n := 0
+	for _, c := range f.Clauses {
+		n += len(c)
+	}
+	return n
+}
+
+// MaxVar returns the largest variable mentioned in any clause, or VarUndef
+// when the formula has no literals.
+func (f *Formula) MaxVar() Var {
+	m := VarUndef
+	for _, c := range f.Clauses {
+		if v := c.MaxVar(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of the formula.
+func (f *Formula) Clone() *Formula {
+	out := &Formula{NumVars: f.NumVars, Clauses: make([]Clause, len(f.Clauses))}
+	for i, c := range f.Clauses {
+		out.Clauses[i] = c.Clone()
+	}
+	return out
+}
+
+// Eval evaluates the formula under a total assignment (assign[v] is the
+// value of variable v) and reports whether every clause is satisfied.
+func (f *Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		if !EvalClause(c, assign) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalClause evaluates one clause under a total assignment.
+func EvalClause(c Clause, assign []bool) bool {
+	for _, l := range c {
+		v := l.Var()
+		if int(v) >= len(assign) {
+			continue
+		}
+		if assign[v] != l.IsNeg() {
+			return true
+		}
+	}
+	return false
+}
+
+// Restrict returns the sub-formula consisting of the clauses whose indices
+// appear in keep. Clause slices are shared, not copied.
+func (f *Formula) Restrict(keep []int) *Formula {
+	out := &Formula{NumVars: f.NumVars, Clauses: make([]Clause, 0, len(keep))}
+	for _, i := range keep {
+		out.Clauses = append(out.Clauses, f.Clauses[i])
+	}
+	return out
+}
+
+// Stats summarizes a formula for logging and table rendering.
+type Stats struct {
+	Vars     int
+	Clauses  int
+	Literals int
+	Units    int
+	Binary   int
+	MaxLen   int
+}
+
+// Stats computes summary statistics.
+func (f *Formula) Stats() Stats {
+	s := Stats{Vars: f.NumVars, Clauses: len(f.Clauses)}
+	for _, c := range f.Clauses {
+		s.Literals += len(c)
+		switch len(c) {
+		case 1:
+			s.Units++
+		case 2:
+			s.Binary++
+		}
+		if len(c) > s.MaxLen {
+			s.MaxLen = len(c)
+		}
+	}
+	return s
+}
+
+// String renders the formula in DIMACS format (for small formulas in tests
+// and error messages; use WriteDimacs for streaming output).
+func (f *Formula) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	for _, c := range f.Clauses {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

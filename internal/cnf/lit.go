@@ -1,0 +1,87 @@
+// Package cnf provides the core propositional data types shared by the
+// solver, the proof verifier and the benchmark generators: variables,
+// literals, clauses and CNF formulas, together with DIMACS input/output.
+//
+// Variables are 0-based internally. A literal uses the MiniSat-style
+// encoding Lit = 2*Var (+1 if negated), so that the complement of a literal
+// is a single XOR and literals index densely into watch lists. DIMACS
+// numbering (1-based, sign = polarity) is converted at the boundary.
+package cnf
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Var is a 0-based propositional variable index.
+type Var int32
+
+// Lit is a literal in the 2*Var(+1) encoding. The zero value is the
+// positive literal of variable 0; use LitUndef for "no literal".
+type Lit int32
+
+// LitUndef is a sentinel representing "no literal".
+const LitUndef Lit = -1
+
+// VarUndef is a sentinel representing "no variable".
+const VarUndef Var = -1
+
+// NewLit builds the literal for variable v, negated when neg is true.
+func NewLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v<<1) | 1 }
+
+// Var returns the variable underlying the literal.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// IsNeg reports whether the literal is a negated variable.
+func (l Lit) IsNeg() bool { return l&1 == 1 }
+
+// IsPos reports whether the literal is an unnegated variable.
+func (l Lit) IsPos() bool { return l&1 == 0 }
+
+// Dimacs returns the literal in DIMACS convention: variable index + 1,
+// negative when the literal is negated.
+func (l Lit) Dimacs() int {
+	d := int(l.Var()) + 1
+	if l.IsNeg() {
+		return -d
+	}
+	return d
+}
+
+// FromDimacs converts a non-zero DIMACS literal to the internal encoding.
+// It panics on 0, which DIMACS reserves as the clause terminator.
+func FromDimacs(d int) Lit {
+	if d == 0 {
+		panic("cnf: DIMACS literal 0 has no internal representation")
+	}
+	if d < 0 {
+		return NegLit(Var(-d - 1))
+	}
+	return PosLit(Var(d - 1))
+}
+
+// String formats the literal in DIMACS convention.
+func (l Lit) String() string {
+	if l == LitUndef {
+		return "undef"
+	}
+	return strconv.Itoa(l.Dimacs())
+}
+
+// String formats the variable in DIMACS convention (1-based).
+func (v Var) String() string { return fmt.Sprintf("x%d", int(v)+1) }

@@ -1,0 +1,79 @@
+package cnf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLitEncoding(t *testing.T) {
+	p := PosLit(3)
+	n := NegLit(3)
+	if p.Var() != 3 || n.Var() != 3 {
+		t.Fatalf("Var: got %d, %d; want 3, 3", p.Var(), n.Var())
+	}
+	if p.IsNeg() {
+		t.Error("PosLit reported negative")
+	}
+	if !n.IsNeg() {
+		t.Error("NegLit reported positive")
+	}
+	if p.Neg() != n || n.Neg() != p {
+		t.Error("Neg is not an involution between polarities")
+	}
+	if NewLit(3, false) != p || NewLit(3, true) != n {
+		t.Error("NewLit disagrees with PosLit/NegLit")
+	}
+}
+
+func TestLitDimacsRoundTrip(t *testing.T) {
+	for _, d := range []int{1, -1, 2, -2, 100, -100, 1 << 20, -(1 << 20)} {
+		l := FromDimacs(d)
+		if got := l.Dimacs(); got != d {
+			t.Errorf("FromDimacs(%d).Dimacs() = %d", d, got)
+		}
+	}
+}
+
+func TestLitDimacsRoundTripProperty(t *testing.T) {
+	f := func(raw int32) bool {
+		d := int(raw % (1 << 24))
+		if d == 0 {
+			d = 1
+		}
+		return FromDimacs(d).Dimacs() == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromDimacsZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromDimacs(0) did not panic")
+		}
+	}()
+	FromDimacs(0)
+}
+
+func TestLitNegProperty(t *testing.T) {
+	f := func(raw uint16, neg bool) bool {
+		l := NewLit(Var(raw), neg)
+		return l.Neg().Neg() == l && l.Neg().Var() == l.Var() && l.Neg().IsNeg() != l.IsNeg()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLitString(t *testing.T) {
+	if got := PosLit(0).String(); got != "1" {
+		t.Errorf("PosLit(0).String() = %q, want \"1\"", got)
+	}
+	if got := NegLit(4).String(); got != "-5" {
+		t.Errorf("NegLit(4).String() = %q, want \"-5\"", got)
+	}
+	if got := LitUndef.String(); got != "undef" {
+		t.Errorf("LitUndef.String() = %q", got)
+	}
+}

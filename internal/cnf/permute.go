@@ -1,0 +1,42 @@
+package cnf
+
+import "fmt"
+
+// PermuteVars applies a variable permutation to the formula: variable v
+// becomes perm[v] (polarities preserved). perm must be a permutation of
+// 0..NumVars-1. Satisfiability is invariant under permutation, which the
+// test suites exploit to shake out ordering-dependent bugs.
+func PermuteVars(f *Formula, perm []Var) (*Formula, error) {
+	if len(perm) != f.NumVars {
+		return nil, fmt.Errorf("cnf: permutation has %d entries for %d variables", len(perm), f.NumVars)
+	}
+	seen := make([]bool, f.NumVars)
+	for _, p := range perm {
+		if int(p) < 0 || int(p) >= f.NumVars || seen[p] {
+			return nil, fmt.Errorf("cnf: not a permutation")
+		}
+		seen[p] = true
+	}
+	out := NewFormula(f.NumVars)
+	for _, c := range f.Clauses {
+		nc := make(Clause, len(c))
+		for i, l := range c {
+			nc[i] = NewLit(perm[l.Var()], l.IsNeg())
+		}
+		out.Clauses = append(out.Clauses, nc)
+	}
+	return out, nil
+}
+
+// PermuteModel maps a model of a permuted formula back to the original
+// variable numbering: if g = PermuteVars(f, perm) and m satisfies g, then
+// PermuteModel(m, perm) satisfies f.
+func PermuteModel(model []bool, perm []Var) []bool {
+	out := make([]bool, len(model))
+	for v, p := range perm {
+		if int(p) < len(model) {
+			out[v] = model[p]
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPermuteVars(t *testing.T) {
+	f := NewFormula(3).Add(1, -2).Add(2, 3)
+	g, err := PermuteVars(f, []Var{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Clauses[0].SameLits(clauseOf(3, -1)) {
+		t.Errorf("clause 0 = %v", g.Clauses[0])
+	}
+	if !g.Clauses[1].SameLits(clauseOf(1, 2)) {
+		t.Errorf("clause 1 = %v", g.Clauses[1])
+	}
+}
+
+func TestPermuteVarsRejectsBadInput(t *testing.T) {
+	f := NewFormula(2).Add(1, 2)
+	if _, err := PermuteVars(f, []Var{0}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := PermuteVars(f, []Var{0, 0}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	if _, err := PermuteVars(f, []Var{0, 5}); err == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+}
+
+// TestPermuteRoundTrip: permuting and mapping a model back preserves
+// satisfaction.
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for round := 0; round < 100; round++ {
+		nVars := 3 + rng.Intn(6)
+		f := NewFormula(nVars)
+		for i := 0; i < nVars*2; i++ {
+			c := make(Clause, 0, 3)
+			for j := 0; j < 3; j++ {
+				c = append(c, NewLit(Var(rng.Intn(nVars)), rng.Intn(2) == 0))
+			}
+			f.AddClause(c)
+		}
+		perm := make([]Var, nVars)
+		for i := range perm {
+			perm[i] = Var(i)
+		}
+		rng.Shuffle(nVars, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		g, err := PermuteVars(f, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Any assignment m of g corresponds to PermuteModel(m) of f.
+		for trial := 0; trial < 20; trial++ {
+			m := make([]bool, nVars)
+			for i := range m {
+				m[i] = rng.Intn(2) == 0
+			}
+			back := PermuteModel(m, perm)
+			if g.Eval(m) != f.Eval(back) {
+				t.Fatalf("round %d: satisfaction not preserved under permutation", round)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bcp"
+	"repro/internal/cnf"
+	"repro/internal/proof"
+)
+
+// VerifyParallel is Proof_verification1 fanned out over worker goroutines:
+// the check of clause i against F ∪ F*[0..i-1] is independent of every
+// other check, so the proof is sliced into contiguous chunks and each
+// worker verifies its chunk with a private BCP engine. Marking (and hence
+// core extraction and Verification2's skipping) is inherently sequential,
+// so this entry point checks every clause and reports no core — it is the
+// "maximum-assurance, wall-clock-bound" mode.
+//
+// workers <= 0 selects GOMAXPROCS.
+func VerifyParallel(f *cnf.Formula, t *proof.Trace, engine EngineKind, workers int) (*Result, error) {
+	term := t.Terminates()
+	if term == proof.TermNone {
+		return nil, errTermination()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := len(t.Clauses)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		return Verify(f, t, Options{Mode: ModeCheckAll, Engine: engine})
+	}
+
+	nVars := f.NumVars
+	if mv := t.MaxVar(); int(mv)+1 > nVars {
+		nVars = int(mv) + 1
+	}
+
+	type chunkOut struct {
+		tested, taut int
+		failed       int32 // first failed index within the whole trace, -1
+		failedClause cnf.Clause
+		props        int64
+	}
+	outs := make([]chunkOut, workers)
+
+	var failedAt atomic.Int32
+	failedAt.Store(int32(m)) // sentinel: no failure
+
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var eng bcp.Propagator
+			switch engine {
+			case EngineCounting:
+				eng = bcp.NewCounting(nVars)
+			default:
+				eng = bcp.NewEngine(nVars)
+			}
+			for _, c := range f.Clauses {
+				eng.Add(c)
+			}
+			// This worker's database: proof clauses strictly before hi;
+			// clause i is checked after deactivating ids >= i, i.e. we add
+			// [0, hi) and walk backwards exactly like the sequential code.
+			nf := len(f.Clauses)
+			for i := 0; i < hi; i++ {
+				eng.Add(t.Clauses[i])
+			}
+			out := &outs[w]
+			out.failed = -1
+			for i := hi - 1; i >= lo; i-- {
+				if failedAt.Load() != int32(m) {
+					break // some worker already found a bad clause
+				}
+				eng.Deactivate(bcp.ID(nf + i))
+				conflict, selfContra := eng.Refute(t.Clauses[i])
+				if selfContra {
+					out.taut++
+					continue
+				}
+				out.tested++
+				if conflict == bcp.NoConflict {
+					out.failed = int32(i)
+					out.failedClause = t.Clauses[i].Clone()
+					// Publish the smallest failing index.
+					for {
+						cur := failedAt.Load()
+						if int32(i) >= cur || failedAt.CompareAndSwap(cur, int32(i)) {
+							break
+						}
+					}
+					break
+				}
+			}
+			out.props = eng.Propagations()
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	res := &Result{
+		OK:           true,
+		FailedIndex:  -1,
+		Termination:  term,
+		ProofClauses: m,
+	}
+	for w := range outs {
+		res.Tested += outs[w].tested
+		res.Tautologies += outs[w].taut
+		res.Propagations += outs[w].props
+	}
+	if idx := failedAt.Load(); int(idx) < m {
+		res.OK = false
+		res.FailedIndex = int(idx)
+		for w := range outs {
+			if outs[w].failed == idx {
+				res.FailedClause = outs[w].failedClause
+			}
+		}
+	}
+	return res, nil
+}
+
+func errTermination() error {
+	return &terminationError{}
+}
+
+type terminationError struct{}
+
+func (*terminationError) Error() string {
+	return "core: malformed proof trace: trace must end in a final conflicting pair or the empty clause"
+}
+
+func (*terminationError) Unwrap() error { return ErrBadTrace }

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/proof"
+)
+
+// Trim returns the trace restricted to the clauses a verification run
+// marked as used (plus the terminating clauses, which are always marked).
+// The trimmed trace preserves chronological order and remains a correct
+// proof: when clause C was checked, every clause its conflict depended on
+// was marked in the same moment and precedes C, so the reduced database
+// still propagates to a conflict. This is the ancestor of modern proof
+// trimming (drat-trim's -l output).
+func Trim(t *proof.Trace, res *Result) (*proof.Trace, error) {
+	if res.UsedProof == nil {
+		return nil, fmt.Errorf("core: result carries no usage information (verification failed early?)")
+	}
+	if len(res.UsedProof) != len(t.Clauses) {
+		return nil, fmt.Errorf("core: result is for a different trace (%d clauses vs %d)",
+			len(res.UsedProof), len(t.Clauses))
+	}
+	out := proof.New()
+	for i, c := range t.Clauses {
+		if !res.UsedProof[i] {
+			continue
+		}
+		out.Clauses = append(out.Clauses, c.Clone())
+		if t.Resolutions != nil {
+			out.Resolutions = append(out.Resolutions, t.Resolutions[i])
+		}
+	}
+	return out, nil
+}
+
+// CoreFormula returns the sub-formula of f given by the verified core
+// indices. The result is itself unsatisfiable (every conflict during
+// verification used only marked clauses of f).
+func CoreFormula(f *cnf.Formula, res *Result) *cnf.Formula {
+	return f.Restrict(res.Core)
+}

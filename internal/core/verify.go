@@ -1,0 +1,240 @@
+// Package core implements the paper's primary contribution: verification of
+// conflict-clause proofs of unsatisfiability (Goldberg & Novikov, DATE 2003)
+// and, as a by-product, extraction of an unsatisfiable core of the original
+// formula.
+//
+// A conflict-clause proof F* is the chronologically ordered sequence of
+// conflict clauses a CDCL solver deduced. A clause C of F* was deduced
+// correctly iff falsifying C (assigning all its literals to 0) and running
+// BCP over F plus the clauses of F* deduced before C yields a conflict —
+// i.e. C passes the reverse-unit-propagation check. Two procedures are
+// provided:
+//
+//   - ModeCheckAll — the paper's Proof_verification1: every clause of F* is
+//     checked.
+//   - ModeCheckMarked — the paper's Proof_verification2: clauses are checked
+//     in reverse chronological order and a clause is checked only if a
+//     previous check's conflict analysis marked it as used. Initially only
+//     the trace's terminating clauses are marked. Unmarked clauses never
+//     contributed to deducing the final conflicting pair and are skipped.
+//
+// In either mode every BCP conflict is analyzed and the clauses involved are
+// marked; the marked clauses of the original formula F form an
+// unsatisfiable core of F.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bcp"
+	"repro/internal/cnf"
+	"repro/internal/proof"
+)
+
+// Mode selects the verification procedure.
+type Mode int
+
+const (
+	// ModeCheckMarked is Proof_verification2: verify only marked clauses
+	// (the efficient default; also what extracts a small core).
+	ModeCheckMarked Mode = iota
+	// ModeCheckAll is Proof_verification1: verify every clause of F*.
+	ModeCheckAll
+)
+
+func (m Mode) String() string {
+	if m == ModeCheckAll {
+		return "check-all"
+	}
+	return "check-marked"
+}
+
+// EngineKind selects the BCP implementation backing the verifier.
+type EngineKind int
+
+const (
+	// EngineWatched uses two-watched-literal propagation (default).
+	EngineWatched EngineKind = iota
+	// EngineCounting uses the naive counter-based propagator (ablation).
+	EngineCounting
+)
+
+func (k EngineKind) String() string {
+	if k == EngineCounting {
+		return "counting"
+	}
+	return "watched"
+}
+
+// Options configures Verify.
+type Options struct {
+	Mode   Mode
+	Engine EngineKind
+}
+
+// Result reports the outcome of a verification run.
+type Result struct {
+	// OK is true when every checked clause passed, i.e. the proof is a
+	// correct proof of unsatisfiability of F.
+	OK bool
+	// FailedIndex is the index into the trace of the first clause whose
+	// check failed, or -1. FailedClause is that clause.
+	FailedIndex  int
+	FailedClause cnf.Clause
+	// Termination records how the trace ended.
+	Termination proof.Termination
+
+	// ProofClauses is |F*|; Tested counts clauses actually BCP-checked;
+	// Skipped counts clauses skipped as unmarked (ModeCheckMarked) and
+	// Tautologies counts clauses that were trivially implied.
+	ProofClauses int
+	Tested       int
+	Skipped      int
+	Tautologies  int
+
+	// MarkedProof counts marked clauses of F*; UsedProof flags, per trace
+	// clause, whether it was marked as contributing to the refutation; Core
+	// lists the indices of the original formula's clauses that form the
+	// unsatisfiable core.
+	MarkedProof int
+	UsedProof   []bool
+	Core        []int
+
+	// Propagations is the total number of BCP-implied assignments.
+	Propagations int64
+}
+
+// TestedPct returns Tested as a percentage of ProofClauses (the paper's
+// Table 1 "Tested" column).
+func (r *Result) TestedPct() float64 {
+	if r.ProofClauses == 0 {
+		return 0
+	}
+	return 100 * float64(r.Tested) / float64(r.ProofClauses)
+}
+
+// CorePct returns the core size as a percentage of nOriginal clauses (the
+// paper's Table 1 "Unsatisfiable core" column).
+func (r *Result) CorePct(nOriginal int) float64 {
+	if nOriginal == 0 {
+		return 0
+	}
+	return 100 * float64(len(r.Core)) / float64(nOriginal)
+}
+
+// ErrBadTrace wraps structural trace problems (as opposed to verification
+// failures, which are reported via Result.OK=false).
+var ErrBadTrace = errors.New("core: malformed proof trace")
+
+// Verify checks that the trace is a correct conflict-clause proof of the
+// unsatisfiability of f. A structural problem with the trace (wrong
+// termination, inconsistent annotations) yields an error; a logically
+// incorrect proof yields Result.OK == false with the offending clause
+// identified, matching the paper's promise that "one can point to a clause
+// of the proof whose deduction is questionable".
+func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
+	term := t.Terminates()
+	if term == proof.TermNone {
+		return nil, fmt.Errorf("%w: trace must end in a final conflicting pair or the empty clause", ErrBadTrace)
+	}
+	if t.Resolutions != nil && len(t.Resolutions) != len(t.Clauses) {
+		return nil, fmt.Errorf("%w: %d clauses but %d resolution annotations",
+			ErrBadTrace, len(t.Clauses), len(t.Resolutions))
+	}
+
+	var eng bcp.Propagator
+	nVars := f.NumVars
+	if mv := t.MaxVar(); int(mv)+1 > nVars {
+		nVars = int(mv) + 1
+	}
+	switch opt.Engine {
+	case EngineCounting:
+		eng = bcp.NewCounting(nVars)
+	default:
+		eng = bcp.NewEngine(nVars)
+	}
+
+	nf := len(f.Clauses)
+	m := len(t.Clauses)
+	for _, c := range f.Clauses {
+		eng.Add(c)
+	}
+	for _, c := range t.Clauses {
+		eng.Add(c)
+	}
+
+	marked := make([]bool, nf+m)
+	switch term {
+	case proof.TermFinalPair:
+		marked[nf+m-1] = true
+		marked[nf+m-2] = true
+	case proof.TermEmptyClause:
+		marked[nf+m-1] = true
+	}
+
+	res := &Result{
+		OK:           true,
+		FailedIndex:  -1,
+		Termination:  term,
+		ProofClauses: m,
+	}
+
+	for i := m - 1; i >= 0; i-- {
+		id := bcp.ID(nf + i)
+		c := t.Clauses[i]
+		// Pop the clause off the proof stack: its own check and all later
+		// checks must not use it.
+		eng.Deactivate(id)
+		if opt.Mode == ModeCheckMarked && !marked[id] {
+			res.Skipped++
+			continue
+		}
+		conflict, selfContra := eng.Refute(c)
+		if selfContra {
+			// A tautologous "conflict clause" is implied by anything; it
+			// cannot participate in any later conflict either, so it needs
+			// no marking.
+			res.Tautologies++
+			continue
+		}
+		res.Tested++
+		if conflict == bcp.NoConflict {
+			res.OK = false
+			res.FailedIndex = i
+			res.FailedClause = c.Clone()
+			res.Propagations = eng.Propagations()
+			return res, nil
+		}
+		eng.WalkConflict(conflict, func(used bcp.ID) { marked[used] = true })
+	}
+
+	for i := 0; i < nf; i++ {
+		if marked[i] {
+			res.Core = append(res.Core, i)
+		}
+	}
+	res.UsedProof = make([]bool, m)
+	for i := 0; i < m; i++ {
+		if marked[nf+i] {
+			res.UsedProof[i] = true
+			res.MarkedProof++
+		}
+	}
+	res.Propagations = eng.Propagations()
+	return res, nil
+}
+
+// VerifyFormulaUnsat is a convenience wrapper asserting a successful
+// verification; it returns an error describing the failure otherwise.
+func VerifyFormulaUnsat(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
+	res, err := Verify(f, t, opt)
+	if err != nil {
+		return nil, err
+	}
+	if !res.OK {
+		return res, fmt.Errorf("core: proof clause %d (%v) is not implied — the producing solver is buggy",
+			res.FailedIndex, res.FailedClause)
+	}
+	return res, nil
+}

@@ -1,0 +1,237 @@
+// Package dpll implements the classic Davis–Putnam–Logemann–Loveland
+// procedure: unit propagation, chronological backtracking, a static
+// Jeroslow–Wang branching order, and no clause learning. It is the
+// pre-CDCL baseline the paper's solvers superseded, kept here for two
+// reasons: as yet another independent satisfiability oracle for tests, and
+// to make the motivating point measurable — a DPLL run leaves no conflict
+// clauses behind, so there is nothing a conflict-clause proof could be
+// built from, while CDCL gets the proof "for free".
+package dpll
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// Status is the outcome of Solve.
+type Status int
+
+const (
+	// Unknown means the node budget was exhausted.
+	Unknown Status = iota
+	// Sat means a model was found.
+	Sat
+	// Unsat means the search space was exhausted.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SATISFIABLE"
+	case Unsat:
+		return "UNSATISFIABLE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Stats counts search effort.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Backtracks   int64
+}
+
+type dpll struct {
+	nVars   int
+	clauses []cnf.Clause
+	watches [][]int // literal -> clause indices watching it
+	assigns []int8
+	trail   []cnf.Lit
+	lims    []int
+	flipped []bool // per decision level: second branch already taken
+	qhead   int
+	order   []cnf.Var
+	stats   Stats
+}
+
+// Solve runs DPLL on f with a decision budget (0 = unlimited).
+func Solve(f *cnf.Formula, maxDecisions int64) (Status, []bool, Stats, error) {
+	d := &dpll{nVars: f.NumVars}
+	d.assigns = make([]int8, f.NumVars)
+	d.watches = make([][]int, 2*f.NumVars)
+
+	// Load clauses; tautologies are dropped; units queued.
+	var units []cnf.Lit
+	for _, raw := range f.Clauses {
+		c, taut := raw.Normalize()
+		if taut {
+			continue
+		}
+		switch len(c) {
+		case 0:
+			return Unsat, nil, d.stats, nil
+		case 1:
+			units = append(units, c[0])
+		default:
+			idx := len(d.clauses)
+			d.clauses = append(d.clauses, c)
+			d.watches[c[0]] = append(d.watches[c[0]], idx)
+			d.watches[c[1]] = append(d.watches[c[1]], idx)
+		}
+	}
+
+	d.order = jeroslowWang(f)
+
+	for _, u := range units {
+		if !d.enqueue(u) {
+			return Unsat, nil, d.stats, nil
+		}
+	}
+
+	for {
+		if d.propagate() {
+			// Conflict: chronological backtracking.
+			d.stats.Backtracks++
+			level := len(d.lims)
+			for level > 0 && d.flipped[level-1] {
+				level--
+			}
+			if level == 0 {
+				return Unsat, nil, d.stats, nil
+			}
+			// Flip the decision of `level`.
+			dec := d.trail[d.lims[level-1]]
+			d.cancelTo(level - 1)
+			d.lims = append(d.lims, len(d.trail))
+			d.flipped = d.flipped[:level-1]
+			d.flipped = append(d.flipped, true)
+			d.enqueue(dec.Neg())
+			continue
+		}
+		v := d.pick()
+		if v == cnf.VarUndef {
+			model := make([]bool, d.nVars)
+			for i := range model {
+				model[i] = d.assigns[i] == 1
+			}
+			return Sat, model, d.stats, nil
+		}
+		if maxDecisions > 0 && d.stats.Decisions >= maxDecisions {
+			return Unknown, nil, d.stats, nil
+		}
+		d.stats.Decisions++
+		d.lims = append(d.lims, len(d.trail))
+		d.flipped = append(d.flipped, false)
+		d.enqueue(cnf.NegLit(v)) // branch negative first, like early solvers
+	}
+}
+
+func (d *dpll) value(l cnf.Lit) int8 {
+	v := d.assigns[l.Var()]
+	if l.IsNeg() {
+		return -v
+	}
+	return v
+}
+
+func (d *dpll) enqueue(l cnf.Lit) bool {
+	switch d.value(l) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	if l.IsNeg() {
+		d.assigns[l.Var()] = -1
+	} else {
+		d.assigns[l.Var()] = 1
+	}
+	d.trail = append(d.trail, l)
+	return true
+}
+
+func (d *dpll) cancelTo(level int) {
+	bound := d.lims[level]
+	for i := len(d.trail) - 1; i >= bound; i-- {
+		d.assigns[d.trail[i].Var()] = 0
+	}
+	d.trail = d.trail[:bound]
+	d.lims = d.lims[:level]
+	d.qhead = bound
+}
+
+// propagate returns true on conflict.
+func (d *dpll) propagate() bool {
+	for d.qhead < len(d.trail) {
+		p := d.trail[d.qhead]
+		d.qhead++
+		falseLit := p.Neg()
+		ws := d.watches[falseLit]
+		out := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			idx := ws[i]
+			c := d.clauses[idx]
+			if c[0] == falseLit {
+				c[0], c[1] = c[1], c[0]
+			}
+			if d.value(c[0]) == 1 {
+				out = append(out, idx)
+				continue
+			}
+			found := false
+			for k := 2; k < len(c); k++ {
+				if d.value(c[k]) != -1 {
+					c[1], c[k] = c[k], c[1]
+					d.watches[c[1]] = append(d.watches[c[1]], idx)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			out = append(out, idx)
+			if !d.enqueue(c[0]) {
+				out = append(out, ws[i+1:]...)
+				d.watches[falseLit] = out
+				return true
+			}
+			d.stats.Propagations++
+		}
+		d.watches[falseLit] = out
+	}
+	return false
+}
+
+func (d *dpll) pick() cnf.Var {
+	for _, v := range d.order {
+		if d.assigns[v] == 0 {
+			return v
+		}
+	}
+	return cnf.VarUndef
+}
+
+// jeroslowWang orders variables by the classic static weight
+// J(v) = Σ over clauses containing v of 2^-|c|.
+func jeroslowWang(f *cnf.Formula) []cnf.Var {
+	weight := make([]float64, f.NumVars)
+	for _, c := range f.Clauses {
+		w := math.Pow(2, -float64(len(c)))
+		for _, l := range c {
+			weight[l.Var()] += w
+		}
+	}
+	order := make([]cnf.Var, f.NumVars)
+	for i := range order {
+		order[i] = cnf.Var(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weight[order[a]] > weight[order[b]]
+	})
+	return order
+}

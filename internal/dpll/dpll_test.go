@@ -1,0 +1,144 @@
+package dpll
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+func bruteSat(f *cnf.Formula) bool {
+	n := f.NumVars
+	for m := 0; m < 1<<n; m++ {
+		assign := make([]bool, n)
+		for i := range assign {
+			assign[i] = m&(1<<i) != 0
+		}
+		if f.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTrivialCases(t *testing.T) {
+	sat := cnf.NewFormula(0).Add(1, 2).Add(-1, 2)
+	st, model, _, err := Solve(sat, 0)
+	if err != nil || st != Sat {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	if !sat.Eval(model) {
+		t.Fatal("bogus model")
+	}
+
+	unsat := cnf.NewFormula(0).Add(1).Add(-1)
+	if st, _, _, _ := Solve(unsat, 0); st != Unsat {
+		t.Fatalf("st=%v", st)
+	}
+
+	empty := cnf.NewFormula(1)
+	empty.AddClause(cnf.Clause{})
+	if st, _, _, _ := Solve(empty, 0); st != Unsat {
+		t.Fatal("empty clause not refuted")
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	sat, unsat := 0, 0
+	for round := 0; round < 400; round++ {
+		nVars := 3 + rng.Intn(8)
+		f := cnf.NewFormula(nVars)
+		for i := 0; i < nVars*(2+rng.Intn(4)); i++ {
+			k := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 0))
+			}
+			f.AddClause(c)
+		}
+		want := bruteSat(f)
+		st, model, _, err := Solve(f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st {
+		case Sat:
+			if !want {
+				t.Fatalf("round %d: DPLL says SAT, brute force disagrees\n%v", round, f)
+			}
+			if !f.Eval(model) {
+				t.Fatalf("round %d: bogus model", round)
+			}
+			sat++
+		case Unsat:
+			if want {
+				t.Fatalf("round %d: DPLL says UNSAT, brute force disagrees\n%v", round, f)
+			}
+			unsat++
+		default:
+			t.Fatalf("round %d: %v without budget", round, st)
+		}
+	}
+	if sat == 0 || unsat == 0 {
+		t.Fatalf("weak coverage: %d/%d", sat, unsat)
+	}
+}
+
+func TestAgreesWithCDCL(t *testing.T) {
+	for _, inst := range []gen.Instance{gen.PHP(5), gen.XorChain(9), gen.AdderEquiv(6)} {
+		st, _, _, err := Solve(inst.F, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cst, _, _, _, err := solver.Solve(inst.F, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (st == Sat) != (cst == solver.Sat) {
+			t.Errorf("%s: DPLL %v vs CDCL %v", inst.Name, st, cst)
+		}
+	}
+}
+
+func TestDecisionBudget(t *testing.T) {
+	inst := gen.PHP(7)
+	st, _, stats, err := Solve(inst.F, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unknown {
+		t.Fatalf("st=%v", st)
+	}
+	if stats.Decisions < 50 {
+		t.Errorf("decisions=%d", stats.Decisions)
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	f := cnf.NewFormula(0).Add(1, -1).Add(2)
+	st, model, _, err := Solve(f, 0)
+	if err != nil || st != Sat || !model[1] {
+		t.Fatalf("st=%v model=%v err=%v", st, model, err)
+	}
+}
+
+// TestCDCLBeatsDPLLOnPHP documents the motivating gap: clause learning
+// needs far fewer backtracks than plain DPLL on the pigeonhole formula.
+func TestCDCLBeatsDPLLOnPHP(t *testing.T) {
+	inst := gen.PHP(6)
+	_, _, dstats, err := Solve(inst.F, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, cstats, err := solver.Solve(inst.F, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dstats.Backtracks <= cstats.Conflicts {
+		t.Logf("note: DPLL backtracks %d <= CDCL conflicts %d (unusual but possible)",
+			dstats.Backtracks, cstats.Conflicts)
+	}
+}

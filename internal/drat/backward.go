@@ -1,0 +1,145 @@
+package drat
+
+import (
+	"fmt"
+
+	"repro/internal/bcp"
+	"repro/internal/cnf"
+)
+
+// VerifyBackward checks a DRUP proof the way drat-trim does — which is
+// exactly the paper's Proof_verification2 generalized to deletion lines:
+//
+//  1. replay the whole proof forward (activating additions, deactivating
+//     deleted clauses) and confirm the final database is refuted by unit
+//     propagation alone;
+//  2. walk the steps backward: an addition is popped (deactivated) and
+//     checked by the RUP test only if a later conflict marked it as used;
+//     a deletion is undone (the clause is reactivated);
+//  3. every conflict's analysis marks the clauses it used.
+//
+// Unmarked additions are skipped — the same redundancy argument as the
+// paper's §4 — and the marked additions form the trimmed proof, returned
+// as a deletion-free DRUP proof in chronological order. The marked
+// original clauses form an unsatisfiable core, also as in §4.
+//
+// Note the backward pass uses only the RUP check; RAT additions (which the
+// forward Verify accepts) are rejected here, matching the paper's scope.
+func VerifyBackward(f *cnf.Formula, p *Proof) (*Result, *Proof, []int, error) {
+	nVars := f.NumVars
+	for _, s := range p.Steps {
+		if mv := s.C.MaxVar(); int(mv)+1 > nVars {
+			nVars = int(mv) + 1
+		}
+	}
+	eng := bcp.NewEngineReactivable(nVars)
+	store := newClauseStore()
+	res := &Result{OK: true, FailedStep: -1}
+
+	nf := len(f.Clauses)
+	for _, c := range f.Clauses {
+		store.add(eng.Add(c), c)
+	}
+
+	// Forward replay, remembering each step's clause ID. Deletion steps
+	// record the ID they deactivated so the backward pass can reactivate
+	// exactly that instance.
+	stepID := make([]bcp.ID, len(p.Steps))
+	refutedAt := -1
+	for i, s := range p.Steps {
+		if s.Del {
+			res.Deletions++
+			id, ok := store.remove(s.C)
+			if !ok {
+				res.OK = false
+				res.FailedStep = i
+				res.Reason = fmt.Sprintf("deletion of a clause that is not live: %v", s.C)
+				return res, nil, nil, nil
+			}
+			eng.Deactivate(id)
+			stepID[i] = id
+			continue
+		}
+		res.Additions++
+		if len(s.C) == 0 {
+			refutedAt = i
+			stepID[i] = -1
+			break
+		}
+		id := eng.Add(s.C)
+		store.add(id, s.C)
+		stepID[i] = id
+	}
+	lastStep := len(p.Steps) - 1
+	if refutedAt >= 0 {
+		lastStep = refutedAt
+	}
+
+	// The final database must be refuted by unit propagation alone.
+	conflict, _ := eng.Refute(nil)
+	if conflict == bcp.NoConflict {
+		res.OK = false
+		res.FailedStep = lastStep + 1
+		res.Reason = "proof ends without deriving a refutation"
+		res.Propagations = eng.Propagations()
+		return res, nil, nil, nil
+	}
+	marked := make(map[bcp.ID]bool)
+	eng.WalkConflict(conflict, func(id bcp.ID) { marked[id] = true })
+
+	// Backward pass.
+	for i := lastStep; i >= 0; i-- {
+		s := p.Steps[i]
+		if s.Del {
+			eng.Reactivate(stepID[i])
+			continue
+		}
+		if len(s.C) == 0 {
+			continue // the refutation point itself
+		}
+		id := stepID[i]
+		eng.Deactivate(id)
+		if !marked[id] {
+			continue
+		}
+		c, selfContra := eng.Refute(s.C)
+		if selfContra {
+			res.Tautologies++
+			continue
+		}
+		if c == bcp.NoConflict {
+			res.OK = false
+			res.FailedStep = i
+			res.Reason = fmt.Sprintf("marked clause is not RUP: %v", s.C)
+			res.Propagations = eng.Propagations()
+			return res, nil, nil, nil
+		}
+		eng.WalkConflict(c, func(used bcp.ID) { marked[used] = true })
+	}
+	res.Refuted = true
+	res.Propagations = eng.Propagations()
+
+	// Trimmed proof: marked additions in chronological order (no deletion
+	// lines — the trimmed set is small enough not to need them), plus the
+	// final empty clause so the result is a complete refutation.
+	trimmed := &Proof{}
+	for i := 0; i <= lastStep; i++ {
+		s := p.Steps[i]
+		if s.Del || len(s.C) == 0 {
+			continue
+		}
+		if marked[stepID[i]] {
+			trimmed.Add(s.C.Clone())
+		}
+	}
+	trimmed.Add(nil)
+
+	// Unsatisfiable core: marked original clauses.
+	var core []int
+	for i := 0; i < nf; i++ {
+		if marked[bcp.ID(i)] {
+			core = append(core, i)
+		}
+	}
+	return res, trimmed, core, nil
+}

@@ -1,0 +1,248 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+// checkUnsat solves the instance, demands UNSAT, and verifies the proof
+// with the independent verifier — the full pipeline every family must pass.
+func checkUnsat(t *testing.T, inst Instance) {
+	t.Helper()
+	st, tr, _, stats, err := solver.Solve(inst.F, solver.Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", inst.Name, err)
+	}
+	if st != solver.Unsat {
+		t.Fatalf("%s: status = %v (conflicts=%d)", inst.Name, st, stats.Conflicts)
+	}
+	res, err := core.Verify(inst.F, tr, core.Options{Mode: core.ModeCheckMarked})
+	if err != nil {
+		t.Fatalf("%s: %v", inst.Name, err)
+	}
+	if !res.OK {
+		t.Fatalf("%s: proof rejected at clause %d", inst.Name, res.FailedIndex)
+	}
+}
+
+// checkMiterNontrivial flips the final assertion (the last clause, a unit
+// asserting the miter output) and demands SAT: the miter must be falsifiable
+// when we assert "the implementations agree somewhere", proving the
+// instance is UNSAT for the intended reason and not via some accidental
+// contradiction in the encoding.
+func checkMiterNontrivial(t *testing.T, inst Instance) {
+	t.Helper()
+	g := inst.F.Clone()
+	last := g.Clauses[len(g.Clauses)-1]
+	if len(last) != 1 {
+		t.Fatalf("%s: last clause is not the assert unit: %v", inst.Name, last)
+	}
+	g.Clauses[len(g.Clauses)-1] = cnf.Clause{last[0].Neg()}
+	st, _, model, _, err := solver.Solve(g, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != solver.Sat {
+		t.Fatalf("%s: negated miter is %v, want SAT", inst.Name, st)
+	}
+	if !g.Eval(model) {
+		t.Fatalf("%s: bogus model for negated miter", inst.Name)
+	}
+}
+
+func TestAdderEquiv(t *testing.T) {
+	for _, w := range []int{2, 4, 8} {
+		inst := AdderEquiv(w)
+		checkUnsat(t, inst)
+		checkMiterNontrivial(t, inst)
+	}
+}
+
+func TestAluEquiv(t *testing.T) {
+	for _, w := range []int{2, 4, 6} {
+		inst := AluEquiv(w)
+		checkUnsat(t, inst)
+		checkMiterNontrivial(t, inst)
+	}
+}
+
+func TestPipe(t *testing.T) {
+	inst := Pipe(2, 4)
+	checkUnsat(t, inst)
+	checkMiterNontrivial(t, inst)
+}
+
+func TestBarrel(t *testing.T) {
+	inst := Barrel(4, 2)
+	checkUnsat(t, inst)
+	checkMiterNontrivial(t, inst)
+}
+
+func TestLongmult(t *testing.T) {
+	for _, bit := range []int{0, 2, 4} {
+		inst := Longmult(5, bit)
+		checkUnsat(t, inst)
+		checkMiterNontrivial(t, inst)
+	}
+}
+
+func TestLongmultClampsBit(t *testing.T) {
+	inst := Longmult(4, 99)
+	if inst.Name != "longmult_w4b3" {
+		t.Errorf("Name = %s", inst.Name)
+	}
+	checkUnsat(t, inst)
+}
+
+func TestFifo(t *testing.T) {
+	for _, cycles := range []int{3, 6, 10} {
+		inst := Fifo(4, cycles)
+		checkUnsat(t, inst)
+		checkMiterNontrivial(t, inst)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	inst := Counter(5, 8)
+	checkUnsat(t, inst)
+	checkMiterNontrivial(t, inst)
+}
+
+func TestCounterAutoWidens(t *testing.T) {
+	// Width 2 cannot represent target 9; the generator must widen rather
+	// than produce a satisfiable (wrapping) instance.
+	inst := Counter(2, 8)
+	checkUnsat(t, inst)
+}
+
+func TestControl(t *testing.T) {
+	inst := Control(4, 2)
+	checkUnsat(t, inst)
+	checkMiterNontrivial(t, inst)
+}
+
+func TestSorterEquiv(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		inst := SorterEquiv(n)
+		checkUnsat(t, inst)
+		checkMiterNontrivial(t, inst)
+	}
+}
+
+func TestAdderEquiv3(t *testing.T) {
+	for _, w := range []int{3, 6, 10} {
+		inst := AdderEquiv3(w)
+		checkUnsat(t, inst)
+		checkMiterNontrivial(t, inst)
+	}
+}
+
+func TestFactorPrimeUnsat(t *testing.T) {
+	for _, p := range []uint64{7, 13, 31} {
+		inst := Factor(p)
+		checkUnsat(t, inst)
+		checkMiterNontrivial(t, inst)
+	}
+}
+
+func TestFactorCompositeSat(t *testing.T) {
+	inst := Factor(15)
+	st, _, model, _, err := solver.Solve(inst.F, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != solver.Sat {
+		t.Fatalf("factor_15: status %v, want SAT", st)
+	}
+	// Decode the factor inputs: variables 1..w are a, w+1..2w are b (the
+	// constant node is variable 0, inputs follow in creation order).
+	w := 4 // bitlen(15)
+	read := func(base int) uint64 {
+		var v uint64
+		for i := 0; i < w; i++ {
+			if model[base+i] {
+				v |= 1 << uint(i)
+			}
+		}
+		return v
+	}
+	a, b := read(1), read(1+w)
+	if a*b != 15 || a == 1 || b == 1 {
+		t.Errorf("decoded factorization %d * %d", a, b)
+	}
+}
+
+func TestPHP(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		checkUnsat(t, PHP(n))
+	}
+}
+
+func TestXorChain(t *testing.T) {
+	checkUnsat(t, XorChain(7))
+	// Even n is silently made odd (even chains are satisfiable).
+	inst := XorChain(8)
+	if inst.Name != "xorchain_9" {
+		t.Errorf("Name = %s", inst.Name)
+	}
+	checkUnsat(t, inst)
+}
+
+func TestRandUnsat(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		checkUnsat(t, RandUnsat(seed, 20))
+	}
+}
+
+func TestRandUnsatDeterministic(t *testing.T) {
+	a := RandUnsat(42, 15)
+	b := RandUnsat(42, 15)
+	if a.F.NumClauses() != b.F.NumClauses() {
+		t.Fatal("different clause counts")
+	}
+	for i := range a.F.Clauses {
+		if !a.F.Clauses[i].Equal(b.F.Clauses[i]) {
+			t.Fatalf("clause %d differs", i)
+		}
+	}
+}
+
+func TestInstanceNamesDistinct(t *testing.T) {
+	names := map[string]bool{}
+	for _, inst := range []Instance{
+		AdderEquiv(4), AluEquiv(4), Pipe(2, 4), Barrel(4, 2),
+		Longmult(4, 2), Fifo(4, 4), Counter(4, 6), Control(4, 2),
+		PHP(3), XorChain(5), RandUnsat(1, 10),
+	} {
+		if names[inst.Name] {
+			t.Errorf("duplicate name %s", inst.Name)
+		}
+		names[inst.Name] = true
+		if inst.Family == "" {
+			t.Errorf("%s: empty family", inst.Name)
+		}
+		if inst.F.NumClauses() == 0 {
+			t.Errorf("%s: empty formula", inst.Name)
+		}
+	}
+}
+
+// TestFamiliesScale sanity-checks that the size knobs actually grow the
+// formulas (Table 3 depends on this for the fifo family).
+func TestFamiliesScale(t *testing.T) {
+	if Fifo(4, 10).F.NumClauses() <= Fifo(4, 5).F.NumClauses() {
+		t.Error("fifo does not grow with cycles")
+	}
+	if Barrel(8, 3).F.NumClauses() <= Barrel(8, 1).F.NumClauses() {
+		t.Error("barrel does not grow with steps")
+	}
+	if Counter(6, 20).F.NumClauses() <= Counter(6, 5).F.NumClauses() {
+		t.Error("counter does not grow with k")
+	}
+	if Pipe(4, 4).F.NumClauses() <= Pipe(1, 4).F.NumClauses() {
+		t.Error("pipe does not grow with stages")
+	}
+}

@@ -1,0 +1,198 @@
+// Package interp computes Craig interpolants from resolution proofs using
+// McMillan's interpolation system — the application that made storing
+// proofs of unsatisfiability industrially important (interpolation-based
+// model checking, McMillan 2003; the paper's resolution-graph discussion
+// cites McMillan's construction [12]).
+//
+// Given an unsatisfiable CNF partitioned into A ∧ B and a resolution proof
+// of the empty clause, the interpolant I is a circuit over the variables
+// shared by A and B such that A ⟹ I and I ∧ B is unsatisfiable. The rules:
+//
+//	source clause c ∈ A:  I(c) = ⋁ { literals of c over shared variables }
+//	source clause c ∈ B:  I(c) = ⊤
+//	resolution on pivot v, parents (l, r):
+//	    v occurs only in A:  I = I(l) ∨ I(r)
+//	    otherwise:           I = I(l) ∧ I(r)
+//
+// The interpolant is returned as an internal/circuit netlist whose inputs
+// are exactly the shared variables, so it can be simulated, Tseitin-encoded
+// or mitered like any other circuit.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/resolution"
+)
+
+// Partition assigns each source clause to side A or side B.
+type Side uint8
+
+const (
+	// SideA marks clauses of the first partition.
+	SideA Side = iota
+	// SideB marks clauses of the second partition.
+	SideB
+)
+
+// Interpolant is the result of Compute.
+type Interpolant struct {
+	// Circuit holds the interpolant; Root is its output signal.
+	Circuit *circuit.Circuit
+	Root    circuit.Signal
+	// SharedVars lists the variables shared between A and B in ascending
+	// order; Circuit's inputs correspond to them positionally.
+	SharedVars []cnf.Var
+	// InputOf maps a shared variable to its circuit input signal.
+	InputOf map[cnf.Var]circuit.Signal
+}
+
+// Eval evaluates the interpolant under a full CNF-variable assignment.
+func (ip *Interpolant) Eval(assign []bool) (bool, error) {
+	inputs := make([]bool, len(ip.SharedVars))
+	for i, v := range ip.SharedVars {
+		if int(v) < len(assign) {
+			inputs[i] = assign[v]
+		}
+	}
+	vals, err := ip.Circuit.Eval(inputs)
+	if err != nil {
+		return false, err
+	}
+	return circuit.ValueOf(vals, ip.Root), nil
+}
+
+// System selects the interpolation calculus.
+type System int
+
+const (
+	// McMillan is the asymmetric system of McMillan 2003 (described in the
+	// package comment); it yields interpolants biased toward A.
+	McMillan System = iota
+	// Pudlak is the symmetric system (Pudlák / Huang / Krajíček): A-sources
+	// map to ⊥, B-sources to ⊤, and resolutions on shared variables select
+	// with a MUX on the pivot.
+	Pudlak
+)
+
+func (s System) String() string {
+	if s == Pudlak {
+		return "pudlak"
+	}
+	return "mcmillan"
+}
+
+// Compute derives the interpolant for the given A/B partition of the
+// proof's source clauses using McMillan's system. sides[i] classifies
+// proof source i. The proof must verify (Compute expands it and fails on
+// structural errors).
+func Compute(p *resolution.Proof, sides []Side) (*Interpolant, error) {
+	return ComputeWith(p, sides, McMillan)
+}
+
+// ComputeWith derives the interpolant under the chosen system.
+func ComputeWith(p *resolution.Proof, sides []Side, sys System) (*Interpolant, error) {
+	if len(sides) != len(p.Sources) {
+		return nil, fmt.Errorf("interp: %d side labels for %d sources", len(sides), len(p.Sources))
+	}
+	g, err := p.Expand()
+	if err != nil {
+		return nil, err
+	}
+
+	// Classify variables: occursA / occursB over source clauses.
+	var maxVar cnf.Var = -1
+	for _, c := range p.Sources {
+		if v := c.MaxVar(); v > maxVar {
+			maxVar = v
+		}
+	}
+	occursA := make([]bool, maxVar+1)
+	occursB := make([]bool, maxVar+1)
+	for i, c := range p.Sources {
+		for _, l := range c {
+			if sides[i] == SideA {
+				occursA[l.Var()] = true
+			} else {
+				occursB[l.Var()] = true
+			}
+		}
+	}
+
+	ip := &Interpolant{
+		Circuit: circuit.New(),
+		InputOf: map[cnf.Var]circuit.Signal{},
+	}
+	for v := cnf.Var(0); v <= maxVar; v++ {
+		if occursA[v] && occursB[v] {
+			ip.SharedVars = append(ip.SharedVars, v)
+			ip.InputOf[v] = ip.Circuit.Input()
+		}
+	}
+	litSig := func(l cnf.Lit) circuit.Signal {
+		s := ip.InputOf[l.Var()]
+		if l.IsNeg() {
+			return s.Not()
+		}
+		return s
+	}
+
+	// Node interpolants, indexed like graph nodes.
+	its := make([]circuit.Signal, g.NumSources+len(g.Nodes))
+	for i, c := range p.Sources {
+		if sides[i] == SideB {
+			its[i] = circuit.True
+			continue
+		}
+		if sys == Pudlak {
+			its[i] = circuit.False
+			continue
+		}
+		s := circuit.False
+		for _, l := range c {
+			if occursA[l.Var()] && occursB[l.Var()] {
+				s = ip.Circuit.Or(s, litSig(l))
+			}
+		}
+		its[i] = s
+	}
+	inA := func(v cnf.Var) bool { return int(v) < len(occursA) && occursA[v] }
+	inB := func(v cnf.Var) bool { return int(v) < len(occursB) && occursB[v] }
+	for k, n := range g.Nodes {
+		id := g.NumSources + k
+		il, ir := its[n.Left], its[n.Right]
+		switch {
+		case inA(n.Pivot) && !inB(n.Pivot): // local to A
+			its[id] = ip.Circuit.Or(il, ir)
+		case sys == Pudlak && inA(n.Pivot) && inB(n.Pivot): // shared, symmetric rule
+			// Pudlák: for parents C⁺ ∋ v and C⁻ ∋ ¬v,
+			// I = (I⁺ ∨ v) ∧ (I⁻ ∨ ¬v) = MUX(v, I⁻, I⁺).
+			ipos, ineg := il, ir
+			if !n.LeftPos {
+				ipos, ineg = ir, il
+			}
+			its[id] = ip.Circuit.Mux(pivotInput(ip, n.Pivot), ineg, ipos)
+		default: // local to B (or shared under McMillan)
+			its[id] = ip.Circuit.And(il, ir)
+		}
+	}
+	ip.Root = its[g.Sink]
+	ip.Circuit.Output(ip.Root)
+	return ip, nil
+}
+
+// pivotInput returns the circuit input of a shared pivot variable (callers
+// guarantee the pivot occurs on both sides, so the input exists).
+func pivotInput(ip *Interpolant, v cnf.Var) circuit.Signal { return ip.InputOf[v] }
+
+// SplitBySources builds the side labels for the common case of splitting a
+// formula's clause list at index cut: clauses [0,cut) are A, the rest B.
+func SplitBySources(nSources, cut int) []Side {
+	sides := make([]Side, nSources)
+	for i := cut; i < nSources; i++ {
+		sides[i] = SideB
+	}
+	return sides
+}

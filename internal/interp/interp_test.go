@@ -1,0 +1,227 @@
+package interp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/resolution"
+	"repro/internal/solver"
+)
+
+func cl(dimacs ...int) cnf.Clause {
+	c := make(cnf.Clause, 0, len(dimacs))
+	for _, d := range dimacs {
+		c = append(c, cnf.FromDimacs(d))
+	}
+	return c
+}
+
+// checkInterpolant verifies the three Craig properties by brute force:
+// A ⟹ I, I ∧ B unsat, vars(I) ⊆ vars(A) ∩ vars(B).
+func checkInterpolant(t *testing.T, f *cnf.Formula, sides []Side, ip *Interpolant) {
+	t.Helper()
+	n := f.NumVars
+	for _, v := range ip.SharedVars {
+		// Shared variables must occur on both sides.
+		inA, inB := false, false
+		for i, c := range f.Clauses {
+			for _, l := range c {
+				if l.Var() != v {
+					continue
+				}
+				if sides[i] == SideA {
+					inA = true
+				} else {
+					inB = true
+				}
+			}
+		}
+		if !inA || !inB {
+			t.Fatalf("variable %v in interpolant support but not shared", v)
+		}
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		assign := make([]bool, n)
+		for i := range assign {
+			assign[i] = mask&(1<<i) != 0
+		}
+		satA, satB := true, true
+		for i, c := range f.Clauses {
+			sat := cnf.EvalClause(c, assign)
+			if sides[i] == SideA && !sat {
+				satA = false
+			}
+			if sides[i] == SideB && !sat {
+				satB = false
+			}
+		}
+		iv, err := ip.Eval(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if satA && !iv {
+			t.Fatalf("A satisfied but interpolant false under %v", assign)
+		}
+		if satB && iv {
+			t.Fatalf("interpolant and B both satisfied under %v", assign)
+		}
+	}
+}
+
+func proveAndInterpolate(t *testing.T, f *cnf.Formula, sides []Side) *Interpolant {
+	t.Helper()
+	return proveAndInterpolateWith(t, f, sides, McMillan)
+}
+
+func proveAndInterpolateWith(t *testing.T, f *cnf.Formula, sides []Side, sys System) *Interpolant {
+	t.Helper()
+	s, err := solver.NewFromFormula(f, solver.Options{RecordChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Run(); st != solver.Unsat {
+		t.Fatalf("status %v", st)
+	}
+	rp, err := resolution.FromSolverRun(f, s.Trace(), s.Chains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := ComputeWith(rp, sides, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ip
+}
+
+func TestInterpolantHandExample(t *testing.T) {
+	// A = (x1)(−x1 x2); B = (−x2 x3)(−x3)(x2 → contradiction with B).
+	// Shared variable: x2. Expected interpolant ≡ x2.
+	f := cnf.NewFormula(0).
+		Add(1).Add(-1, 2). // A
+		Add(-2, 3).Add(-3) // B
+	sides := SplitBySources(4, 2)
+	ip := proveAndInterpolate(t, f, sides)
+	checkInterpolant(t, f, sides, ip)
+	if len(ip.SharedVars) != 1 || ip.SharedVars[0] != 1 {
+		t.Errorf("shared vars = %v, want [x2]", ip.SharedVars)
+	}
+}
+
+func TestInterpolantTrivialSides(t *testing.T) {
+	// All clauses in A: interpolant must be unsatisfiable-with-B=⊤, i.e.
+	// equivalent to false... with B empty, I ∧ B unsat means I ≡ false.
+	f := cnf.NewFormula(0).
+		Add(1, 2).Add(1, -2).Add(-1, 3).Add(-1, -3)
+	sides := SplitBySources(4, 4) // everything in A
+	ip := proveAndInterpolate(t, f, sides)
+	checkInterpolant(t, f, sides, ip)
+
+	// All clauses in B: interpolant ≡ true.
+	sidesB := SplitBySources(4, 0)
+	ipB := proveAndInterpolate(t, f, sidesB)
+	checkInterpolant(t, f, sidesB, ipB)
+}
+
+func TestInterpolantRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	checked := 0
+	for round := 0; round < 400 && checked < 60; round++ {
+		nVars := 4 + rng.Intn(6)
+		nClauses := nVars * (3 + rng.Intn(3))
+		f := cnf.NewFormula(nVars)
+		for i := 0; i < nClauses; i++ {
+			k := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 0))
+			}
+			f.AddClause(c)
+		}
+		st, _, _, _, err := solver.Solve(f, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != solver.Unsat {
+			continue
+		}
+		checked++
+		cut := rng.Intn(nClauses + 1)
+		sides := SplitBySources(nClauses, cut)
+		ip := proveAndInterpolate(t, f, sides)
+		checkInterpolant(t, f, sides, ip)
+	}
+	if checked < 20 {
+		t.Fatalf("only %d UNSAT instances interpolated", checked)
+	}
+}
+
+func TestInterpolantRandomPudlak(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	checked := 0
+	for round := 0; round < 400 && checked < 60; round++ {
+		nVars := 4 + rng.Intn(6)
+		nClauses := nVars * (3 + rng.Intn(3))
+		f := cnf.NewFormula(nVars)
+		for i := 0; i < nClauses; i++ {
+			k := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 0))
+			}
+			f.AddClause(c)
+		}
+		st, _, _, _, err := solver.Solve(f, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != solver.Unsat {
+			continue
+		}
+		checked++
+		cut := rng.Intn(nClauses + 1)
+		sides := SplitBySources(nClauses, cut)
+		ip := proveAndInterpolateWith(t, f, sides, Pudlak)
+		checkInterpolant(t, f, sides, ip)
+	}
+	if checked < 20 {
+		t.Fatalf("only %d UNSAT instances interpolated", checked)
+	}
+}
+
+func TestSystemsAgreeOnHandExample(t *testing.T) {
+	f := cnf.NewFormula(0).
+		Add(1).Add(-1, 2).
+		Add(-2, 3).Add(-3)
+	sides := SplitBySources(4, 2)
+	for _, sys := range []System{McMillan, Pudlak} {
+		ip := proveAndInterpolateWith(t, f, sides, sys)
+		checkInterpolant(t, f, sides, ip)
+	}
+}
+
+func TestComputeRejectsBadSides(t *testing.T) {
+	f := cnf.NewFormula(0).Add(1).Add(-1)
+	s, err := solver.NewFromFormula(f, solver.Options{RecordChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	rp, err := resolution.FromSolverRun(f, s.Trace(), s.Chains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compute(rp, []Side{SideA}); err == nil {
+		t.Error("mismatched side labels accepted")
+	}
+}
+
+func TestSplitBySources(t *testing.T) {
+	sides := SplitBySources(4, 2)
+	want := []Side{SideA, SideA, SideB, SideB}
+	for i := range want {
+		if sides[i] != want[i] {
+			t.Fatalf("sides = %v", sides)
+		}
+	}
+}

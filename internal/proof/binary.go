@@ -1,0 +1,147 @@
+package proof
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/cnf"
+)
+
+// Binary trace format — the compact counterpart of the text format, in the
+// spirit of the binary DRAT encoding (the paper's proofs ran to hundreds of
+// megabytes in text; §6 reports a 257 MB proof for 7pipe).
+//
+// Layout:
+//
+//	magic "CCPF" | version byte (1) | flags byte
+//	per clause: [uvarint resolution count, when flags&1]
+//	            uvarint mapped literals..., terminated by a 0 byte
+//
+// A literal with DIMACS value d maps to (|d| << 1) | (d < 0), which is
+// always >= 2, so the 0 terminator is unambiguous.
+
+const binaryMagic = "CCPF"
+
+const (
+	binaryVersion       = 1
+	binaryFlagResCounts = 1
+)
+
+func mapLit(l cnf.Lit) uint64 {
+	d := l.Dimacs()
+	if d < 0 {
+		return uint64(-d)<<1 | 1
+	}
+	return uint64(d) << 1
+}
+
+func unmapLit(u uint64) (cnf.Lit, error) {
+	mag := int(u >> 1)
+	if mag == 0 {
+		return cnf.LitUndef, fmt.Errorf("proof: binary literal 0 outside terminator position")
+	}
+	if u&1 == 1 {
+		return cnf.FromDimacs(-mag), nil
+	}
+	return cnf.FromDimacs(mag), nil
+}
+
+// WriteBinary writes the trace in the binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	flags := byte(0)
+	if t.Resolutions != nil {
+		flags |= binaryFlagResCounts
+	}
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(flags); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(u uint64) error {
+		n := binary.PutUvarint(buf[:], u)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	for i, c := range t.Clauses {
+		if t.Resolutions != nil {
+			if err := putUvarint(uint64(t.Resolutions[i])); err != nil {
+				return err
+			}
+		}
+		for _, l := range c {
+			if err := putUvarint(mapLit(l)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte(0); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a binary trace.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(binaryMagic)+2)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("proof: binary header: %w", err)
+	}
+	if string(head[:4]) != binaryMagic {
+		return nil, fmt.Errorf("proof: bad magic %q", head[:4])
+	}
+	if head[4] != binaryVersion {
+		return nil, fmt.Errorf("proof: unsupported binary version %d", head[4])
+	}
+	flags := head[5]
+	hasRes := flags&binaryFlagResCounts != 0
+
+	t := New()
+	if !hasRes {
+		t.Resolutions = nil
+	}
+	for {
+		if hasRes {
+			res, err := binary.ReadUvarint(br)
+			if err == io.EOF {
+				return t, nil
+			}
+			if err != nil {
+				return nil, fmt.Errorf("proof: binary resolution count: %w", err)
+			}
+			t.Resolutions = append(t.Resolutions, int64(res))
+		}
+		var c cnf.Clause
+		first := true
+		for {
+			u, err := binary.ReadUvarint(br)
+			if err == io.EOF {
+				if first && !hasRes {
+					return t, nil
+				}
+				return nil, fmt.Errorf("proof: truncated binary clause")
+			}
+			if err != nil {
+				return nil, fmt.Errorf("proof: binary literal: %w", err)
+			}
+			first = false
+			if u == 0 {
+				break
+			}
+			l, err := unmapLit(u)
+			if err != nil {
+				return nil, err
+			}
+			c = append(c, l)
+		}
+		t.Clauses = append(t.Clauses, c)
+	}
+}

@@ -1,0 +1,185 @@
+package proof
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func randomTrace(rng *rand.Rand, withRes bool) *Trace {
+	t := New()
+	if !withRes {
+		t.Resolutions = nil
+	}
+	n := 1 + rng.Intn(40)
+	for i := 0; i < n; i++ {
+		k := rng.Intn(6)
+		c := make(cnf.Clause, 0, k)
+		for j := 0; j < k; j++ {
+			c = append(c, cnf.NewLit(cnf.Var(rng.Intn(1000)), rng.Intn(2) == 0))
+		}
+		if withRes {
+			t.Append(c, int64(rng.Intn(10000)))
+		} else {
+			t.Clauses = append(t.Clauses, c)
+		}
+	}
+	return t
+}
+
+func tracesEqual(a, b *Trace) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Clauses {
+		if !a.Clauses[i].Equal(b.Clauses[i]) {
+			return false
+		}
+	}
+	if (a.Resolutions == nil) != (b.Resolutions == nil) {
+		return false
+	}
+	for i := range a.Resolutions {
+		if a.Resolutions[i] != b.Resolutions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 100; round++ {
+		tr := randomTrace(rng, round%2 == 0)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !tracesEqual(tr, got) {
+			t.Fatalf("round %d: traces differ", round)
+		}
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("Len = %d", got.Len())
+	}
+}
+
+func TestBinaryEmptyClause(t *testing.T) {
+	tr := &Trace{Clauses: []cnf.Clause{cl(1, 2), {}}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Terminates() != TermEmptyClause {
+		t.Error("empty clause lost")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	tr := New()
+	for i := 0; i < 500; i++ {
+		k := 3 + rng.Intn(20)
+		c := make(cnf.Clause, 0, k)
+		for j := 0; j < k; j++ {
+			c = append(c, cnf.NewLit(cnf.Var(rng.Intn(5000)), rng.Intn(2) == 0))
+		}
+		tr.Append(c, int64(rng.Intn(100)))
+	}
+	var text, bin bytes.Buffer
+	if err := Write(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= text.Len() {
+		t.Errorf("binary (%d bytes) not smaller than text (%d bytes)", bin.Len(), text.Len())
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"XXXX\x01\x00",
+		"CCPF\x09\x00",         // bad version
+		"CCPF\x01\x00\x04",     // truncated clause (literal then EOF)
+		"CCPF\x01\x01\x05\x04", // res count + literal, no terminator
+	}
+	for _, in := range cases {
+		if _, err := ReadBinary(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadBinary(%q) succeeded", in)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := New()
+	tr.Append(cl(1), 1)
+	tr.Append(cl(1, 2), 2)
+	tr.Append(cl(1, 2, 3, 4, 5), 100)
+	st := tr.ComputeStats(32)
+	if st.Clauses != 3 || st.Literals != 8 || st.Resolutions != 103 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MinLen != 1 || st.MaxLen != 5 || st.MedianLen != 2 {
+		t.Errorf("lens = %+v", st)
+	}
+	if st.LocalClauses != 2 || st.GlobalClauses != 1 {
+		t.Errorf("local/global = %d/%d", st.LocalClauses, st.GlobalClauses)
+	}
+	if st.LenHistogram[1] != 1 || st.LenHistogram[2] != 1 || st.LenHistogram[8] != 1 {
+		t.Errorf("histogram = %v", st.LenHistogram)
+	}
+	if !strings.Contains(st.String(), "local/global") {
+		t.Error("String() missing report sections")
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	st := New().ComputeStats(0)
+	if st.Clauses != 0 || st.MinLen != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestComputeStatsDefaultThreshold(t *testing.T) {
+	tr := New()
+	tr.Append(cl(1, 2), DefaultGlobalThreshold+1)
+	st := tr.ComputeStats(0)
+	if st.GlobalThreshold != DefaultGlobalThreshold || st.GlobalClauses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLenBucket(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 8: 8, 9: 16, 17: 32}
+	for n, want := range cases {
+		if got := lenBucket(n); got != want {
+			t.Errorf("lenBucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package proof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TraceStats summarizes a conflict-clause proof for the §5 local/global
+// analysis: clause lengths, per-clause resolution counts, and the split
+// into "local" clauses (few resolutions) and "global" clauses (many).
+type TraceStats struct {
+	Clauses     int
+	Literals    int64
+	Resolutions int64
+
+	MinLen, MaxLen int
+	MeanLen        float64
+	MedianLen      int
+
+	// Resolution-count distribution (zero when counts are absent).
+	MinRes, MaxRes int64
+	MeanRes        float64
+	MedianRes      int64
+
+	// Local/global split: a clause is "global" when it needed more than
+	// GlobalThreshold resolutions. The threshold used is recorded.
+	GlobalThreshold int64
+	LocalClauses    int
+	GlobalClauses   int
+
+	// LenHistogram buckets clause lengths: 1, 2, 3-4, 5-8, 9-16, ... the
+	// key is the bucket's upper bound.
+	LenHistogram map[int]int
+}
+
+// DefaultGlobalThreshold is the resolution count above which a clause is
+// classified as "global" in Stats.
+const DefaultGlobalThreshold = 32
+
+// ComputeStats summarizes the trace. threshold <= 0 selects
+// DefaultGlobalThreshold.
+func (t *Trace) ComputeStats(threshold int64) TraceStats {
+	if threshold <= 0 {
+		threshold = DefaultGlobalThreshold
+	}
+	st := TraceStats{
+		Clauses:         t.Len(),
+		GlobalThreshold: threshold,
+		LenHistogram:    map[int]int{},
+		MinLen:          int(^uint(0) >> 1),
+	}
+	if t.Len() == 0 {
+		st.MinLen = 0
+		return st
+	}
+	lens := make([]int, 0, t.Len())
+	for _, c := range t.Clauses {
+		n := len(c)
+		lens = append(lens, n)
+		st.Literals += int64(n)
+		if n < st.MinLen {
+			st.MinLen = n
+		}
+		if n > st.MaxLen {
+			st.MaxLen = n
+		}
+		st.LenHistogram[lenBucket(n)]++
+	}
+	sort.Ints(lens)
+	st.MedianLen = lens[len(lens)/2]
+	st.MeanLen = float64(st.Literals) / float64(st.Clauses)
+
+	if t.Resolutions != nil {
+		res := append([]int64(nil), t.Resolutions...)
+		sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+		st.MinRes = res[0]
+		st.MaxRes = res[len(res)-1]
+		st.MedianRes = res[len(res)/2]
+		for _, r := range t.Resolutions {
+			st.Resolutions += r
+			if r > threshold {
+				st.GlobalClauses++
+			} else {
+				st.LocalClauses++
+			}
+		}
+		st.MeanRes = float64(st.Resolutions) / float64(st.Clauses)
+	}
+	return st
+}
+
+// lenBucket maps a clause length to its histogram bucket upper bound:
+// 1, 2, 4, 8, 16, ...
+func lenBucket(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	b := 2
+	for b < n {
+		b <<= 1
+	}
+	return b
+}
+
+// String renders the stats as a small report.
+func (s TraceStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "clauses=%d literals=%d resolutions=%d\n", s.Clauses, s.Literals, s.Resolutions)
+	fmt.Fprintf(&b, "len: min=%d median=%d mean=%.1f max=%d\n", s.MinLen, s.MedianLen, s.MeanLen, s.MaxLen)
+	if s.Resolutions > 0 {
+		fmt.Fprintf(&b, "res/clause: min=%d median=%d mean=%.1f max=%d\n",
+			s.MinRes, s.MedianRes, s.MeanRes, s.MaxRes)
+		fmt.Fprintf(&b, "local/global (threshold %d): %d/%d\n",
+			s.GlobalThreshold, s.LocalClauses, s.GlobalClauses)
+	}
+	keys := make([]int, 0, len(s.LenHistogram))
+	for k := range s.LenHistogram {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Fprintf(&b, "length histogram:")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " <=%d:%d", k, s.LenHistogram[k])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package resolution
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/cnf"
+)
+
+// WriteDOT renders the expanded resolution graph in Graphviz DOT format —
+// useful for inspecting small proofs (the paper's Figure-less tables make
+// more sense once you have stared at one of these). Sources are boxes
+// labeled with their clause, internal nodes are ellipses labeled with the
+// pivot variable, and the sink is highlighted. Only nodes reachable from
+// the sink are emitted; full graphs of real proofs are far too large to
+// draw.
+func (g *Graph) WriteDOT(w io.Writer, sources []cnf.Clause) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph resolution {")
+	fmt.Fprintln(bw, "  rankdir=BT;")
+
+	reach := make([]bool, g.NumSources+len(g.Nodes))
+	reach[g.Sink] = true
+	for id := g.Sink; id >= 0; id-- {
+		if !reach[id] || id < g.NumSources {
+			continue
+		}
+		n := g.Nodes[id-g.NumSources]
+		reach[n.Left] = true
+		reach[n.Right] = true
+	}
+
+	for id := 0; id <= g.Sink; id++ {
+		if !reach[id] {
+			continue
+		}
+		if id < g.NumSources {
+			label := fmt.Sprintf("S%d", id)
+			if sources != nil && id < len(sources) {
+				label = fmt.Sprintf("S%d: %v", id, sources[id])
+			}
+			fmt.Fprintf(bw, "  n%d [shape=box,label=%q];\n", id, label)
+			continue
+		}
+		n := g.Nodes[id-g.NumSources]
+		attrs := fmt.Sprintf("label=\"⋈ %s\"", n.Pivot)
+		if id == g.Sink {
+			attrs += ",style=filled,fillcolor=lightgrey,peripheries=2"
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", id, attrs)
+		fmt.Fprintf(bw, "  n%d -> n%d;\n", n.Left, id)
+		fmt.Fprintf(bw, "  n%d -> n%d;\n", n.Right, id)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

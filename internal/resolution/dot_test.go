@@ -1,0 +1,47 @@
+package resolution
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	p := handProof()
+	g, err := p.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, p.Sources); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph resolution {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Errorf("not a DOT document:\n%s", out)
+	}
+	// 4 sources + 3 internal nodes, all reachable.
+	for _, want := range []string{"n0 [shape=box", "n3 [shape=box", "n6 [", "n4 -> n6", "n5 -> n6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "fillcolor=lightgrey") {
+		t.Error("sink not highlighted")
+	}
+}
+
+func TestWriteDOTWithoutSources(t *testing.T) {
+	p := handProof()
+	g, err := p.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"S0\"") {
+		t.Error("fallback source labels missing")
+	}
+}

@@ -1,0 +1,284 @@
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/interp"
+	"repro/internal/resolution"
+	"repro/internal/solver"
+)
+
+// IMC is interpolation-based unbounded model checking (McMillan, CAV 2003)
+// — the application that turned stored resolution proofs from a debugging
+// aid into core model-checking technology, built here directly on this
+// repository's proof machinery:
+//
+//  1. Unroll R(s0) ∧ T(s0,s1) (the A-side) and
+//     T(s1..sk) ∧ "property violated within steps 1..k" (the B-side),
+//     with explicit boundary variables between frames.
+//  2. If A ∧ B is satisfiable and R is still the initial states, a real
+//     counterexample exists; if R has grown, the abstraction was too
+//     coarse — increase k and restart.
+//  3. If unsatisfiable, the solver's resolution chains yield a Craig
+//     interpolant over the boundary variables: an over-approximation of
+//     the image of R that still cannot reach a violation within k steps.
+//     Union it into R; when the union stops growing (I ⟹ R), R is a
+//     property-preserving inductive invariant and the property HOLDS for
+//     every bound.
+//
+// maxK bounds the unrolling depth, maxIter the image iterations per depth.
+// Verdict Unknown means the budgets ran out.
+func IMC(d *Design, maxK, maxIter int, opts solver.Options) (*Result, error) {
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	// The property at step 0 is outside the interpolation loop's window.
+	base, err := BMC(d, 1, opts)
+	if err != nil {
+		return nil, err
+	}
+	if base.Verdict != Holds {
+		return base, nil
+	}
+
+	opts.RecordChains = true
+	opts.DisableProof = false
+
+	for k := 1; k <= maxK; k++ {
+		// R starts as the initial-state predicate each time k grows.
+		rPred := initPredicate(d)
+		for iter := 0; iter < maxIter; iter++ {
+			st, ip, err := imcStep(d, rPred, k, opts)
+			if err != nil {
+				return nil, err
+			}
+			if st == solver.Sat {
+				if iter == 0 {
+					// R == init: the violation is real; rerun plain BMC to
+					// produce a replayable trace.
+					return BMC(d, k+1, opts)
+				}
+				break // spurious (abstract) counterexample: deepen k
+			}
+			// UNSAT: ip over-approximates the image of R. Fixpoint when
+			// ip ⟹ R.
+			implied, err := predImplies(d, ip, rPred, opts)
+			if err != nil {
+				return nil, err
+			}
+			if implied {
+				return &Result{Verdict: Holds, Bound: k, ProofChecked: true}, nil
+			}
+			rPred = unionPred(rPred, ip)
+		}
+	}
+	return &Result{Verdict: Unknown, Bound: maxK}, nil
+}
+
+// statePred is a predicate over the design's state bits, represented as a
+// circuit whose inputs are the state bits in order.
+type statePred struct {
+	c    *circuit.Circuit
+	root circuit.Signal
+}
+
+// initPredicate builds "state == Init".
+func initPredicate(d *Design) *statePred {
+	c := circuit.New()
+	eq := circuit.True
+	for _, init := range d.Init {
+		in := c.Input()
+		if init {
+			eq = c.And(eq, in)
+		} else {
+			eq = c.And(eq, in.Not())
+		}
+	}
+	return &statePred{c: c, root: eq}
+}
+
+// unionPred returns rPred ∨ ip (the interpolant lifted to a state
+// predicate).
+func unionPred(rPred *statePred, ip *statePred) *statePred {
+	c := circuit.New()
+	nL := rPred.c.NumInputs()
+	ins := make([]circuit.Signal, nL)
+	for i := range ins {
+		ins[i] = c.Input()
+	}
+	t1, _ := rPred.c.CopyInto(c, ins)
+	t2, _ := ip.c.CopyInto(c, ins)
+	return &statePred{c: c, root: c.Or(t1(rPred.root), t2(ip.root))}
+}
+
+// predImplies decides a ⟹ b by refuting a ∧ ¬b.
+func predImplies(d *Design, a, b *statePred, opts solver.Options) (bool, error) {
+	c := circuit.New()
+	ins := make([]circuit.Signal, len(d.Init))
+	for i := range ins {
+		ins[i] = c.Input()
+	}
+	ta, err := a.c.CopyInto(c, ins)
+	if err != nil {
+		return false, err
+	}
+	tb, err := b.c.CopyInto(c, ins)
+	if err != nil {
+		return false, err
+	}
+	f := c.ToCNF(c.And(ta(a.root), tb(b.root).Not()))
+	qopts := opts
+	qopts.RecordChains = false
+	st, _, _, _, err := solver.Solve(f, qopts)
+	if err != nil {
+		return false, err
+	}
+	switch st {
+	case solver.Unsat:
+		return true, nil
+	case solver.Sat:
+		return false, nil
+	default:
+		return false, fmt.Errorf("seq: implication query exhausted the budget")
+	}
+}
+
+// imcStep builds A = R(s0) ∧ T(s0,s1), B = T(s1..sk) ∧ ⋁ bad(1..k) with an
+// explicit boundary at s1, solves, and on UNSAT returns the interpolant
+// lifted to a state predicate over the boundary.
+func imcStep(d *Design, rPred *statePred, k int, opts solver.Options) (solver.Status, *statePred, error) {
+	u := circuit.New()
+	nL, nPI := len(d.Init), d.numPIs()
+
+	// Frame 0 entering state + R over it (A-side gates).
+	s0 := make([]circuit.Signal, nL)
+	for i := range s0 {
+		s0[i] = u.Input()
+	}
+	tr0, err := rPred.c.CopyInto(u, s0)
+	if err != nil {
+		return 0, nil, err
+	}
+	rOut := tr0(rPred.root)
+
+	stamp := func(state []circuit.Signal) (next []circuit.Signal, bad circuit.Signal, err error) {
+		pis := make([]circuit.Signal, nPI)
+		for i := range pis {
+			pis[i] = u.Input()
+		}
+		translate, err := d.C.CopyInto(u, append(append([]circuit.Signal(nil), state...), pis...))
+		if err != nil {
+			return nil, 0, err
+		}
+		next = make([]circuit.Signal, nL)
+		for i, n := range d.Next {
+			next[i] = translate(n)
+		}
+		return next, translate(d.Property).Not(), nil
+	}
+
+	next0, _, err := stamp(s0)
+	if err != nil {
+		return 0, nil, err
+	}
+	watermark := u.NumGates() // everything below is A-side
+
+	// Boundary: fresh s1 inputs (created after the watermark, but inputs
+	// contribute no Tseitin clauses; their vars become the shared ones).
+	s1 := make([]circuit.Signal, nL)
+	for i := range s1 {
+		s1[i] = u.Input()
+	}
+	boundaryVar := make([]cnf.Var, nL)
+	for i, s := range s1 {
+		boundaryVar[i] = circuit.LitOf(s).Var()
+	}
+
+	// Frames 1..k (B-side).
+	state := s1
+	var bads []circuit.Signal
+	for t := 1; t <= k; t++ {
+		nxt, bad, err := stamp(state)
+		if err != nil {
+			return 0, nil, err
+		}
+		bads = append(bads, bad)
+		state = nxt
+	}
+	anyBad := u.OrN(bads...)
+
+	f := u.ToCNF() // no asserts: added below with explicit sides
+	aClauses := u.TseitinClauses(watermark)
+	sides := make([]interp.Side, 0, f.NumClauses()+2*nL+2)
+	for i := 0; i < f.NumClauses(); i++ {
+		if i < aClauses {
+			sides = append(sides, interp.SideA)
+		} else {
+			sides = append(sides, interp.SideB)
+		}
+	}
+	// A-side: assert R; link next0 == s1.
+	f.AddClause(cnf.Clause{circuit.LitOf(rOut)})
+	sides = append(sides, interp.SideA)
+	for i := 0; i < nL; i++ {
+		a := circuit.LitOf(next0[i])
+		b := cnf.PosLit(boundaryVar[i])
+		f.AddClause(cnf.Clause{a.Neg(), b})
+		f.AddClause(cnf.Clause{a, b.Neg()})
+		sides = append(sides, interp.SideA, interp.SideA)
+	}
+	// B-side: assert a violation within frames 1..k.
+	f.AddClause(cnf.Clause{circuit.LitOf(anyBad)})
+	sides = append(sides, interp.SideB)
+
+	s, err := solver.NewFromFormula(f, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	st := s.Run()
+	if st != solver.Unsat {
+		if st == solver.Sat {
+			return solver.Sat, nil, nil
+		}
+		return st, nil, fmt.Errorf("seq: IMC query exhausted the budget")
+	}
+
+	rp, err := resolution.FromSolverRun(f, s.Trace(), s.Chains())
+	if err != nil {
+		return 0, nil, err
+	}
+	ip, err := interp.Compute(rp, sides)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	// Lift the interpolant to a predicate over state bits: its support is
+	// a subset of the shared variables, which are the boundary variables
+	// plus possibly the pinned constant (variable 0).
+	bitOf := make(map[cnf.Var]int, nL)
+	for i, v := range boundaryVar {
+		bitOf[v] = i
+	}
+	pc := circuit.New()
+	ins := make([]circuit.Signal, nL)
+	for i := range ins {
+		ins[i] = pc.Input()
+	}
+	inputMap := make([]circuit.Signal, len(ip.SharedVars))
+	for i, v := range ip.SharedVars {
+		if bit, ok := bitOf[v]; ok {
+			inputMap[i] = ins[bit]
+		} else if v == 0 {
+			inputMap[i] = circuit.False // the Tseitin constant pin
+		} else {
+			return 0, nil, fmt.Errorf("seq: interpolant mentions non-boundary variable %v", v)
+		}
+	}
+	tp, err := ip.Circuit.CopyInto(pc, inputMap)
+	if err != nil {
+		return 0, nil, err
+	}
+	return solver.Unsat, &statePred{c: pc, root: tp(ip.Root)}, nil
+}

@@ -1,0 +1,286 @@
+// Package seq implements bounded model checking and k-induction over
+// sequential circuits — the application domain (barrel, longmult, fifo,
+// w10) that produced the paper's BMC benchmark formulas. A Design is a
+// transition system given as a combinational circuit; Check unrolls it into
+// a CNF miter exactly the way the generators in internal/gen build their
+// instances, then solves with the CDCL solver and (for UNSAT answers)
+// verifies the proof with the paper's verifier before trusting it.
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+// Design is a sequential design. The transition logic lives in C under the
+// convention that C's first len(Init) inputs (in creation order) are the
+// current-state bits and the remaining inputs are the per-step primary
+// inputs. Next[i] gives the next value of state bit i; Property is the
+// invariant signal ("good"; a function of state and inputs) that must hold
+// in every reachable step.
+type Design struct {
+	C        *circuit.Circuit
+	Init     []bool
+	Next     []circuit.Signal
+	Property circuit.Signal
+}
+
+func (d *Design) validate() error {
+	if len(d.Next) != len(d.Init) {
+		return fmt.Errorf("seq: %d next-state functions for %d latches", len(d.Next), len(d.Init))
+	}
+	if d.C.NumInputs() < len(d.Init) {
+		return fmt.Errorf("seq: circuit has %d inputs, fewer than %d latches", d.C.NumInputs(), len(d.Init))
+	}
+	return nil
+}
+
+// numPIs returns the number of per-step primary inputs.
+func (d *Design) numPIs() int { return d.C.NumInputs() - len(d.Init) }
+
+// Verdict is the outcome of a check.
+type Verdict int
+
+const (
+	// Unknown: budget exhausted or (for induction) the step case failed.
+	Unknown Verdict = iota
+	// Holds: the property holds (up to the bound for BMC, globally for
+	// k-induction).
+	Holds
+	// Violated: a counterexample trace exists (see Trace).
+	Violated
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Holds:
+		return "holds"
+	case Violated:
+		return "violated"
+	default:
+		return "unknown"
+	}
+}
+
+// Step is one time step of a counterexample: the primary-input vector and
+// the state entering the step.
+type Step struct {
+	State  []bool
+	Inputs []bool
+}
+
+// Result carries the verdict, the counterexample trace when Violated, and
+// the verification statistics for UNSAT answers (the proof of "no
+// counterexample up to k" is itself checked by the paper's verifier).
+type Result struct {
+	Verdict Verdict
+	Bound   int
+	Trace   []Step
+	// ProofChecked reports that the UNSAT proof backing a Holds verdict
+	// passed independent verification.
+	ProofChecked bool
+	SolverStats  solver.Stats
+}
+
+// unrolling captures the CNF encoding of k stamped transition steps.
+type unrolling struct {
+	u      *circuit.Circuit
+	states [][]circuit.Signal // states[t]: state entering step t (0..k)
+	pis    [][]circuit.Signal // pis[t]: primary inputs of step t (0..k-1)
+	bads   []circuit.Signal   // bads[t]: property violated at step t (0..k-1)
+}
+
+// unroll stamps k steps. When symbolicInit is true, the initial state is a
+// fresh input vector (used by the inductive step); otherwise it is the
+// design's reset state.
+func (d *Design) unroll(k int, symbolicInit bool) (*unrolling, error) {
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	u := circuit.New()
+	nL, nPI := len(d.Init), d.numPIs()
+
+	state := make([]circuit.Signal, nL)
+	for i := range state {
+		if symbolicInit {
+			state[i] = u.Input()
+		} else if d.Init[i] {
+			state[i] = circuit.True
+		} else {
+			state[i] = circuit.False
+		}
+	}
+	un := &unrolling{u: u}
+	un.states = append(un.states, state)
+
+	for t := 0; t < k; t++ {
+		pis := make([]circuit.Signal, nPI)
+		for i := range pis {
+			pis[i] = u.Input()
+		}
+		un.pis = append(un.pis, pis)
+		inputMap := append(append([]circuit.Signal(nil), state...), pis...)
+		translate, err := d.C.CopyInto(u, inputMap)
+		if err != nil {
+			return nil, err
+		}
+		un.bads = append(un.bads, translate(d.Property).Not())
+		next := make([]circuit.Signal, nL)
+		for i, n := range d.Next {
+			next[i] = translate(n)
+		}
+		state = next
+		un.states = append(un.states, state)
+	}
+	return un, nil
+}
+
+// BMC checks the property over all executions of length up to k from the
+// reset state. Holds means no counterexample of length <= k exists, backed
+// by a verified UNSAT proof; Violated carries the shortest-within-k trace.
+func BMC(d *Design, k int, opts solver.Options) (*Result, error) {
+	un, err := d.unroll(k, false)
+	if err != nil {
+		return nil, err
+	}
+	bad := un.u.OrN(un.bads...)
+	f := un.u.ToCNF(bad)
+	st, tr, model, stats, err := solver.Solve(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Bound: k, SolverStats: stats}
+	switch st {
+	case solver.Sat:
+		res.Verdict = Violated
+		res.Trace = extractTrace(un, model, len(d.Init))
+		return res, nil
+	case solver.Unsat:
+		vres, err := core.Verify(f, tr, core.Options{Mode: core.ModeCheckMarked})
+		if err != nil {
+			return nil, err
+		}
+		if !vres.OK {
+			return nil, fmt.Errorf("seq: BMC proof rejected at clause %d — solver bug", vres.FailedIndex)
+		}
+		res.Verdict = Holds
+		res.ProofChecked = true
+		return res, nil
+	default:
+		res.Verdict = Unknown
+		return res, nil
+	}
+}
+
+// KInduction attempts to prove the property for ALL reachable states using
+// k-induction (without uniqueness constraints, so it is sound but
+// incomplete): the base case is BMC(k); the step case assumes the property
+// along k symbolic steps and asserts a violation at step k+1. Verdict
+// Holds means proven for every bound; Violated comes from the base case;
+// Unknown means the induction step failed (the property may still hold).
+func KInduction(d *Design, k int, opts solver.Options) (*Result, error) {
+	base, err := BMC(d, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	if base.Verdict != Holds {
+		return base, nil
+	}
+
+	un, err := d.unroll(k+1, true)
+	if err != nil {
+		return nil, err
+	}
+	// Assume property at steps 0..k-1, assert violation at step k.
+	goods := make([]circuit.Signal, 0, k)
+	for t := 0; t < k; t++ {
+		goods = append(goods, un.bads[t].Not())
+	}
+	stepObligation := un.u.AndN(append(goods, un.bads[k])...)
+	f := un.u.ToCNF(stepObligation)
+	st, tr, _, stats, err := solver.Solve(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Bound: k, SolverStats: stats}
+	switch st {
+	case solver.Unsat:
+		vres, err := core.Verify(f, tr, core.Options{Mode: core.ModeCheckMarked})
+		if err != nil {
+			return nil, err
+		}
+		if !vres.OK {
+			return nil, fmt.Errorf("seq: induction proof rejected at clause %d — solver bug", vres.FailedIndex)
+		}
+		res.Verdict = Holds
+		res.ProofChecked = true
+	case solver.Sat:
+		// The induction step has a counterexample-to-induction; the
+		// property is not k-inductive, which proves nothing either way.
+		res.Verdict = Unknown
+	default:
+		res.Verdict = Unknown
+	}
+	return res, nil
+}
+
+// Simulate runs the design from the reset state over the given per-step
+// primary-input vectors, returning the state entering each step and the
+// property value at each step — the reference semantics used to validate
+// counterexample traces.
+func (d *Design) Simulate(inputs [][]bool) (states [][]bool, good []bool, err error) {
+	if err := d.validate(); err != nil {
+		return nil, nil, err
+	}
+	state := append([]bool(nil), d.Init...)
+	for _, pi := range inputs {
+		if len(pi) != d.numPIs() {
+			return nil, nil, fmt.Errorf("seq: step has %d inputs, want %d", len(pi), d.numPIs())
+		}
+		states = append(states, append([]bool(nil), state...))
+		all := append(append([]bool(nil), state...), pi...)
+		vals, err := d.C.Eval(all)
+		if err != nil {
+			return nil, nil, err
+		}
+		good = append(good, circuit.ValueOf(vals, d.Property))
+		next := make([]bool, len(state))
+		for i, n := range d.Next {
+			next[i] = circuit.ValueOf(vals, n)
+		}
+		state = next
+	}
+	return states, good, nil
+}
+
+// extractTrace reads the counterexample out of a SAT model: variable i of
+// the unrolled CNF is exactly node i of the unrolled circuit.
+func extractTrace(un *unrolling, model []bool, nLatches int) []Step {
+	sigVal := func(s circuit.Signal) bool {
+		l := circuit.LitOf(s)
+		v := int(l.Var())
+		val := v < len(model) && model[v]
+		if l.IsNeg() {
+			val = !val
+		}
+		return val
+	}
+	var steps []Step
+	for t := 0; t < len(un.pis); t++ {
+		st := Step{
+			State:  make([]bool, nLatches),
+			Inputs: make([]bool, len(un.pis[t])),
+		}
+		for i, s := range un.states[t] {
+			st.State[i] = sigVal(s)
+		}
+		for i, s := range un.pis[t] {
+			st.Inputs[i] = sigVal(s)
+		}
+		steps = append(steps, st)
+	}
+	return steps
+}

@@ -1,0 +1,698 @@
+// Package simplify implements CNF preprocessing in the style of the
+// era's simplifiers (NiVER bounded variable elimination, subsumption,
+// self-subsuming resolution, failed-literal probing, root-level unit
+// propagation). Preprocessing was the standard companion of 2002-era CDCL
+// solvers on the verification formulas the paper benchmarks; the bench
+// harness uses it for a solve-with/without ablation.
+//
+// Simplify returns an equisatisfiable formula together with enough
+// reconstruction information to extend any model of the simplified formula
+// to a model of the original one. Note that a conflict-clause proof
+// produced for the simplified formula verifies against the simplified
+// formula, not the original; verification-grade workflows should either
+// skip elimination-based preprocessing or verify against the preprocessed
+// formula (which is how preprocessing solvers shipped proofs before
+// DRAT-style deletion/addition logging existed).
+package simplify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bcp"
+	"repro/internal/cnf"
+)
+
+// Options selects preprocessing passes. The zero value enables nothing;
+// Default() enables everything with standard bounds.
+type Options struct {
+	// UnitPropagation propagates root-level units, removing satisfied
+	// clauses and false literals.
+	UnitPropagation bool
+	// Subsumption removes clauses subsumed by another clause.
+	Subsumption bool
+	// SelfSubsumption strengthens clauses by self-subsuming resolution.
+	SelfSubsumption bool
+	// VarElim performs NiVER-style bounded variable elimination: a
+	// variable is eliminated only if the non-tautological resolvents do
+	// not contain more literals than the clauses they replace (plus
+	// VarElimGrowth slack).
+	VarElim bool
+	// BlockedClause removes blocked clauses: C is blocked on l ∈ C when
+	// every resolvent of C with a clause containing ¬l is tautological.
+	BlockedClause bool
+	// VarElimGrowth is the literal-count slack allowed by VarElim.
+	VarElimGrowth int
+	// FailedLiterals probes literals with BCP and adds the negation of
+	// every failed literal as a unit.
+	FailedLiterals bool
+	// MaxProbes bounds the number of failed-literal probes per round
+	// (0 = all literals).
+	MaxProbes int
+	// Rounds bounds the outer fixpoint loop. Default 3 when zero.
+	Rounds int
+}
+
+// Default returns the standard full configuration.
+func Default() Options {
+	return Options{
+		UnitPropagation: true,
+		Subsumption:     true,
+		SelfSubsumption: true,
+		VarElim:         true,
+		VarElimGrowth:   0,
+		BlockedClause:   true,
+		FailedLiterals:  true,
+		Rounds:          3,
+	}
+}
+
+// Stats counts what each pass did.
+type Stats struct {
+	Rounds           int
+	UnitsPropagated  int
+	ClausesSubsumed  int
+	LitsStrengthened int
+	VarsEliminated   int
+	BlockedRemoved   int
+	FailedLiterals   int
+	ClausesRemoved   int
+	TautologiesLost  int
+}
+
+// ElimVar records an eliminated variable and the original clauses it
+// occurred in, for model reconstruction.
+type ElimVar struct {
+	V   cnf.Var
+	Pos []cnf.Clause // clauses containing V positively
+	Neg []cnf.Clause // clauses containing V negatively
+}
+
+// BlockedClause records a removed blocked clause and its blocking literal.
+type BlockedClause struct {
+	C cnf.Clause
+	L cnf.Lit
+}
+
+// reconStep is one entry of the unified model-reconstruction stack: either
+// an eliminated variable or a removed blocked clause. The stack preserves
+// the chronological interleaving of the two mechanisms, which matters for
+// correctness (a blocked clause removed before an elimination must be
+// repaired after it during reconstruction).
+type reconStep struct {
+	ev *ElimVar
+	bc *BlockedClause
+}
+
+// Result is the outcome of Simplify.
+type Result struct {
+	// F is the simplified formula (over the same variable numbering).
+	F *cnf.Formula
+	// Unsat is true when preprocessing alone refuted the formula; F then
+	// contains an empty clause.
+	Unsat bool
+	// Forced lists root-level literals fixed by unit propagation or
+	// failed-literal probing, in deduction order.
+	Forced []cnf.Lit
+	// Eliminated lists eliminated variables in elimination order and
+	// Blocked the removed blocked clauses (both are views; ExtendModel
+	// replays the unified stack).
+	Eliminated []ElimVar
+	Blocked    []BlockedClause
+	Stats      Stats
+
+	recon []reconStep
+}
+
+// engine state used by the passes.
+type simplifier struct {
+	opt     Options
+	nVars   int
+	clauses []cnf.Clause // nil entries are deleted
+	occurs  [][]int      // literal -> clause indices (with stale entries)
+	value   []int8       // root-level assignment
+	forced  []cnf.Lit
+	stats   Stats
+	recon   []reconStep
+	gone    []bool // variable eliminated
+	unsat   bool
+}
+
+// Simplify runs the configured passes to fixpoint (bounded by Rounds).
+func Simplify(f *cnf.Formula, opt Options) (*Result, error) {
+	if opt.Rounds == 0 {
+		opt.Rounds = 3
+	}
+	s := &simplifier{
+		opt:    opt,
+		nVars:  f.NumVars,
+		occurs: make([][]int, 2*f.NumVars),
+		value:  make([]int8, f.NumVars),
+		gone:   make([]bool, f.NumVars),
+	}
+	for _, c := range f.Clauses {
+		norm, taut := c.Normalize()
+		if taut {
+			s.stats.TautologiesLost++
+			continue
+		}
+		s.addClause(norm)
+	}
+
+	for round := 0; round < opt.Rounds && !s.unsat; round++ {
+		s.stats.Rounds = round + 1
+		changed := false
+		if opt.UnitPropagation {
+			changed = s.propagateUnits() || changed
+		}
+		if s.unsat {
+			break
+		}
+		if opt.FailedLiterals {
+			changed = s.failedLiterals() || changed
+		}
+		if s.unsat {
+			break
+		}
+		if opt.Subsumption {
+			changed = s.subsumption() || changed
+		}
+		if opt.SelfSubsumption {
+			changed = s.selfSubsumption() || changed
+		}
+		if opt.VarElim {
+			changed = s.eliminateVars() || changed
+		}
+		if opt.BlockedClause {
+			changed = s.blockedClauses() || changed
+		}
+		if !changed {
+			break
+		}
+	}
+
+	out := cnf.NewFormula(f.NumVars)
+	if s.unsat {
+		out.AddClause(cnf.Clause{})
+	} else {
+		for _, c := range s.clauses {
+			if c != nil {
+				out.AddClause(c.Clone())
+			}
+		}
+	}
+	res := &Result{
+		F:      out,
+		Unsat:  s.unsat,
+		Forced: s.forced,
+		Stats:  s.stats,
+		recon:  s.recon,
+	}
+	for _, step := range s.recon {
+		if step.ev != nil {
+			res.Eliminated = append(res.Eliminated, *step.ev)
+		} else {
+			res.Blocked = append(res.Blocked, *step.bc)
+		}
+	}
+	return res, nil
+}
+
+func (s *simplifier) addClause(c cnf.Clause) int {
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, c)
+	for _, l := range c {
+		s.occurs[l] = append(s.occurs[l], idx)
+	}
+	return idx
+}
+
+func (s *simplifier) removeClause(idx int) {
+	if s.clauses[idx] == nil {
+		return
+	}
+	s.clauses[idx] = nil
+	s.stats.ClausesRemoved++
+	// occurs entries are cleaned lazily.
+}
+
+// litValue returns the root-level value of a literal.
+func (s *simplifier) litValue(l cnf.Lit) int8 {
+	v := s.value[l.Var()]
+	if l.IsNeg() {
+		return -v
+	}
+	return v
+}
+
+func (s *simplifier) assign(l cnf.Lit) bool {
+	switch s.litValue(l) {
+	case 1:
+		return true
+	case -1:
+		s.unsat = true
+		return false
+	}
+	if l.IsNeg() {
+		s.value[l.Var()] = -1
+	} else {
+		s.value[l.Var()] = 1
+	}
+	s.forced = append(s.forced, l)
+	return true
+}
+
+// propagateUnits applies the root assignment: satisfied clauses are
+// removed, false literals stripped, new units queued.
+func (s *simplifier) propagateUnits() bool {
+	changed := false
+	for {
+		progressed := false
+		for idx, c := range s.clauses {
+			if c == nil {
+				continue
+			}
+			sat := false
+			kept := c[:0:0]
+			stripped := false
+			for _, l := range c {
+				switch s.litValue(l) {
+				case 1:
+					sat = true
+				case -1:
+					stripped = true
+				default:
+					kept = append(kept, l)
+				}
+			}
+			switch {
+			case sat:
+				s.removeClause(idx)
+				progressed = true
+			case stripped:
+				s.clauses[idx] = kept
+				for _, l := range kept {
+					s.occurs[l] = append(s.occurs[l], idx)
+				}
+				progressed = true
+				if len(kept) == 0 {
+					s.unsat = true
+					return true
+				}
+			}
+			cur := s.clauses[idx]
+			if cur != nil && len(cur) == 1 && s.litValue(cur[0]) == 0 {
+				if !s.assign(cur[0]) {
+					return true
+				}
+				s.stats.UnitsPropagated++
+				s.removeClause(idx)
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// failedLiterals probes literals of the current formula with an
+// independent BCP engine: if assuming l conflicts, ¬l is implied.
+func (s *simplifier) failedLiterals() bool {
+	eng := bcp.NewEngine(s.nVars)
+	active := 0
+	for _, c := range s.clauses {
+		if c != nil {
+			eng.Add(c)
+			active++
+		}
+	}
+	if active == 0 {
+		return false
+	}
+	// Probe each variable once per polarity, bounded by MaxProbes.
+	probes := 0
+	changed := false
+	seen := make(map[cnf.Lit]bool)
+	for _, c := range s.clauses {
+		if c == nil {
+			continue
+		}
+		for _, l := range c {
+			if s.opt.MaxProbes > 0 && probes >= s.opt.MaxProbes {
+				return changed
+			}
+			if seen[l] || s.litValue(l) != 0 || s.gone[l.Var()] {
+				continue
+			}
+			seen[l] = true
+			probes++
+			// Refute([¬l]) assumes l and propagates.
+			conflict, selfContra := eng.Refute(cnf.Clause{l.Neg()})
+			if selfContra {
+				continue
+			}
+			if conflict != bcp.NoConflict {
+				s.stats.FailedLiterals++
+				if !s.assign(l.Neg()) {
+					return true
+				}
+				eng.Add(cnf.Clause{l.Neg()})
+				changed = true
+			}
+		}
+	}
+	if changed {
+		s.propagateUnits()
+	}
+	return changed
+}
+
+// compactOccurs rebuilds a literal's occurrence list dropping stale
+// entries.
+func (s *simplifier) compactOccurs(l cnf.Lit) []int {
+	out := s.occurs[l][:0]
+	for _, idx := range s.occurs[l] {
+		c := s.clauses[idx]
+		if c == nil || !c.Has(l) {
+			continue
+		}
+		dup := false
+		for _, prev := range out {
+			if prev == idx {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, idx)
+		}
+	}
+	s.occurs[l] = out
+	return out
+}
+
+// subsumption removes clauses subsumed by a (strictly shorter or equal)
+// other clause, scanning the occurrence list of each clause's
+// least-frequent literal.
+func (s *simplifier) subsumption() bool {
+	// Order clauses by length ascending so short clauses kill long ones.
+	idxs := make([]int, 0, len(s.clauses))
+	for i, c := range s.clauses {
+		if c != nil {
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Slice(idxs, func(a, b int) bool {
+		return len(s.clauses[idxs[a]]) < len(s.clauses[idxs[b]])
+	})
+	changed := false
+	for _, i := range idxs {
+		c := s.clauses[i]
+		if c == nil || len(c) == 0 {
+			continue
+		}
+		// Candidates: clauses containing c's least-frequent literal.
+		best := c[0]
+		for _, l := range c[1:] {
+			if len(s.occurs[l]) < len(s.occurs[best]) {
+				best = l
+			}
+		}
+		for _, j := range s.compactOccurs(best) {
+			d := s.clauses[j]
+			if j == i || d == nil || len(d) < len(c) {
+				continue
+			}
+			if c.Subsumes(d) {
+				s.removeClause(j)
+				s.stats.ClausesSubsumed++
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// selfSubsumption strengthens clauses: if c = (l ∨ A) and d ⊇ (¬l ∨ A),
+// then resolving removes ¬l from d.
+func (s *simplifier) selfSubsumption() bool {
+	changed := false
+	for i, c := range s.clauses {
+		if c == nil || len(c) == 0 {
+			continue
+		}
+		for _, l := range c {
+			// c' = c with l flipped; if c' subsumes d, remove ¬l from d.
+			for _, j := range s.compactOccurs(l.Neg()) {
+				d := s.clauses[j]
+				if d == nil || j == i || len(d) < len(c) {
+					continue
+				}
+				if subsumesWithFlip(c, d, l) {
+					nd := make(cnf.Clause, 0, len(d)-1)
+					for _, x := range d {
+						if x != l.Neg() {
+							nd = append(nd, x)
+						}
+					}
+					s.clauses[j] = nd
+					for _, x := range nd {
+						s.occurs[x] = append(s.occurs[x], j)
+					}
+					s.stats.LitsStrengthened++
+					changed = true
+					if len(nd) == 0 {
+						s.unsat = true
+						return true
+					}
+				}
+			}
+		}
+	}
+	if changed {
+		s.propagateUnits()
+	}
+	return changed
+}
+
+// subsumesWithFlip reports whether (c \ {l}) ∪ {¬l} subsumes d.
+func subsumesWithFlip(c, d cnf.Clause, l cnf.Lit) bool {
+	for _, x := range c {
+		want := x
+		if x == l {
+			want = l.Neg()
+		}
+		if !d.Has(want) {
+			return false
+		}
+	}
+	return true
+}
+
+// eliminateVars performs NiVER-style bounded variable elimination.
+func (s *simplifier) eliminateVars() bool {
+	changed := false
+	for v := cnf.Var(0); int(v) < s.nVars; v++ {
+		if s.gone[v] || s.value[v] != 0 {
+			continue
+		}
+		pos := s.compactOccurs(cnf.PosLit(v))
+		neg := s.compactOccurs(cnf.NegLit(v))
+		if len(pos) == 0 && len(neg) == 0 {
+			continue
+		}
+		if len(pos) == 0 || len(neg) == 0 {
+			// Pure literal: satisfy all its clauses by fixing the value.
+			l := cnf.PosLit(v)
+			if len(pos) == 0 {
+				l = cnf.NegLit(v)
+			}
+			ev := ElimVar{V: v}
+			for _, i := range append(append([]int(nil), pos...), neg...) {
+				if s.clauses[i] != nil {
+					if s.clauses[i].Has(cnf.PosLit(v)) {
+						ev.Pos = append(ev.Pos, s.clauses[i].Clone())
+					} else {
+						ev.Neg = append(ev.Neg, s.clauses[i].Clone())
+					}
+					s.removeClause(i)
+				}
+			}
+			_ = l
+			s.recon = append(s.recon, reconStep{ev: &ev})
+			s.gone[v] = true
+			s.stats.VarsEliminated++
+			changed = true
+			continue
+		}
+		if len(pos)*len(neg) > 32 {
+			continue // too many resolvents to even consider
+		}
+		oldLits := 0
+		for _, i := range pos {
+			oldLits += len(s.clauses[i])
+		}
+		for _, i := range neg {
+			oldLits += len(s.clauses[i])
+		}
+		var resolvents []cnf.Clause
+		newLits := 0
+		feasible := true
+		for _, i := range pos {
+			for _, j := range neg {
+				r, taut, ok := s.clauses[i].Resolve(s.clauses[j], v)
+				if !ok {
+					feasible = false
+					break
+				}
+				if taut {
+					continue
+				}
+				resolvents = append(resolvents, r)
+				newLits += len(r)
+				if newLits > oldLits+s.opt.VarElimGrowth {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		ev := ElimVar{V: v}
+		for _, i := range pos {
+			ev.Pos = append(ev.Pos, s.clauses[i].Clone())
+			s.removeClause(i)
+		}
+		for _, i := range neg {
+			ev.Neg = append(ev.Neg, s.clauses[i].Clone())
+			s.removeClause(i)
+		}
+		for _, r := range resolvents {
+			if len(r) == 0 {
+				s.unsat = true
+				return true
+			}
+			s.addClause(r)
+		}
+		s.recon = append(s.recon, reconStep{ev: &ev})
+		s.gone[v] = true
+		s.stats.VarsEliminated++
+		changed = true
+	}
+	if changed {
+		s.propagateUnits()
+	}
+	return changed
+}
+
+// blockedClauses removes blocked clauses: C is blocked on l ∈ C when every
+// resolvent of C with a clause containing ¬l is tautological (so adding or
+// removing C cannot change satisfiability; a model is repaired by making l
+// true if C ends up falsified).
+func (s *simplifier) blockedClauses() bool {
+	changed := false
+	for i, c := range s.clauses {
+		if c == nil || len(c) == 0 {
+			continue
+		}
+		for _, l := range c {
+			if s.value[l.Var()] != 0 || s.gone[l.Var()] {
+				continue
+			}
+			blocked := true
+			for _, j := range s.compactOccurs(l.Neg()) {
+				d := s.clauses[j]
+				if d == nil || j == i {
+					continue
+				}
+				if !resolventTaut(c, d, l) {
+					blocked = false
+					break
+				}
+			}
+			if blocked {
+				s.recon = append(s.recon, reconStep{bc: &BlockedClause{C: c.Clone(), L: l}})
+				s.removeClause(i)
+				s.stats.BlockedRemoved++
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// resolventTaut reports whether the resolvent of c (∋ l) and d (∋ ¬l) on
+// var(l) is tautological: some other variable appears with opposite
+// polarities across the two clauses.
+func resolventTaut(c, d cnf.Clause, l cnf.Lit) bool {
+	for _, x := range c {
+		if x.Var() == l.Var() {
+			continue
+		}
+		if d.Has(x.Neg()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExtendModel extends a model of the simplified formula to a model of the
+// original: forced literals are applied, then the reconstruction stack
+// (eliminated variables and removed blocked clauses, chronologically
+// interleaved) is replayed in reverse.
+func (r *Result) ExtendModel(model []bool) ([]bool, error) {
+	if r.Unsat {
+		return nil, fmt.Errorf("simplify: formula is unsatisfiable")
+	}
+	out := make([]bool, len(model))
+	copy(out, model)
+	for _, l := range r.Forced {
+		out[l.Var()] = l.IsPos()
+	}
+	satisfied := func(c cnf.Clause, skip cnf.Var) bool {
+		for _, l := range c {
+			if l.Var() == skip {
+				continue
+			}
+			if out[l.Var()] == l.IsPos() {
+				return true
+			}
+		}
+		return false
+	}
+	for i := len(r.recon) - 1; i >= 0; i-- {
+		step := r.recon[i]
+		if bc := step.bc; bc != nil {
+			// Repair a removed blocked clause: if unsatisfied, flipping the
+			// blocking literal satisfies it, and the tautological-resolvent
+			// property guarantees every clause containing ¬l stays
+			// satisfied through some other literal of the blocked clause.
+			if !satisfied(bc.C, cnf.VarUndef) {
+				out[bc.L.Var()] = bc.L.IsPos()
+			}
+			continue
+		}
+		ev := step.ev
+		// If every clause that needs v=false is already satisfied by some
+		// other literal, set v=true (satisfying the Pos side); otherwise
+		// v=false (the resolvent closure guarantees the Pos side is then
+		// satisfied by other literals).
+		needFalse := false
+		for _, c := range ev.Neg {
+			if !satisfied(c, ev.V) {
+				needFalse = true
+				break
+			}
+		}
+		out[ev.V] = !needFalse
+	}
+	return out, nil
+}

@@ -1,0 +1,319 @@
+package simplify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+func cl(dimacs ...int) cnf.Clause {
+	c := make(cnf.Clause, 0, len(dimacs))
+	for _, d := range dimacs {
+		c = append(c, cnf.FromDimacs(d))
+	}
+	return c
+}
+
+func bruteSat(f *cnf.Formula) (bool, []bool) {
+	n := f.NumVars
+	for m := 0; m < 1<<n; m++ {
+		assign := make([]bool, n)
+		for i := range assign {
+			assign[i] = m&(1<<i) != 0
+		}
+		if f.Eval(assign) {
+			return true, assign
+		}
+	}
+	return false, nil
+}
+
+func TestUnitPropagation(t *testing.T) {
+	f := cnf.NewFormula(0).Add(1).Add(-1, 2).Add(-2, 3).Add(3, 4)
+	res, err := Simplify(f, Options{UnitPropagation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat {
+		t.Fatal("spurious unsat")
+	}
+	if res.Stats.UnitsPropagated < 3 {
+		t.Errorf("UnitsPropagated = %d", res.Stats.UnitsPropagated)
+	}
+	// x1, x2, x3 forced; (3 4) satisfied; nothing remains.
+	if res.F.NumClauses() != 0 {
+		t.Errorf("remaining clauses: %v", res.F.Clauses)
+	}
+	if len(res.Forced) != 3 {
+		t.Errorf("Forced = %v", res.Forced)
+	}
+}
+
+func TestUnitPropagationConflict(t *testing.T) {
+	f := cnf.NewFormula(0).Add(1).Add(-1)
+	res, err := Simplify(f, Options{UnitPropagation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unsat {
+		t.Error("conflicting units not detected")
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	f := cnf.NewFormula(0).Add(1, 2).Add(1, 2, 3).Add(1, 2, 4).Add(5, 6)
+	res, err := Simplify(f, Options{Subsumption: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ClausesSubsumed != 2 {
+		t.Errorf("ClausesSubsumed = %d", res.Stats.ClausesSubsumed)
+	}
+	if res.F.NumClauses() != 2 {
+		t.Errorf("remaining: %v", res.F.Clauses)
+	}
+}
+
+func TestSelfSubsumption(t *testing.T) {
+	// (1 2) and (-1 2 3): resolving on 1 gives (2 3) ⊂ (-1 2 3), so the
+	// long clause strengthens to (2 3).
+	f := cnf.NewFormula(0).Add(1, 2).Add(-1, 2, 3)
+	res, err := Simplify(f, Options{SelfSubsumption: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.LitsStrengthened != 1 {
+		t.Errorf("LitsStrengthened = %d", res.Stats.LitsStrengthened)
+	}
+	found := false
+	for _, c := range res.F.Clauses {
+		if c.SameLits(cl(2, 3)) {
+			found = true
+		}
+		if c.SameLits(cl(-1, 2, 3)) {
+			t.Error("unstrengthened clause survives")
+		}
+	}
+	if !found {
+		t.Errorf("strengthened clause missing: %v", res.F.Clauses)
+	}
+}
+
+func TestVarElimPure(t *testing.T) {
+	// x1 occurs only positively: pure.
+	f := cnf.NewFormula(0).Add(1, 2).Add(1, 3).Add(2, -3)
+	res, err := Simplify(f, Options{VarElim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.VarsEliminated == 0 {
+		t.Error("pure literal not eliminated")
+	}
+}
+
+func TestVarElimBounded(t *testing.T) {
+	// Eliminating x1 from (1 2)(1 3)(-1 4): resolvents (2 4)(3 4) — 4 lits
+	// replace 6: allowed with growth 0.
+	f := cnf.NewFormula(0).Add(1, 2).Add(1, 3).Add(-1, 4)
+	res, err := Simplify(f, Options{VarElim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.VarsEliminated == 0 {
+		t.Error("bounded elimination did not fire")
+	}
+	for _, c := range res.F.Clauses {
+		for _, l := range c {
+			if l.Var() == 0 {
+				t.Errorf("eliminated variable survives in %v", c)
+			}
+		}
+	}
+}
+
+func TestBlockedClauseElimination(t *testing.T) {
+	// (1 2) is blocked on x1: the only clause with ¬x1 is (-1 -2), and the
+	// resolvent (2 -2) is tautological. Same symmetrically, so BCE can
+	// clear this (satisfiable) formula substantially.
+	f := cnf.NewFormula(0).Add(1, 2).Add(-1, -2).Add(3, 4)
+	res, err := Simplify(f, Options{BlockedClause: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BlockedRemoved == 0 {
+		t.Fatal("no blocked clauses removed")
+	}
+	// Any model of the simplified formula must extend to the original.
+	ok, model := bruteSat(res.F)
+	if !ok {
+		t.Fatal("simplified formula unsatisfiable")
+	}
+	full, err := res.ExtendModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Eval(full) {
+		t.Fatalf("extended model %v does not satisfy original", full)
+	}
+	if len(res.Blocked) != res.Stats.BlockedRemoved {
+		t.Errorf("Blocked view has %d entries, stats say %d", len(res.Blocked), res.Stats.BlockedRemoved)
+	}
+}
+
+func TestBlockedClauseNotRemovedWhenClashing(t *testing.T) {
+	// (1 2) vs (-1 3): resolvent (2 3) is not tautological, so (1 2) is
+	// not blocked on x1 (and not on x2 either since nothing contains -2...
+	// which WOULD make it blocked on x2). Use a formula where every
+	// literal has a non-tautological resolvent partner.
+	f := cnf.NewFormula(0).Add(1, 2).Add(-1, 3).Add(-2, 4).Add(-3, -4).Add(3, 4)
+	res, err := Simplify(f, Options{BlockedClause: true, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bc := range res.Blocked {
+		if bc.C.SameLits(cl(1, 2)) {
+			t.Errorf("(1 2) wrongly classified as blocked")
+		}
+	}
+}
+
+func TestFailedLiterals(t *testing.T) {
+	// Assuming x1 propagates x2 and ~x2: x1 fails, so ~x1 is forced.
+	f := cnf.NewFormula(0).Add(-1, 2).Add(-1, -2).Add(1, 3)
+	res, err := Simplify(f, Options{UnitPropagation: true, FailedLiterals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FailedLiterals == 0 {
+		t.Error("failed literal not found")
+	}
+	foundNeg := false
+	for _, l := range res.Forced {
+		if l == cnf.NegLit(0) {
+			foundNeg = true
+		}
+	}
+	if !foundNeg {
+		t.Errorf("~x1 not forced: %v", res.Forced)
+	}
+}
+
+func TestSimplifyDetectsUnsatByProbing(t *testing.T) {
+	f := cnf.NewFormula(0).
+		Add(1, 2).Add(1, -2).Add(-1, 3).Add(-1, -3)
+	res, err := Simplify(f, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unsat {
+		t.Error("probing + propagation should refute this formula")
+	}
+}
+
+// TestEquisatisfiableRandom is the central property test: on random small
+// formulas, Simplify preserves satisfiability, and for satisfiable inputs
+// ExtendModel turns any model of the simplified formula into a model of the
+// original.
+func TestEquisatisfiableRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for round := 0; round < 400; round++ {
+		nVars := 3 + rng.Intn(7)
+		nClauses := 2 + rng.Intn(4*nVars)
+		f := cnf.NewFormula(nVars)
+		for i := 0; i < nClauses; i++ {
+			k := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 0))
+			}
+			f.AddClause(c)
+		}
+		wantSat, _ := bruteSat(f)
+
+		res, err := Simplify(f, Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSat, model := bruteSat(res.F)
+		if res.Unsat {
+			gotSat = false
+		}
+		if gotSat != wantSat {
+			t.Fatalf("round %d: original sat=%v, simplified sat=%v\noriginal:\n%v\nsimplified:\n%v",
+				round, wantSat, gotSat, f, res.F)
+		}
+		if gotSat {
+			full, err := res.ExtendModel(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !f.Eval(full) {
+				t.Fatalf("round %d: extended model %v does not satisfy original\n%v\nsimplified:\n%v\nforced=%v elim=%+v",
+					round, full, f, res.F, res.Forced, res.Eliminated)
+			}
+		}
+	}
+}
+
+// TestSimplifyThenSolveAndVerify checks the verification-grade workflow on
+// preprocessed formulas: the proof produced for the simplified formula
+// verifies against the simplified formula.
+func TestSimplifyThenSolveAndVerify(t *testing.T) {
+	for _, inst := range []gen.Instance{gen.PHP(5), gen.AdderEquiv(8), gen.XorChain(9)} {
+		res, err := Simplify(inst.F, Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Unsat {
+			continue // preprocessing alone refuted it
+		}
+		st, tr, _, _, err := solver.Solve(res.F, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != solver.Unsat {
+			t.Fatalf("%s: simplified formula not UNSAT (%v)", inst.Name, st)
+		}
+		v, err := core.Verify(res.F, tr, core.Options{Mode: core.ModeCheckAll})
+		if err != nil || !v.OK {
+			t.Fatalf("%s: proof for simplified formula rejected: %v", inst.Name, err)
+		}
+	}
+}
+
+func TestSimplifyReducesBenchmarks(t *testing.T) {
+	inst := gen.Fifo(4, 8)
+	res, err := Simplify(inst.F, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat {
+		t.Skip("preprocessing refuted the instance outright")
+	}
+	if res.F.NumClauses() >= inst.F.NumClauses() {
+		t.Errorf("no reduction: %d -> %d clauses", inst.F.NumClauses(), res.F.NumClauses())
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	f := cnf.NewFormula(0).Add(1, -1).Add(2, 3)
+	res, err := Simplify(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TautologiesLost != 1 || res.F.NumClauses() != 1 {
+		t.Errorf("stats=%+v clauses=%v", res.Stats, res.F.Clauses)
+	}
+}
+
+func TestExtendModelRejectsUnsat(t *testing.T) {
+	f := cnf.NewFormula(0).Add(1).Add(-1)
+	res, _ := Simplify(f, Options{UnitPropagation: true})
+	if _, err := res.ExtendModel(nil); err == nil {
+		t.Error("ExtendModel on unsat result succeeded")
+	}
+}

@@ -1,0 +1,106 @@
+package solver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cnf"
+	"repro/internal/proof"
+)
+
+// PortfolioResult is the winning run of a portfolio race.
+type PortfolioResult struct {
+	Status Status
+	// Winner indexes the configuration that finished first.
+	Winner int
+	Trace  *proof.Trace
+	Model  []bool
+	Stats  Stats
+}
+
+// Portfolio races one solver per configuration on the same formula and
+// returns the first definitive answer (Sat or Unsat); the losers are
+// stopped cooperatively. Every configuration gets the shared Stop flag and
+// its index mixed into the seed, so a bare []Options{base, base, base}
+// still diversifies.
+//
+// The winning trace verifies against f exactly like a single-solver trace —
+// proofs do not mix across portfolio members.
+func Portfolio(f *cnf.Formula, configs []Options) (*PortfolioResult, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("solver: empty portfolio")
+	}
+	var stop atomic.Bool
+	type answer struct {
+		idx    int
+		status Status
+		trace  *proof.Trace
+		model  []bool
+		stats  Stats
+		err    error
+	}
+	answers := make(chan answer, len(configs))
+	var wg sync.WaitGroup
+	for i, cfg := range configs {
+		cfg.Stop = &stop
+		if cfg.Seed == 0 {
+			cfg.Seed = int64(i + 1)
+		} else {
+			cfg.Seed += int64(i)
+		}
+		wg.Add(1)
+		go func(i int, cfg Options) {
+			defer wg.Done()
+			s, err := NewFromFormula(f, cfg)
+			if err != nil {
+				answers <- answer{idx: i, err: err}
+				return
+			}
+			st := s.Run()
+			a := answer{idx: i, status: st, stats: s.Stats()}
+			switch st {
+			case Sat:
+				a.model = s.Model()
+			case Unsat:
+				a.trace = s.Trace()
+			}
+			answers <- answer{idx: a.idx, status: a.status, trace: a.trace, model: a.model, stats: a.stats}
+		}(i, cfg)
+	}
+	go func() {
+		wg.Wait()
+		close(answers)
+	}()
+
+	var firstErr error
+	unknowns := 0
+	for a := range answers {
+		switch {
+		case a.err != nil:
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			stop.Store(true)
+			unknowns++
+		case a.status == Sat || a.status == Unsat:
+			stop.Store(true)
+			res := &PortfolioResult{
+				Status: a.status,
+				Winner: a.idx,
+				Trace:  a.trace,
+				Model:  a.model,
+				Stats:  a.stats,
+			}
+			// Drain the rest in the background goroutine via close; the
+			// channel is buffered for all members so no sender blocks.
+			return res, nil
+		default:
+			unknowns++
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &PortfolioResult{Status: Unknown}, nil
+}

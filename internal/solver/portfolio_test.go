@@ -1,0 +1,84 @@
+package solver
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+)
+
+func TestPortfolioUnsat(t *testing.T) {
+	f := php(6)
+	res, err := Portfolio(f, []Options{
+		{Learn: Learn1UIP},
+		{Learn: LearnHybrid},
+		{Learn: LearnHybrid, Heuristic: HeurVSIDS},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unsat {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace from winner")
+	}
+	v, err := core.Verify(f, res.Trace, core.Options{})
+	if err != nil || !v.OK {
+		t.Fatalf("winner's proof rejected: %v %+v", err, v)
+	}
+	if res.Winner < 0 || res.Winner > 2 {
+		t.Errorf("winner = %d", res.Winner)
+	}
+}
+
+func TestPortfolioSat(t *testing.T) {
+	f := cnf.NewFormula(0).Add(1, 2).Add(-1, 3).Add(2, -3)
+	res, err := Portfolio(f, []Options{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Sat {
+		t.Fatalf("status %v", res.Status)
+	}
+	if !f.Eval(res.Model) {
+		t.Fatal("bogus model")
+	}
+}
+
+func TestPortfolioAllUnknown(t *testing.T) {
+	f := php(7)
+	res, err := Portfolio(f, []Options{
+		{MaxConflicts: 3},
+		{MaxConflicts: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unknown {
+		t.Fatalf("status %v", res.Status)
+	}
+}
+
+func TestPortfolioEmpty(t *testing.T) {
+	if _, err := Portfolio(php(2), nil); err == nil {
+		t.Fatal("empty portfolio accepted")
+	}
+}
+
+func TestStopFlag(t *testing.T) {
+	f := php(8) // hard enough not to finish instantly
+	var stop atomic.Bool
+	stop.Store(true)
+	st, _, _, stats, err := Solve(f, Options{Stop: &stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unknown {
+		t.Fatalf("status %v with pre-set stop flag", st)
+	}
+	if stats.Conflicts > 2 {
+		t.Errorf("ran %d conflicts past the stop flag", stats.Conflicts)
+	}
+}

@@ -1,0 +1,75 @@
+package solver
+
+// propagate performs two-watched-literal unit propagation to fixpoint and
+// returns a falsified clause, or nil when no conflict arises.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p became true; watchers of p.Neg() may fire
+		s.qhead++
+		ws := s.watches[p]
+		// Watches are indexed by the literal whose FALSIFICATION wakes the
+		// clause: attach registers watcher under lits[k].Neg(), so when p
+		// becomes true the list s.watches[p] holds clauses watching p.Neg().
+		out := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			// Blocker short-circuit: clause already satisfied.
+			if s.value(w.blocker) == 1 {
+				out = append(out, w)
+				continue
+			}
+			c := w.c
+			lits := c.lits
+			falseLit := p.Neg()
+			if lits[0] == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			// lits[1] == falseLit now.
+			first := lits[0]
+			if first != w.blocker && s.value(first) == 1 {
+				out = append(out, watcher{c, first})
+				continue
+			}
+			found := false
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != -1 {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1].Neg()] = append(s.watches[lits[1].Neg()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Unit or conflicting on lits[0].
+			out = append(out, watcher{c, first})
+			if !s.enqueue(first, c) {
+				// Conflict: restore the untraversed suffix and bail.
+				out = append(out, ws[i+1:]...)
+				s.watches[p] = out
+				return c
+			}
+		}
+		s.watches[p] = out
+	}
+	return nil
+}
+
+// satisfied reports whether the clause has a true literal under the current
+// assignment.
+func (s *Solver) satisfied(c *clause) bool {
+	for _, l := range c.lits {
+		if s.value(l) == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// locked reports whether the clause is the reason of its first literal's
+// assignment (such clauses must survive database reduction).
+func (s *Solver) locked(c *clause) bool {
+	l := c.lits[0]
+	return s.value(l) == 1 && s.reason[l.Var()] == c
+}

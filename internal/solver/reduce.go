@@ -1,0 +1,53 @@
+package solver
+
+import (
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// reduceDB removes roughly half of the learned clauses, preferring inactive
+// long clauses, in the spirit of BerkMin's aging-based deletion. Locked
+// clauses (current reasons) and binary clauses are kept. Deletion never
+// touches the proof: every clause was already emitted when it was deduced —
+// the paper's F* is the set of ALL deduced conflict clauses, including those
+// the solver later drops.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) == 0 {
+		return
+	}
+	// Order candidates by activity ascending (oldest/least useful first).
+	byAct := make([]*clause, len(s.learnts))
+	copy(byAct, s.learnts)
+	sort.Slice(byAct, func(i, j int) bool { return byAct[i].act < byAct[j].act })
+
+	toDelete := make(map[*clause]bool, len(byAct)/2)
+	budget := len(byAct) / 2
+	for _, c := range byAct {
+		if budget == 0 {
+			break
+		}
+		if len(c.lits) <= 2 || s.locked(c) {
+			continue
+		}
+		toDelete[c] = true
+		budget--
+	}
+	if len(toDelete) == 0 {
+		return
+	}
+	w := 0
+	for _, c := range s.learnts {
+		if toDelete[c] {
+			s.detach(c)
+			s.stats.Deleted++
+			if s.opts.OnDelete != nil {
+				s.opts.OnDelete(append(cnf.Clause(nil), c.lits...))
+			}
+			continue
+		}
+		s.learnts[w] = c
+		w++
+	}
+	s.learnts = s.learnts[:w]
+}

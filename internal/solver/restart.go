@@ -1,0 +1,61 @@
+package solver
+
+// RestartPolicy selects the restart strategy.
+type RestartPolicy int
+
+const (
+	// RestartFixed restarts every RestartInterval conflicts (BerkMin's
+	// policy; the era default and the reproduction default).
+	RestartFixed RestartPolicy = iota
+	// RestartLuby follows the Luby sequence scaled by RestartInterval — a
+	// later development kept for the restart ablation.
+	RestartLuby
+	// RestartNone disables restarts.
+	RestartNone
+)
+
+func (p RestartPolicy) String() string {
+	switch p {
+	case RestartLuby:
+		return "luby"
+	case RestartNone:
+		return "none"
+	default:
+		return "fixed"
+	}
+}
+
+// luby returns the i-th element (1-based) of the Luby sequence
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+func luby(i int64) int64 {
+	// Find the finite subsequence containing i and the position within it.
+	var k uint
+	for k = 1; (1<<k)-1 < i; k++ {
+	}
+	for (1<<k)-1 != i {
+		i -= (1 << (k - 1)) - 1
+		k = 1
+		for (1<<k)-1 < i {
+			k++
+		}
+	}
+	return 1 << (k - 1)
+}
+
+// restartBudget returns the conflict budget for the n-th restart interval
+// (0-based) under the configured policy, or a negative value when restarts
+// are disabled.
+func (s *Solver) restartBudget(n int64) int64 {
+	base := int64(s.opts.RestartInterval)
+	switch s.opts.Restart {
+	case RestartNone:
+		return -1
+	case RestartLuby:
+		return luby(n+1) * base
+	default:
+		if base <= 0 {
+			return -1
+		}
+		return base
+	}
+}
