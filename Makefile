@@ -1,0 +1,33 @@
+# Pre-merge gate and developer conveniences. The repo is stdlib-only, so
+# `go` is the only tool required.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: vet, a full build, and the test suite under
+# the race detector. Run it before every merge; CI and reviewers assume it
+# is green.
+check: vet build race
+
+# bench compiles and smoke-runs every benchmark once (not a measurement run).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...
+	rm -rf bin

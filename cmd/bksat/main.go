@@ -16,6 +16,10 @@
 //	-max-conflicts N  give up after N conflicts (0 = unlimited)
 //	-seed N         perturb initial activities
 //	-stats          print search statistics
+//	-stats-json FILE  write a JSON snapshot of every metric and the span tree
+//	-progress       report search progress (conflicts) on stderr
+//	-progress-every N  progress line every N conflicts (default 10000)
+//	-metrics ADDR   serve live metrics over HTTP (expvar-style JSON)
 //
 // Exit status: 10 for SAT (model printed as a "v" line), 20 for UNSAT,
 // 0 for unknown, 1 on error — the conventional SAT-competition codes.
@@ -24,10 +28,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cnf"
 	"repro/internal/drat"
+	"repro/internal/obs"
 	"repro/internal/proof"
 	"repro/internal/simplify"
 	"repro/internal/solver"
@@ -45,6 +51,10 @@ func run() int {
 	maxConflicts := flag.Int64("max-conflicts", 0, "conflict budget (0 = unlimited)")
 	seed := flag.Int64("seed", 0, "activity perturbation seed")
 	stats := flag.Bool("stats", false, "print search statistics")
+	statsJSON := flag.String("stats-json", "", "write a JSON metrics snapshot to this file")
+	progress := flag.Bool("progress", false, "report search progress on stderr")
+	progressEvery := flag.Int64("progress-every", 10000, "progress line every N conflicts")
+	metricsAddr := flag.String("metrics", "", "serve live metrics over HTTP on this address")
 	simp := flag.Bool("simp", false, "preprocess before solving (NOTE: any proof then refers to the simplified formula)")
 	portfolio := flag.Int("portfolio", 0, "race N diversified solver configurations; the winner's proof is written at the end (streaming and -drat are unavailable in this mode)")
 	flag.Parse()
@@ -54,6 +64,23 @@ func run() int {
 		return 1
 	}
 
+	// The registry exists whenever any observability surface is requested;
+	// nil otherwise, which turns every instrument call into a nil check.
+	var reg *obs.Registry
+	if *statsJSON != "" || *metricsAddr != "" || *progress {
+		reg = obs.New()
+	}
+	if *metricsAddr != "" {
+		addr, shutdown, serr := obs.Serve(*metricsAddr, reg)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "bksat:", serr)
+			return 1
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "c metrics: http://%v/debug/vars\n", addr)
+	}
+
+	parseSpan := reg.StartSpan("parse-formula")
 	in, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bksat:", err)
@@ -65,6 +92,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "bksat:", err)
 		return 1
 	}
+	parseSpan.End()
 
 	var pre *simplify.Result
 	if *simp {
@@ -77,7 +105,21 @@ func run() int {
 		f = pre.F
 	}
 
-	opts := solver.Options{MaxConflicts: *maxConflicts, Seed: *seed}
+	opts := solver.Options{MaxConflicts: *maxConflicts, Seed: *seed, Obs: reg}
+	var prog *obs.Progress
+	if *progress {
+		learned := reg.Counter("solver.learned")
+		restarts := reg.Counter("solver.restarts")
+		prog = obs.NewProgress(os.Stderr, obs.ProgressConfig{
+			Label: "solve",
+			Unit:  "conflicts",
+			Every: *progressEvery,
+			Aux: func() string {
+				return fmt.Sprintf("learned=%d restarts=%d", learned.Value(), restarts.Value())
+			},
+		})
+		opts.Progress = prog
+	}
 	switch *learn {
 	case "1uip":
 		opts.Learn = solver.Learn1UIP
@@ -117,7 +159,9 @@ func run() int {
 				solver.LearnHybrid, solver.Learn1UIP, solver.LearnDecision,
 			}[i%3]
 		}
+		solveSpan := reg.StartSpan("solve")
 		res, perr := solver.Portfolio(f, configs)
+		solveSpan.End()
 		if perr != nil {
 			fmt.Fprintln(os.Stderr, "bksat:", perr)
 			return 1
@@ -131,7 +175,11 @@ func run() int {
 				return 1
 			}
 			defer out.Close()
-			if werr := proof.Write(out, tr); werr != nil {
+			var w io.Writer = out
+			if reg != nil {
+				w = obs.CountingWriter(out, reg.Counter("proof.write.bytes"))
+			}
+			if werr := proof.Write(w, tr); werr != nil {
 				fmt.Fprintln(os.Stderr, "bksat:", werr)
 				return 1
 			}
@@ -144,18 +192,38 @@ func run() int {
 				return 1
 			}
 			defer proofFile.Close()
-			opts.ProofWriter = proofFile
+			if reg != nil {
+				opts.ProofWriter = obs.CountingWriter(proofFile, reg.Counter("proof.write.bytes"))
+			} else {
+				opts.ProofWriter = proofFile
+			}
 		}
 		if *dratPath != "" {
 			rec = drat.NewRecorder()
 			opts.OnLearn = rec.Learn
 			opts.OnDelete = rec.Delete
 		}
+		solveSpan := reg.StartSpan("solve")
 		st, tr, model, sstats, err = solver.Solve(f, opts)
+		solveSpan.End()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bksat:", err)
 			return 1
 		}
+	}
+	prog.Finish()
+	if *statsJSON != "" {
+		out, serr := os.Create(*statsJSON)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "bksat:", serr)
+			return 1
+		}
+		if serr := reg.WriteJSON(out); serr != nil {
+			out.Close()
+			fmt.Fprintln(os.Stderr, "bksat:", serr)
+			return 1
+		}
+		out.Close()
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "c conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d deleted=%d resolutions=%d\n",

@@ -10,23 +10,32 @@
 //
 // Flags:
 //
-//	-all          check every proof clause (Proof_verification1)
-//	-engine NAME  watched | counting BCP engine (default watched)
-//	-core FILE    write the unsatisfiable core as DIMACS
-//	-trim FILE    write the trimmed proof (used clauses only)
-//	-q            quiet: no statistics, exit code only
+//	-all            check every proof clause (Proof_verification1)
+//	-engine NAME    watched | counting BCP engine (default watched)
+//	-par N          fan the check over N workers (0 = sequential; parallel
+//	                mode always checks every clause and extracts no core)
+//	-core FILE      write the unsatisfiable core as DIMACS
+//	-trim FILE      write the trimmed proof (used clauses only)
+//	-json           emit the verification result as JSON on stdout
+//	-stats-json FILE  write a JSON snapshot of every metric and the span tree
+//	-progress       report progress on stderr while checking
+//	-progress-every N  progress line every N proof clauses (default 1000)
+//	-metrics ADDR   serve live metrics over HTTP (expvar-style JSON)
+//	-q              quiet: no statistics, exit code only
 //
 // Exit status: 0 when the proof is correct, 2 when it is rejected,
 // 1 on usage/IO errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/cnf"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/proof"
 )
 
@@ -37,8 +46,14 @@ func main() {
 func run() int {
 	all := flag.Bool("all", false, "check every clause (Proof_verification1)")
 	engine := flag.String("engine", "watched", "BCP engine: watched | counting")
+	par := flag.Int("par", 0, "parallel workers (0 = sequential; implies -all, no core)")
 	corePath := flag.String("core", "", "write the unsatisfiable core (DIMACS) to this file")
 	trimPath := flag.String("trim", "", "write the trimmed proof to this file")
+	jsonOut := flag.Bool("json", false, "emit the verification result as JSON on stdout")
+	statsJSON := flag.String("stats-json", "", "write a JSON metrics snapshot to this file")
+	progress := flag.Bool("progress", false, "report verification progress on stderr")
+	progressEvery := flag.Int64("progress-every", 1000, "progress line every N proof clauses")
+	metricsAddr := flag.String("metrics", "", "serve live metrics over HTTP on this address")
 	quiet := flag.Bool("q", false, "quiet")
 	flag.Parse()
 
@@ -46,7 +61,28 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "usage: dpv [flags] formula.cnf proof.trace")
 		return 1
 	}
+	if *par != 0 && (*corePath != "" || *trimPath != "") {
+		fmt.Fprintln(os.Stderr, "dpv: -par checks every clause without marking; -core/-trim need the sequential checker")
+		return 1
+	}
 
+	// The registry exists whenever any observability surface is requested;
+	// nil otherwise, which turns every instrument call into a nil check.
+	var reg *obs.Registry
+	if *statsJSON != "" || *metricsAddr != "" || *progress {
+		reg = obs.New()
+	}
+	if *metricsAddr != "" {
+		addr, shutdown, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpv:", err)
+			return 1
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "c metrics: http://%v/debug/vars\n", addr)
+	}
+
+	parseSpan := reg.StartSpan("parse-formula")
 	fin, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpv:", err)
@@ -58,6 +94,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "dpv:", err)
 		return 1
 	}
+	parseSpan.End()
 
 	pin, err := os.Open(flag.Arg(1))
 	if err != nil {
@@ -65,13 +102,13 @@ func run() int {
 		return 1
 	}
 	defer pin.Close()
-	tr, err := proof.Read(pin)
+	tr, err := proof.ReadObserved(pin, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpv:", err)
 		return 1
 	}
 
-	opt := core.Options{}
+	opt := core.Options{Obs: reg}
 	if *all {
 		opt.Mode = core.ModeCheckAll
 	}
@@ -85,18 +122,58 @@ func run() int {
 		return 1
 	}
 
-	res, err := core.Verify(f, tr, opt)
+	if *progress {
+		markedC := reg.Counter("verify.marked")
+		total := tr.Len()
+		opt.Progress = obs.NewProgress(os.Stderr, obs.ProgressConfig{
+			Label: "verify",
+			Unit:  "clauses",
+			Total: int64(total),
+			Every: *progressEvery,
+			Aux: func() string {
+				if total == 0 {
+					return ""
+				}
+				// Fraction of the proof marked as needed so far; its final
+				// value is the Result.MarkedProof percentage.
+				return fmt.Sprintf("mark=%.1f%%", 100*float64(markedC.Value())/float64(total))
+			},
+		})
+	}
+
+	var res *core.Result
+	if *par != 0 {
+		res, err = core.VerifyParallelOpts(f, tr, opt, *par)
+	} else {
+		res, err = core.Verify(f, tr, opt)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpv:", err)
 		return 1
 	}
-	if !res.OK {
+	opt.Progress.Finish()
+	if *statsJSON != "" {
+		if err := writeStats(*statsJSON, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "dpv:", err)
+			return 1
+		}
+	}
+
+	if *jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(resultJSON(res, opt, *par, f.NumClauses())); err != nil {
+			fmt.Fprintln(os.Stderr, "dpv:", err)
+			return 1
+		}
+		if !res.OK {
+			return 2
+		}
+	} else if !res.OK {
 		fmt.Printf("s PROOF REJECTED\nc clause %d of the proof is not implied: %v\n",
 			res.FailedIndex, res.FailedClause)
 		return 2
 	}
 
-	if !*quiet {
+	if !*quiet && !*jsonOut {
 		fmt.Println("s PROOF VERIFIED")
 		fmt.Printf("c mode=%v engine=%v termination=%v\n", opt.Mode, opt.Engine, res.Termination)
 		fmt.Printf("c proof clauses=%d tested=%d (%.1f%%) skipped=%d tautologies=%d\n",
@@ -136,4 +213,63 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// jsonResult is the machine-readable shape of a core.Result for -json.
+type jsonResult struct {
+	Verdict      string  `json:"verdict"` // "verified" | "rejected"
+	Mode         string  `json:"mode"`
+	Engine       string  `json:"engine"`
+	Workers      int     `json:"workers,omitempty"`
+	Termination  string  `json:"termination"`
+	ProofClauses int     `json:"proof_clauses"`
+	Tested       int     `json:"tested"`
+	TestedPct    float64 `json:"tested_pct"`
+	Skipped      int     `json:"skipped"`
+	Tautologies  int     `json:"tautologies"`
+	MarkedProof  int     `json:"marked_proof"`
+	CoreSize     int     `json:"core_size"`
+	CorePct      float64 `json:"core_pct"`
+	Propagations int64   `json:"propagations"`
+	FailedIndex  int     `json:"failed_index"`            // -1 when verified
+	FailedClause []int   `json:"failed_clause,omitempty"` // DIMACS literals
+}
+
+func resultJSON(res *core.Result, opt core.Options, workers, nOriginal int) jsonResult {
+	out := jsonResult{
+		Verdict:      "verified",
+		Mode:         opt.Mode.String(),
+		Engine:       opt.Engine.String(),
+		Workers:      workers,
+		Termination:  res.Termination.String(),
+		ProofClauses: res.ProofClauses,
+		Tested:       res.Tested,
+		TestedPct:    res.TestedPct(),
+		Skipped:      res.Skipped,
+		Tautologies:  res.Tautologies,
+		MarkedProof:  res.MarkedProof,
+		CoreSize:     len(res.Core),
+		CorePct:      res.CorePct(nOriginal),
+		Propagations: res.Propagations,
+		FailedIndex:  res.FailedIndex,
+	}
+	if workers != 0 {
+		out.Mode = core.ModeCheckAll.String() // parallel always checks everything
+	}
+	if !res.OK {
+		out.Verdict = "rejected"
+		for _, l := range res.FailedClause {
+			out.FailedClause = append(out.FailedClause, l.Dimacs())
+		}
+	}
+	return out
+}
+
+func writeStats(path string, reg *obs.Registry) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return reg.WriteJSON(out)
 }

@@ -63,8 +63,32 @@ type Propagator interface {
 	WalkConflict(conflict ID, visit func(ID))
 	// Propagations returns the cumulative number of implied assignments.
 	Propagations() int64
+	// Stats returns the cumulative work counters (propagations, conflicts,
+	// clause visits). Counters are plain per-engine integers maintained on
+	// the hot path, so reading them costs nothing and needs no enabling.
+	Stats() Stats
 	// NumClauses returns how many clauses were added.
 	NumClauses() int
+}
+
+// Stats aggregates a propagator's cumulative work counters. Propagations
+// and Refutations are common to both engines; WatcherVisits counts
+// watch-list entries examined by the watched-literal engine and OccTouches
+// counts occurrence-list entries touched by the counting engine — the two
+// numbers whose ratio quantifies the paper's §6 argument for watched
+// literals on proofs full of long clauses.
+type Stats struct {
+	// Propagations is the number of implied assignments.
+	Propagations int64
+	// Refutations is the number of Refute calls.
+	Refutations int64
+	// Conflicts is the number of Refute calls that found a conflict (on a
+	// correct proof this equals Refutations minus tautologies).
+	Conflicts int64
+	// WatcherVisits counts watch-list entries examined (watched engine).
+	WatcherVisits int64
+	// OccTouches counts occurrence-list entries touched (counting engine).
+	OccTouches int64
 }
 
 // value codes: 0 unassigned, +1 true, -1 false.

@@ -25,6 +25,9 @@ type Counting struct {
 	seenReset []cnf.Var
 
 	propagations int64
+	refutations  int64
+	conflicts    int64
+	occTouches   int64
 }
 
 type countClause struct {
@@ -60,6 +63,16 @@ func (e *Counting) NumClauses() int { return len(e.clauses) }
 
 // Propagations returns the cumulative number of implied assignments.
 func (e *Counting) Propagations() int64 { return e.propagations }
+
+// Stats returns the cumulative work counters.
+func (e *Counting) Stats() Stats {
+	return Stats{
+		Propagations: e.propagations,
+		Refutations:  e.refutations,
+		Conflicts:    e.conflicts,
+		OccTouches:   e.occTouches,
+	}
+}
 
 // Add inserts a clause and returns its ID.
 func (e *Counting) Add(c cnf.Clause) ID {
@@ -131,6 +144,7 @@ func (e *Counting) Refute(c cnf.Clause) (ID, bool) {
 		e.growTo(int(mv) + 1)
 	}
 	e.reset()
+	e.refutations++
 
 	w := 0
 	for _, id := range e.empty {
@@ -141,6 +155,7 @@ func (e *Counting) Refute(c cnf.Clause) (ID, bool) {
 	}
 	e.empty = e.empty[:w]
 	if len(e.empty) > 0 {
+		e.conflicts++
 		return e.empty[0], false
 	}
 
@@ -170,6 +185,7 @@ func (e *Counting) Refute(c cnf.Clause) (ID, bool) {
 	}
 	e.units = e.units[:w]
 	if conflict != NoConflict {
+		e.conflicts++
 		return conflict, false
 	}
 
@@ -184,6 +200,7 @@ func (e *Counting) propagate() (ID, bool) {
 		conflict := NoConflict
 		// Even after a conflict is found, finish counting the whole
 		// occurrence list so reset can roll counters back symmetrically.
+		e.occTouches += int64(len(e.occurs[falseLit]))
 		for _, id := range e.occurs[falseLit] {
 			c := &e.clauses[id]
 			c.nFalse++ // counters track all clauses, active or not
@@ -213,6 +230,7 @@ func (e *Counting) propagate() (ID, bool) {
 			}
 		}
 		if conflict != NoConflict {
+			e.conflicts++
 			return conflict, false
 		}
 	}

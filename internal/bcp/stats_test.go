@@ -1,0 +1,71 @@
+package bcp
+
+import "testing"
+
+// TestStatsCounters: both engines account their work — propagations,
+// refutations, conflicts and the engine-specific visit counter.
+func TestStatsCounters(t *testing.T) {
+	for name, e := range engines(4) {
+		t.Run(name, func(t *testing.T) {
+			e.Add(cl(-1, 2))
+			e.Add(cl(-2, 3))
+			e.Add(cl(-3, 4))
+			e.Add(cl(-1, -4))
+
+			if conflict, _ := e.Refute(cl(-1)); conflict == NoConflict {
+				t.Fatal("expected a conflict")
+			}
+			if conflict, _ := e.Refute(cl(1, 2)); conflict != NoConflict {
+				t.Fatalf("unexpected conflict %d", conflict)
+			}
+
+			st := e.Stats()
+			if st.Refutations != 2 {
+				t.Errorf("Refutations = %d, want 2", st.Refutations)
+			}
+			if st.Conflicts != 1 {
+				t.Errorf("Conflicts = %d, want 1", st.Conflicts)
+			}
+			if st.Propagations == 0 {
+				t.Error("Propagations = 0")
+			}
+			if st.Propagations != e.Propagations() {
+				t.Errorf("Stats.Propagations = %d but Propagations() = %d",
+					st.Propagations, e.Propagations())
+			}
+			switch name {
+			case "watched":
+				if st.WatcherVisits == 0 {
+					t.Error("WatcherVisits = 0 on the watched engine")
+				}
+				if st.OccTouches != 0 {
+					t.Errorf("OccTouches = %d on the watched engine", st.OccTouches)
+				}
+			case "counting":
+				if st.OccTouches == 0 {
+					t.Error("OccTouches = 0 on the counting engine")
+				}
+				if st.WatcherVisits != 0 {
+					t.Errorf("WatcherVisits = %d on the counting engine", st.WatcherVisits)
+				}
+			}
+		})
+	}
+}
+
+// TestStatsTautologyNotAConflict: a self-contradictory refutation target
+// counts as a refutation but not as a conflict.
+func TestStatsTautologyNotAConflict(t *testing.T) {
+	for name, e := range engines(2) {
+		t.Run(name, func(t *testing.T) {
+			e.Add(cl(1))
+			if _, selfContra := e.Refute(cl(1, -1)); !selfContra {
+				t.Fatal("tautology not detected")
+			}
+			st := e.Stats()
+			if st.Refutations != 1 || st.Conflicts != 0 {
+				t.Errorf("stats = %+v, want 1 refutation, 0 conflicts", st)
+			}
+		})
+	}
+}

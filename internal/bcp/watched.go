@@ -30,7 +30,10 @@ type Engine struct {
 	seen      []bool // per-var scratch for WalkConflict
 	seenReset []cnf.Var
 
-	propagations int64
+	propagations  int64
+	refutations   int64
+	conflicts     int64
+	watcherVisits int64
 }
 
 type watchedClause struct {
@@ -96,6 +99,16 @@ func (e *Engine) NumClauses() int { return len(e.clauses) }
 
 // Propagations returns the cumulative number of implied assignments.
 func (e *Engine) Propagations() int64 { return e.propagations }
+
+// Stats returns the cumulative work counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Propagations:  e.propagations,
+		Refutations:   e.refutations,
+		Conflicts:     e.conflicts,
+		WatcherVisits: e.watcherVisits,
+	}
+}
 
 // Add inserts a clause and returns its ID.
 func (e *Engine) Add(c cnf.Clause) ID {
@@ -171,11 +184,13 @@ func (e *Engine) Refute(c cnf.Clause) (ID, bool) {
 		e.growTo(int(mv) + 1)
 	}
 	e.reset()
+	e.refutations++
 
 	// An active empty clause conflicts immediately.
 	if e.retainInactive {
 		for _, id := range e.empty {
 			if e.clauses[id].active {
+				e.conflicts++
 				return id, false
 			}
 		}
@@ -189,6 +204,7 @@ func (e *Engine) Refute(c cnf.Clause) (ID, bool) {
 		}
 		e.empty = e.empty[:w]
 		if len(e.empty) > 0 {
+			e.conflicts++
 			return e.empty[0], false
 		}
 	}
@@ -228,6 +244,7 @@ func (e *Engine) Refute(c cnf.Clause) (ID, bool) {
 	}
 	e.units = e.units[:w]
 	if conflict != NoConflict {
+		e.conflicts++
 		return conflict, false
 	}
 
@@ -242,6 +259,7 @@ func (e *Engine) propagate() (ID, bool) {
 		falseLit := p.Neg()
 		ws := e.watches[falseLit]
 		out := ws[:0]
+		e.watcherVisits += int64(len(ws))
 		for i := 0; i < len(ws); i++ {
 			id := ws[i]
 			c := &e.clauses[id]
@@ -280,6 +298,7 @@ func (e *Engine) propagate() (ID, bool) {
 				// Conflict: keep the remaining watchers in place.
 				out = append(out, ws[i+1:]...)
 				e.watches[falseLit] = out
+				e.conflicts++
 				return id, false
 			}
 		}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/proof"
+)
+
+// TestVerifyObserved: running Verify with a registry attached fills the
+// verify.* and bcp.* namespaces and builds the expected span tree.
+func TestVerifyObserved(t *testing.T) {
+	for _, engine := range []EngineKind{EngineWatched, EngineCounting} {
+		t.Run(engine.String(), func(t *testing.T) {
+			f, tr := chainFormula()
+			reg := obs.New()
+			res, err := Verify(f, tr, Options{Mode: ModeCheckMarked, Engine: engine, Obs: reg})
+			if err != nil || !res.OK {
+				t.Fatalf("%v %+v", err, res)
+			}
+
+			snap := reg.Snapshot()
+			if got := snap.Counters["verify.checked"]; got != int64(res.Tested) {
+				t.Errorf("verify.checked = %d, want %d", got, res.Tested)
+			}
+			if got := snap.Counters["bcp.propagations"]; got != res.Propagations {
+				t.Errorf("bcp.propagations = %d, want %d", got, res.Propagations)
+			}
+			if snap.Counters["bcp.refutations"] == 0 || snap.Counters["bcp.conflicts"] == 0 {
+				t.Errorf("bcp counters empty: %+v", snap.Counters)
+			}
+			if snap.Counters["verify.marked"] == 0 {
+				t.Errorf("verify.marked = 0: %+v", snap.Counters)
+			}
+			switch engine {
+			case EngineWatched:
+				if snap.Counters["bcp.watcher_visits"] == 0 {
+					t.Errorf("bcp.watcher_visits = 0: %+v", snap.Counters)
+				}
+			case EngineCounting:
+				if snap.Counters["bcp.occ_touches"] == 0 {
+					t.Errorf("bcp.occ_touches = 0: %+v", snap.Counters)
+				}
+			}
+			if h := snap.Histograms["verify.props_per_check"]; h.Count != int64(res.Tested) {
+				t.Errorf("props_per_check count = %d, want %d", h.Count, res.Tested)
+			}
+
+			// Span tree: total -> verify -> {build-db, check-loop, core-extract}.
+			if snap.Spans == nil || len(snap.Spans.Children) != 1 {
+				t.Fatalf("span root = %+v", snap.Spans)
+			}
+			v := snap.Spans.Children[0]
+			if v.Name != "verify" || v.Running {
+				t.Fatalf("verify span = %+v", v)
+			}
+			var phases []string
+			for _, c := range v.Children {
+				phases = append(phases, c.Name)
+			}
+			if strings.Join(phases, ",") != "build-db,check-loop,core-extract" {
+				t.Errorf("phases = %v", phases)
+			}
+		})
+	}
+}
+
+// TestVerifyObservedDisabled: the zero Options still work — nil registry,
+// nil progress — and produce the identical result.
+func TestVerifyObservedDisabled(t *testing.T) {
+	f, tr := chainFormula()
+	plain, err := Verify(f, tr, Options{})
+	if err != nil || !plain.OK {
+		t.Fatalf("%v %+v", err, plain)
+	}
+	instr, err := Verify(f, tr, Options{Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Tested != instr.Tested || plain.Propagations != instr.Propagations ||
+		len(plain.Core) != len(instr.Core) {
+		t.Errorf("instrumentation changed the result: %+v vs %+v", plain, instr)
+	}
+}
+
+// TestVerifyParallelObserved: per-worker spans appear under the
+// verify-parallel span and shared counters aggregate across workers.
+func TestVerifyParallelObserved(t *testing.T) {
+	f, base := chainFormula()
+	tr := proof.New()
+	tr.Append(cl(1, 3), 0)
+	tr.Append(cl(1, -3), 0)
+	tr.Append(cl(-1, 2), 0)
+	tr.Append(base.Clauses[0], 0)
+	tr.Append(base.Clauses[1], 0)
+
+	reg := obs.New()
+	var buf bytes.Buffer
+	prog := obs.NewProgress(&buf, obs.ProgressConfig{
+		Label: "verify", Unit: "clauses", Total: int64(tr.Len()), Every: 1,
+	})
+	res, err := VerifyParallelOpts(f, tr, Options{Obs: reg, Progress: prog}, 3)
+	if err != nil || !res.OK {
+		t.Fatalf("%v %+v", err, res)
+	}
+	prog.Finish()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["verify.checked"]; got != int64(res.Tested) {
+		t.Errorf("verify.checked = %d, want %d", got, res.Tested)
+	}
+	if got := snap.Counters["bcp.propagations"]; got != res.Propagations {
+		t.Errorf("bcp.propagations = %d, want %d", got, res.Propagations)
+	}
+	if snap.Gauges["verify.workers"] != 3 {
+		t.Errorf("verify.workers = %d", snap.Gauges["verify.workers"])
+	}
+	if snap.Spans == nil || len(snap.Spans.Children) != 1 {
+		t.Fatalf("span root = %+v", snap.Spans)
+	}
+	par := snap.Spans.Children[0]
+	if par.Name != "verify-parallel" {
+		t.Fatalf("span = %+v", par)
+	}
+	workers := 0
+	for _, c := range par.Children {
+		if strings.HasPrefix(c.Name, "worker-") {
+			workers++
+			if len(c.Children) != 1 || c.Children[0].Name != "build-db" {
+				t.Errorf("worker span children = %+v", c.Children)
+			}
+		}
+	}
+	if workers != 3 {
+		t.Errorf("%d worker spans, want 3", workers)
+	}
+	if prog.Done() != int64(tr.Len()) {
+		t.Errorf("progress stepped %d of %d", prog.Done(), tr.Len())
+	}
+	if !strings.Contains(buf.String(), "c progress verify: done 5 clauses") {
+		t.Errorf("progress output:\n%s", buf.String())
+	}
+}

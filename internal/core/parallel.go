@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,15 @@ import (
 //
 // workers <= 0 selects GOMAXPROCS.
 func VerifyParallel(f *cnf.Formula, t *proof.Trace, engine EngineKind, workers int) (*Result, error) {
+	return VerifyParallelOpts(f, t, Options{Mode: ModeCheckAll, Engine: engine}, workers)
+}
+
+// VerifyParallelOpts is VerifyParallel with full Options: opt.Engine
+// selects the BCP engine, opt.Obs and opt.Progress instrument the run
+// (per-worker child spans record each chunk's bounds and wall time;
+// counters aggregate across workers). opt.Mode is ignored — parallel
+// verification always checks every clause.
+func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int) (*Result, error) {
 	term := t.Terminates()
 	if term == proof.TermNone {
 		return nil, errTermination()
@@ -32,8 +42,17 @@ func VerifyParallel(f *cnf.Formula, t *proof.Trace, engine EngineKind, workers i
 		workers = m
 	}
 	if workers <= 1 {
-		return Verify(f, t, Options{Mode: ModeCheckAll, Engine: engine})
+		seq := opt
+		seq.Mode = ModeCheckAll
+		return Verify(f, t, seq)
 	}
+
+	span := opt.Obs.StartSpan("verify-parallel")
+	defer span.End()
+	opt.Obs.Gauge("verify.workers").Set(int64(workers))
+	cChecked := opt.Obs.Counter("verify.checked")
+	cTaut := opt.Obs.Counter("verify.tautologies")
+	hChunkProps := opt.Obs.Histogram("verify.props_per_chunk")
 
 	nVars := f.NumVars
 	if mv := t.MaxVar(); int(mv)+1 > nVars {
@@ -65,13 +84,17 @@ func VerifyParallel(f *cnf.Formula, t *proof.Trace, engine EngineKind, workers i
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			wspan := span.Child(fmt.Sprintf("worker-%d [%d,%d)", w, lo, hi))
+			defer wspan.End()
 			var eng bcp.Propagator
-			switch engine {
+			switch opt.Engine {
 			case EngineCounting:
 				eng = bcp.NewCounting(nVars)
 			default:
 				eng = bcp.NewEngine(nVars)
 			}
+			defer func() { publishEngine(opt.Obs, eng) }()
+			build := wspan.Child("build-db")
 			for _, c := range f.Clauses {
 				eng.Add(c)
 			}
@@ -82,6 +105,7 @@ func VerifyParallel(f *cnf.Formula, t *proof.Trace, engine EngineKind, workers i
 			for i := 0; i < hi; i++ {
 				eng.Add(t.Clauses[i])
 			}
+			build.End()
 			out := &outs[w]
 			out.failed = -1
 			for i := hi - 1; i >= lo; i-- {
@@ -89,12 +113,15 @@ func VerifyParallel(f *cnf.Formula, t *proof.Trace, engine EngineKind, workers i
 					break // some worker already found a bad clause
 				}
 				eng.Deactivate(bcp.ID(nf + i))
+				opt.Progress.Step(1)
 				conflict, selfContra := eng.Refute(t.Clauses[i])
 				if selfContra {
 					out.taut++
+					cTaut.Inc()
 					continue
 				}
 				out.tested++
+				cChecked.Inc()
 				if conflict == bcp.NoConflict {
 					out.failed = int32(i)
 					out.failedClause = t.Clauses[i].Clone()
@@ -109,6 +136,7 @@ func VerifyParallel(f *cnf.Formula, t *proof.Trace, engine EngineKind, workers i
 				}
 			}
 			out.props = eng.Propagations()
+			hChunkProps.Observe(out.props)
 		}(w, lo, hi)
 	}
 	wg.Wait()

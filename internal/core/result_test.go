@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPctZeroDivision: the percentage helpers must return 0 — not NaN or
+// Inf — when their denominators are zero.
+func TestPctZeroDivision(t *testing.T) {
+	r := &Result{}
+	if got := r.TestedPct(); got != 0 {
+		t.Errorf("TestedPct on empty result = %v, want 0", got)
+	}
+	if got := r.CorePct(0); got != 0 {
+		t.Errorf("CorePct(0) = %v, want 0", got)
+	}
+	r = &Result{Tested: 5, Core: []int{1, 2, 3}}
+	if got := r.TestedPct(); got != 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("TestedPct with 0 proof clauses = %v, want 0", got)
+	}
+	if got := r.CorePct(0); got != 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("CorePct(0) with nonempty core = %v, want 0", got)
+	}
+}
+
+// TestPctValues: sanity-check the nonzero paths the paper's Table 1 uses.
+func TestPctValues(t *testing.T) {
+	r := &Result{ProofClauses: 200, Tested: 50, Core: []int{0, 1, 2}}
+	if got := r.TestedPct(); got != 25 {
+		t.Errorf("TestedPct = %v, want 25", got)
+	}
+	if got := r.CorePct(12); got != 25 {
+		t.Errorf("CorePct(12) = %v, want 25", got)
+	}
+}
+
+// TestModeString / TestEngineKindString: the CLI and -json output rely on
+// these names; out-of-range values must still render the default.
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{
+		ModeCheckMarked: "check-marked",
+		ModeCheckAll:    "check-all",
+		Mode(99):        "check-marked",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestEngineKindString(t *testing.T) {
+	cases := map[EngineKind]string{
+		EngineWatched:  "watched",
+		EngineCounting: "counting",
+		EngineKind(99): "watched",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("EngineKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/bcp"
 	"repro/internal/cnf"
+	"repro/internal/obs"
 	"repro/internal/proof"
 )
 
@@ -71,6 +72,18 @@ func (k EngineKind) String() string {
 type Options struct {
 	Mode   Mode
 	Engine EngineKind
+
+	// Obs, when non-nil, receives live metrics and spans: a "verify" span
+	// with build-db / check-loop / core-extract children, verify.* counters
+	// (checked, skipped, tautologies, marked) updated per clause, a
+	// verify.props_per_check histogram, and the engine's bcp.* totals. A
+	// nil Obs (the default) costs one nil check per instrument call.
+	Obs *obs.Registry
+
+	// Progress, when non-nil, is stepped once per proof clause processed
+	// (checked, skipped or tautological alike), so its total should be the
+	// trace length.
+	Progress *obs.Progress
 }
 
 // Result reports the outcome of a verification run.
@@ -144,6 +157,17 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 	}
 
 	var eng bcp.Propagator
+	span := opt.Obs.StartSpan("verify")
+	defer span.End()
+	cChecked := opt.Obs.Counter("verify.checked")
+	cSkipped := opt.Obs.Counter("verify.skipped")
+	cTaut := opt.Obs.Counter("verify.tautologies")
+	cMarked := opt.Obs.Counter("verify.marked")          // marks on proof clauses
+	cMarkedOrig := opt.Obs.Counter("verify.marked_orig") // marks on original clauses (the core)
+	hProps := opt.Obs.Histogram("verify.props_per_check")
+	defer func() { publishEngine(opt.Obs, eng) }()
+
+	build := span.Child("build-db")
 	nVars := f.NumVars
 	if mv := t.MaxVar(); int(mv)+1 > nVars {
 		nVars = int(mv) + 1
@@ -163,14 +187,17 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 	for _, c := range t.Clauses {
 		eng.Add(c)
 	}
+	build.End()
 
 	marked := make([]bool, nf+m)
 	switch term {
 	case proof.TermFinalPair:
 		marked[nf+m-1] = true
 		marked[nf+m-2] = true
+		cMarked.Add(2)
 	case proof.TermEmptyClause:
 		marked[nf+m-1] = true
+		cMarked.Inc()
 	}
 
 	res := &Result{
@@ -180,25 +207,33 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 		ProofClauses: m,
 	}
 
+	check := span.Child("check-loop")
+	defer check.End()
 	for i := m - 1; i >= 0; i-- {
 		id := bcp.ID(nf + i)
 		c := t.Clauses[i]
 		// Pop the clause off the proof stack: its own check and all later
 		// checks must not use it.
 		eng.Deactivate(id)
+		opt.Progress.Step(1)
 		if opt.Mode == ModeCheckMarked && !marked[id] {
 			res.Skipped++
+			cSkipped.Inc()
 			continue
 		}
+		propsBefore := eng.Propagations()
 		conflict, selfContra := eng.Refute(c)
 		if selfContra {
 			// A tautologous "conflict clause" is implied by anything; it
 			// cannot participate in any later conflict either, so it needs
 			// no marking.
 			res.Tautologies++
+			cTaut.Inc()
 			continue
 		}
 		res.Tested++
+		cChecked.Inc()
+		hProps.Observe(eng.Propagations() - propsBefore)
 		if conflict == bcp.NoConflict {
 			res.OK = false
 			res.FailedIndex = i
@@ -206,9 +241,21 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 			res.Propagations = eng.Propagations()
 			return res, nil
 		}
-		eng.WalkConflict(conflict, func(used bcp.ID) { marked[used] = true })
+		eng.WalkConflict(conflict, func(used bcp.ID) {
+			if !marked[used] {
+				marked[used] = true
+				if int(used) < nf {
+					cMarkedOrig.Inc()
+				} else {
+					cMarked.Inc()
+				}
+			}
+		})
 	}
+	check.End()
 
+	extract := span.Child("core-extract")
+	defer extract.End()
 	for i := 0; i < nf; i++ {
 		if marked[i] {
 			res.Core = append(res.Core, i)
@@ -223,6 +270,21 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 	}
 	res.Propagations = eng.Propagations()
 	return res, nil
+}
+
+// publishEngine copies a propagator's cumulative counters into the
+// registry's bcp.* namespace. Called once per engine at the end of a
+// verification (Add is cumulative, so parallel workers simply sum).
+func publishEngine(r *obs.Registry, eng bcp.Propagator) {
+	if r == nil || eng == nil {
+		return
+	}
+	st := eng.Stats()
+	r.Counter("bcp.propagations").Add(st.Propagations)
+	r.Counter("bcp.refutations").Add(st.Refutations)
+	r.Counter("bcp.conflicts").Add(st.Conflicts)
+	r.Counter("bcp.watcher_visits").Add(st.WatcherVisits)
+	r.Counter("bcp.occ_touches").Add(st.OccTouches)
 }
 
 // VerifyFormulaUnsat is a convenience wrapper asserting a successful

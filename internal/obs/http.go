@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+)
+
+// Handler returns an expvar-style HTTP handler that serves the registry's
+// JSON snapshot on every request. Works on a nil registry (serves "null"),
+// so CLIs can wire -metrics unconditionally.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Serve starts an HTTP server for the registry on addr (e.g. ":8123" or
+// "localhost:0") in a background goroutine, serving the JSON snapshot at
+// every path (the conventional /debug/vars included). It returns the bound
+// address — useful with port 0 — and a shutdown function. Long verification
+// runs poll this endpoint instead of waiting for the exit snapshot.
+func Serve(addr string, r *Registry) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() {
+		// ErrServerClosed after shutdown is the normal exit; any earlier
+		// error just stops the metrics endpoint, never the verification.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr(), srv.Close, nil
+}
+
+// CountingWriter wraps w, adding every written byte count to c. Used to
+// meter proof streams without the solver knowing about metering.
+func CountingWriter(w io.Writer, c *Counter) io.Writer {
+	return &countingWriter{w: w, c: c}
+}
+
+type countingWriter struct {
+	w io.Writer
+	c *Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(int64(n))
+	return n, err
+}
+
+// CountingReader wraps r, adding every read byte count to c.
+func CountingReader(r io.Reader, c *Counter) io.Reader {
+	return &countingReader{r: r, c: c}
+}
+
+type countingReader struct {
+	r io.Reader
+	c *Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(int64(n))
+	return n, err
+}

@@ -1,0 +1,241 @@
+// Package obs is the repository's zero-dependency observability layer:
+// a metrics registry (atomic counters, gauges, histograms with exponential
+// buckets), lightweight wall-clock spans with parent/child nesting, and a
+// periodic progress reporter.
+//
+// The paper's proofs are enormous (§6 reports a 257 MB trace for 7pipe), so
+// a verifier that runs silently for minutes is operationally useless. This
+// package gives the hot paths — BCP, core.Verify, the CDCL solver, proof
+// IO — something to report into, and the CLIs three ways to surface it:
+// a JSON snapshot (-stats-json), a live stderr line (-progress), and an
+// expvar-style HTTP endpoint (-metrics).
+//
+// # Disabled-path cost contract
+//
+// Everything in this package is nil-safe: a nil *Registry hands out nil
+// *Counter/*Gauge/*Histogram/*Span handles, and every method on a nil
+// handle is a no-op. Instrumented code therefore acquires its handles once
+// (from a possibly-nil registry) and calls them unconditionally; when
+// observability is off the entire cost is a single nil pointer check per
+// call site. No locks, no allocation, no time.Now. When on, counters and
+// gauges cost one atomic RMW and histograms one extra atomic for the
+// bucket.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil Counter ignores all writes and reads as 0.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds d (d should be >= 0; Counter does not enforce monotonicity).
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value. The zero value is ready to use;
+// a nil Gauge ignores all writes and reads as 0.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d (useful for level-style gauges).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// SetMax raises the gauge to v if v is larger than the current value.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of exponential buckets: bucket i counts
+// observations v with v <= 1<<i (bucket 0: v <= 1), the last bucket
+// absorbing everything larger.
+const histBuckets = 63
+
+// Histogram counts observations in exponential (power-of-two) buckets and
+// tracks count, sum, min and max. Obtain via Registry.Histogram (which
+// seeds the extremes); a nil Histogram ignores all writes.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps an observation to its bucket: 0 for v <= 1, otherwise
+// the smallest i with v <= 1<<i.
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v - 1))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry is a named collection of counters, gauges, histograms and a span
+// tree. Create with New; a nil *Registry is the disabled state and hands
+// out nil instrument handles.
+type Registry struct {
+	start time.Time
+	root  *Span
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New creates an enabled registry whose root span starts now.
+func New() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		root:     newSpan("total"),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		h.min.Store(math.MaxInt64)
+		h.max.Store(math.MinInt64)
+		r.hists[name] = h
+	}
+	return h
+}

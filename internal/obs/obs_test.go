@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: every operation on a nil registry and nil handles must be
+// a no-op — this is the disabled fast path the hot loops rely on.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	s := r.StartSpan("s")
+	if c != nil || g != nil || h != nil || s != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(7)
+	g.SetMax(9)
+	h.Observe(3)
+	s2 := s.Child("inner")
+	s2.End()
+	s.End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	var p *Progress
+	p.Step(10)
+	p.Finish()
+	if p.Done() != 0 {
+		t.Fatal("nil progress must read as zero")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "null" {
+		t.Fatalf("nil registry JSON = %q", buf.String())
+	}
+}
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("hits")
+	g := r.Gauge("peak")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.SetMax(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 7999 {
+		t.Errorf("gauge max = %d, want 7999", g.Value())
+	}
+	if r.Counter("hits") != c {
+		t.Error("same name must return the same counter")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lens")
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 8, 9, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 1032 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	hs := h.snapshot()
+	if hs.Min != 0 || hs.Max != 1000 {
+		t.Fatalf("min/max = %d/%d", hs.Min, hs.Max)
+	}
+	// Buckets: <=1 holds {0,1}; <=2 holds {2}; <=4 holds {3,4}; <=8 holds
+	// {5,8}; <=16 holds {9}; <=1024 holds {1000}.
+	want := []Bucket{{1, 2}, {2, 1}, {4, 2}, {8, 2}, {16, 1}, {1024, 1}}
+	if len(hs.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", hs.Buckets)
+	}
+	for i, b := range hs.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+		if i > 0 && hs.Buckets[i-1].Le >= b.Le {
+			t.Errorf("buckets not in ascending order: %+v", hs.Buckets)
+		}
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	r := New()
+	outer := r.StartSpan("verify")
+	inner := outer.Child("check-loop")
+	time.Sleep(time.Millisecond)
+	inner.End()
+	d1 := outer.End()
+	d2 := outer.End() // idempotent
+	if d1 != d2 {
+		t.Errorf("End not idempotent: %v vs %v", d1, d2)
+	}
+	if outer.Running() || inner.Running() {
+		t.Error("ended spans report Running")
+	}
+	if inner.Duration() <= 0 || outer.Duration() < inner.Duration() {
+		t.Errorf("durations: outer=%v inner=%v", outer.Duration(), inner.Duration())
+	}
+
+	snap := r.Snapshot()
+	if snap.Spans == nil || snap.Spans.Name != "total" {
+		t.Fatalf("span root = %+v", snap.Spans)
+	}
+	if len(snap.Spans.Children) != 1 || snap.Spans.Children[0].Name != "verify" {
+		t.Fatalf("children = %+v", snap.Spans.Children)
+	}
+	kids := snap.Spans.Children[0].Children
+	if len(kids) != 1 || kids[0].Name != "check-loop" || kids[0].DurationMS <= 0 {
+		t.Fatalf("grandchildren = %+v", kids)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := New()
+	r.Counter("verify.checked").Add(42)
+	r.Gauge("workers").Set(4)
+	r.Histogram("props").Observe(100)
+	r.StartSpan("verify").End()
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if back.Counters["verify.checked"] != 42 {
+		t.Errorf("counters = %+v", back.Counters)
+	}
+	if back.Gauges["workers"] != 4 {
+		t.Errorf("gauges = %+v", back.Gauges)
+	}
+	if back.Histograms["props"].Count != 1 {
+		t.Errorf("histograms = %+v", back.Histograms)
+	}
+	if back.Spans == nil || len(back.Spans.Children) != 1 {
+		t.Errorf("spans = %+v", back.Spans)
+	}
+	if back.Runtime.Goroutines <= 0 {
+		t.Errorf("runtime = %+v", back.Runtime)
+	}
+}
+
+func TestProgressReports(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, ProgressConfig{
+		Label: "verify", Unit: "clauses", Total: 100, Every: 25,
+		Aux: func() string { return "mark=50.0%" },
+	})
+	for i := 0; i < 100; i++ {
+		p.Step(1)
+	}
+	p.Finish()
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // 25, 50, 75, 100, final
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "c progress verify: 25/100 clauses (25.0%)") {
+		t.Errorf("first line = %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "mark=50.0%") {
+		t.Errorf("aux column missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "done 100 clauses") {
+		t.Errorf("final line = %q", lines[4])
+	}
+	if p.Done() != 100 {
+		t.Errorf("Done = %d", p.Done())
+	}
+}
+
+func TestProgressUnknownTotal(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, ProgressConfig{Label: "solve", Unit: "conflicts", Every: 10})
+	p.Step(10)
+	out := buf.String()
+	if !strings.Contains(out, "c progress solve: 10 conflicts") {
+		t.Errorf("line = %q", out)
+	}
+	if strings.Contains(out, "%") || strings.Contains(out, "eta") {
+		t.Errorf("unknown total must omit percent and ETA: %q", out)
+	}
+}
+
+func TestProgressConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	p := NewProgress(w, ProgressConfig{Label: "par", Total: 8000, Every: 1000})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				p.Step(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Done() != 8000 {
+		t.Fatalf("Done = %d", p.Done())
+	}
+	mu.Lock()
+	n := strings.Count(buf.String(), "\n")
+	mu.Unlock()
+	if n < 1 || n > 8 {
+		t.Errorf("%d report lines for 8 boundaries:\n%s", n, buf.String())
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestHandlerServesSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("bcp.propagations").Add(7)
+	req := httptest.NewRequest("GET", "/debug/vars", nil)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content-type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if snap.Counters["bcp.propagations"] != 7 {
+		t.Errorf("counters = %+v", snap.Counters)
+	}
+}
+
+func TestServeRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("x").Inc()
+	addr, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr.String() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if snap.Counters["x"] != 1 {
+		t.Errorf("counters = %+v", snap.Counters)
+	}
+}
+
+func TestCountingReaderWriter(t *testing.T) {
+	r := New()
+	cr := r.Counter("in")
+	cw := r.Counter("out")
+	var dst bytes.Buffer
+	src := CountingReader(strings.NewReader("hello world"), cr)
+	w := CountingWriter(&dst, cw)
+	buf := make([]byte, 4)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			w.Write(buf[:n])
+		}
+		if err != nil {
+			break
+		}
+	}
+	if cr.Value() != 11 || cw.Value() != 11 {
+		t.Errorf("in=%d out=%d, want 11/11", cr.Value(), cw.Value())
+	}
+	if dst.String() != "hello world" {
+		t.Errorf("payload corrupted: %q", dst.String())
+	}
+}

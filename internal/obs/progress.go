@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProgressConfig configures a Progress reporter.
+type ProgressConfig struct {
+	// Label names the activity, e.g. "verify". Printed on every line.
+	Label string
+	// Unit names what is being counted, e.g. "clauses". Default "steps".
+	Unit string
+	// Total is the number of steps expected; 0 means unknown (percent and
+	// ETA are then omitted).
+	Total int64
+	// Every emits a report each Every steps. Default 1000.
+	Every int64
+	// Aux, when non-nil, is called at report time and its result appended
+	// to the line — e.g. a mark-rate column read off a Registry.
+	Aux func() string
+}
+
+// Progress periodically writes a one-line status report ("c progress ...")
+// to a writer as Step is called from any number of goroutines. A nil
+// *Progress (the disabled state) absorbs all calls, so hot loops can step
+// it unconditionally for the cost of a nil check.
+type Progress struct {
+	w   io.Writer
+	cfg ProgressConfig
+
+	start time.Time
+	n     atomic.Int64
+	next  atomic.Int64 // step count that triggers the next report
+
+	mu sync.Mutex // serializes report lines
+}
+
+// NewProgress creates a reporter writing to w. Pass the result around as
+// *Progress even when nil: all methods are nil-safe.
+func NewProgress(w io.Writer, cfg ProgressConfig) *Progress {
+	if cfg.Every <= 0 {
+		cfg.Every = 1000
+	}
+	if cfg.Unit == "" {
+		cfg.Unit = "steps"
+	}
+	p := &Progress{w: w, cfg: cfg, start: time.Now()}
+	p.next.Store(cfg.Every)
+	return p
+}
+
+// Step advances the reporter by d steps, emitting a report line whenever
+// the count crosses a multiple of Every. Safe for concurrent use; at most
+// one goroutine emits any given report.
+func (p *Progress) Step(d int64) {
+	if p == nil {
+		return
+	}
+	n := p.n.Add(d)
+	for {
+		next := p.next.Load()
+		if n < next {
+			return
+		}
+		if p.next.CompareAndSwap(next, next+p.cfg.Every) {
+			p.report(n, false)
+			return
+		}
+	}
+}
+
+// Done returns the number of steps taken so far.
+func (p *Progress) Done() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.n.Load()
+}
+
+// Finish emits a final summary line. Call once when the activity ends.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.report(p.n.Load(), true)
+}
+
+func (p *Progress) report(n int64, final bool) {
+	elapsed := time.Since(p.start)
+	secs := elapsed.Seconds()
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(n) / secs
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if final {
+		fmt.Fprintf(p.w, "c progress %s: done %d %s in %.2fs (%.0f/s)\n",
+			p.cfg.Label, n, p.cfg.Unit, secs, rate)
+		return
+	}
+	line := fmt.Sprintf("c progress %s: %d", p.cfg.Label, n)
+	if p.cfg.Total > 0 {
+		line += fmt.Sprintf("/%d %s (%.1f%%)", p.cfg.Total, p.cfg.Unit,
+			100*float64(n)/float64(p.cfg.Total))
+	} else {
+		line += " " + p.cfg.Unit
+	}
+	line += fmt.Sprintf(" %.0f/s", rate)
+	if p.cfg.Total > 0 && rate > 0 && n < p.cfg.Total {
+		eta := time.Duration(float64(p.cfg.Total-n) / rate * float64(time.Second))
+		line += fmt.Sprintf(" eta %s", eta.Round(100*time.Millisecond))
+	}
+	if p.cfg.Aux != nil {
+		if aux := p.cfg.Aux(); aux != "" {
+			line += " " + aux
+		}
+	}
+	fmt.Fprintln(p.w, line)
+}

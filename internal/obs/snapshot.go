@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry, shaped
+// for JSON: counters and gauges as name→value maps (encoding/json emits
+// map keys in sorted order, so output is deterministic), histograms with
+// their non-empty buckets in ascending bound order, and the span tree.
+type Snapshot struct {
+	TakenAt  time.Time `json:"taken_at"`
+	UptimeMS float64   `json:"uptime_ms"`
+
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+
+	Spans *SpanSnapshot `json:"spans,omitempty"`
+
+	Runtime RuntimeSnapshot `json:"runtime"`
+}
+
+// HistogramSnapshot summarizes one histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket: Count observations were <= Le
+// (and greater than the previous bucket's bound).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// SpanSnapshot is one node of the span tree.
+type SpanSnapshot struct {
+	Name       string          `json:"name"`
+	DurationMS float64         `json:"duration_ms"`
+	Running    bool            `json:"running,omitempty"`
+	Children   []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// RuntimeSnapshot carries the few Go runtime numbers worth a long-run
+// glance (heap pressure and GC behaviour during a 100M-clause check).
+type RuntimeSnapshot struct {
+	Goroutines  int    `json:"goroutines"`
+	HeapAlloc   uint64 `json:"heap_alloc_bytes"`
+	HeapSys     uint64 `json:"heap_sys_bytes"`
+	TotalAlloc  uint64 `json:"total_alloc_bytes"`
+	NumGC       uint32 `json:"num_gc"`
+	PauseNSLast uint64 `json:"gc_pause_ns_last"`
+}
+
+// Snapshot copies every metric out of the registry. Running spans report
+// their elapsed-so-far duration. Returns nil on a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	now := time.Now()
+	s := &Snapshot{
+		TakenAt:  now,
+		UptimeMS: float64(now.Sub(r.start)) / float64(time.Millisecond),
+	}
+
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for n, c := range counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(gauges))
+		for n, g := range gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for n, h := range hists {
+			s.Histograms[n] = h.snapshot()
+		}
+	}
+	s.Spans = snapshotSpan(r.root)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.Runtime = RuntimeSnapshot{
+		Goroutines:  runtime.NumGoroutine(),
+		HeapAlloc:   ms.HeapAlloc,
+		HeapSys:     ms.HeapSys,
+		TotalAlloc:  ms.TotalAlloc,
+		NumGC:       ms.NumGC,
+		PauseNSLast: ms.PauseNs[(ms.NumGC+255)%256],
+	}
+	return s
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if hs.Count > 0 {
+		hs.Min = h.min.Load()
+		hs.Max = h.max.Load()
+		hs.Mean = float64(hs.Sum) / float64(hs.Count)
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			hs.Buckets = append(hs.Buckets, Bucket{Le: int64(1) << i, Count: n})
+		}
+	}
+	return hs
+}
+
+func snapshotSpan(s *Span) *SpanSnapshot {
+	out := &SpanSnapshot{
+		Name:       s.name,
+		DurationMS: float64(s.Duration()) / float64(time.Millisecond),
+		Running:    s.Running(),
+	}
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, snapshotSpan(c))
+	}
+	return out
+}
+
+// WriteJSON writes an indented JSON snapshot. On a nil registry it writes
+// "null", keeping -stats-json safe to wire unconditionally.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spanRunning is the sentinel duration of a span that has not Ended yet.
+const spanRunning = int64(-1)
+
+// Span is a wall-clock interval with named children. Spans form a tree
+// under the registry's root; any span may be Ended from a different
+// goroutine than created it, and children may be created concurrently.
+// A nil *Span (the disabled state) absorbs all calls.
+type Span struct {
+	name     string
+	start    time.Time
+	durNanos atomic.Int64 // spanRunning until End
+
+	mu       sync.Mutex
+	children []*Span
+}
+
+func newSpan(name string) *Span {
+	s := &Span{name: name, start: time.Now()}
+	s.durNanos.Store(spanRunning)
+	return s
+}
+
+// Root returns the registry's root span (nil on a nil registry). The root
+// starts when the registry is created and is Ended by Snapshot if still
+// running, so its duration approximates total process time.
+func (r *Registry) Root() *Span {
+	if r == nil {
+		return nil
+	}
+	return r.root
+}
+
+// StartSpan starts a new child of the root span.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.root.Child(name)
+}
+
+// Child starts a new child span. Safe for concurrent use.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stops the span and returns its duration. End is idempotent: the
+// first call wins, later calls return the recorded duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.durNanos.CompareAndSwap(spanRunning, int64(d)) {
+		return d
+	}
+	return time.Duration(s.durNanos.Load())
+}
+
+// Duration returns the span's duration: the recorded one if Ended, the
+// running elapsed time otherwise.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if d := s.durNanos.Load(); d != spanRunning {
+		return time.Duration(d)
+	}
+	return time.Since(s.start)
+}
+
+// Running reports whether the span has not been Ended.
+func (s *Span) Running() bool {
+	return s != nil && s.durNanos.Load() == spanRunning
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}

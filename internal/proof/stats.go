@@ -103,6 +103,30 @@ func lenBucket(n int) int {
 	return b
 }
 
+// LenBucket is one clause-length histogram bucket: Count clauses of length
+// <= Le (and greater than the previous bucket's bound).
+type LenBucket struct {
+	Le    int `json:"le"`
+	Count int `json:"count"`
+}
+
+// LenBuckets returns the length histogram as a slice sorted by ascending
+// upper bound. Every rendering of LenHistogram must go through this (maps
+// iterate in random order): String uses it, and it is the shape to marshal
+// when emitting stats as JSON.
+func (s TraceStats) LenBuckets() []LenBucket {
+	keys := make([]int, 0, len(s.LenHistogram))
+	for k := range s.LenHistogram {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]LenBucket, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, LenBucket{Le: k, Count: s.LenHistogram[k]})
+	}
+	return out
+}
+
 // String renders the stats as a small report.
 func (s TraceStats) String() string {
 	var b strings.Builder
@@ -114,14 +138,9 @@ func (s TraceStats) String() string {
 		fmt.Fprintf(&b, "local/global (threshold %d): %d/%d\n",
 			s.GlobalThreshold, s.LocalClauses, s.GlobalClauses)
 	}
-	keys := make([]int, 0, len(s.LenHistogram))
-	for k := range s.LenHistogram {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
 	fmt.Fprintf(&b, "length histogram:")
-	for _, k := range keys {
-		fmt.Fprintf(&b, " <=%d:%d", k, s.LenHistogram[k])
+	for _, bk := range s.LenBuckets() {
+		fmt.Fprintf(&b, " <=%d:%d", bk.Le, bk.Count)
 	}
 	b.WriteByte('\n')
 	return b.String()

@@ -1,0 +1,56 @@
+package proof
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// traceWithLengths builds a trace whose clause lengths cover many distinct
+// histogram buckets.
+func traceWithLengths(t *testing.T, lengths ...int) *Trace {
+	t.Helper()
+	tr := New()
+	for _, n := range lengths {
+		c := make(cnf.Clause, n)
+		for i := range c {
+			c[i] = cnf.PosLit(cnf.Var(i))
+		}
+		tr.Append(c, 0)
+	}
+	return tr
+}
+
+// TestLenBucketsSorted: the histogram slice is ascending by upper bound and
+// accounts for every clause exactly once.
+func TestLenBucketsSorted(t *testing.T) {
+	tr := traceWithLengths(t, 1, 2, 3, 4, 5, 9, 17, 33, 2, 6, 1)
+	st := tr.ComputeStats(0)
+	buckets := st.LenBuckets()
+	if !sort.SliceIsSorted(buckets, func(i, j int) bool { return buckets[i].Le < buckets[j].Le }) {
+		t.Fatalf("buckets not sorted: %+v", buckets)
+	}
+	total := 0
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total != tr.Len() {
+		t.Errorf("bucket counts sum to %d, want %d", total, tr.Len())
+	}
+	if len(buckets) != len(st.LenHistogram) {
+		t.Errorf("%d buckets for %d histogram keys", len(buckets), len(st.LenHistogram))
+	}
+}
+
+// TestStatsStringDeterministic: the rendered report must not depend on map
+// iteration order.
+func TestStatsStringDeterministic(t *testing.T) {
+	tr := traceWithLengths(t, 1, 2, 3, 5, 9, 17, 33, 65, 129, 4, 8, 16)
+	first := tr.ComputeStats(0).String()
+	for i := 0; i < 20; i++ {
+		if got := tr.ComputeStats(0).String(); got != first {
+			t.Fatalf("iteration %d rendered differently:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}

@@ -53,6 +53,14 @@ func (s *Solver) RunAssuming(assumps []cnf.Lit) Status {
 		if confl != nil {
 			s.stats.Conflicts++
 			conflictsSinceRestart++
+			s.obsConflicts.Inc()
+			s.opts.Progress.Step(1)
+			// Refresh the cheap-to-read gauges at conflict granularity so a
+			// live -metrics endpoint tracks the search without per-enqueue
+			// atomics on the propagation hot path.
+			s.obsProps.Set(s.stats.Propagations)
+			s.obsTrail.Set(int64(s.stats.MaxTrail))
+			s.obsLearnts.Set(int64(len(s.learnts)))
 			if s.decisionLevel() == 0 {
 				s.provedUnsat = true
 				s.finalize(confl)
@@ -81,6 +89,7 @@ func (s *Solver) RunAssuming(assumps []cnf.Lit) Status {
 			if restartBudget > 0 && conflictsSinceRestart >= restartBudget {
 				conflictsSinceRestart = 0
 				s.stats.Restarts++
+				s.obsRestarts.Inc()
 				restartBudget = s.restartBudget(s.stats.Restarts)
 				s.cancelUntil(0)
 			}
@@ -121,6 +130,7 @@ func (s *Solver) RunAssuming(assumps []cnf.Lit) Status {
 			return Sat
 		}
 		s.stats.Decisions++
+		s.obsDecisions.Inc()
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.enqueue(l, nil)
 	}

@@ -1,0 +1,64 @@
+package solver
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSolveObserved: a solve with a registry attached mirrors the search
+// statistics into solver.* metrics and steps the progress reporter once
+// per conflict.
+func TestSolveObserved(t *testing.T) {
+	reg := obs.New()
+	var buf bytes.Buffer
+	prog := obs.NewProgress(&buf, obs.ProgressConfig{Label: "solve", Unit: "conflicts", Every: 1})
+	st, _, _, stats, err := Solve(php(4), Options{Obs: reg, Progress: prog})
+	if err != nil || st != Unsat {
+		t.Fatalf("%v %v", st, err)
+	}
+	prog.Finish()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["solver.conflicts"]; got != stats.Conflicts {
+		t.Errorf("solver.conflicts = %d, want %d", got, stats.Conflicts)
+	}
+	if got := snap.Counters["solver.decisions"]; got != stats.Decisions {
+		t.Errorf("solver.decisions = %d, want %d", got, stats.Decisions)
+	}
+	if got := snap.Counters["solver.learned"]; got != stats.Learned {
+		t.Errorf("solver.learned = %d, want %d", got, stats.Learned)
+	}
+	if got := snap.Histograms["solver.learned_len"]; got.Count != stats.Learned {
+		t.Errorf("learned_len count = %d, want %d", got.Count, stats.Learned)
+	}
+	// Gauges refresh at conflict granularity; after an UNSAT finish they
+	// lag the final counts by at most the last conflict's work, and must
+	// be nonzero on any search that actually propagated.
+	if snap.Gauges["solver.propagations"] == 0 && stats.Propagations > 0 {
+		t.Errorf("solver.propagations gauge = 0 with %d propagations", stats.Propagations)
+	}
+	if prog.Done() != stats.Conflicts {
+		t.Errorf("progress stepped %d of %d conflicts", prog.Done(), stats.Conflicts)
+	}
+	if !strings.Contains(buf.String(), "c progress solve:") {
+		t.Errorf("progress output:\n%s", buf.String())
+	}
+}
+
+// TestSolveObservedDisabled: the nil-registry path must not change results.
+func TestSolveObservedDisabled(t *testing.T) {
+	st1, tr1, _, stats1, err := Solve(php(4), Options{})
+	if err != nil || st1 != Unsat {
+		t.Fatalf("%v %v", st1, err)
+	}
+	st2, tr2, _, stats2, err := Solve(php(4), Options{Obs: obs.New()})
+	if err != nil || st2 != Unsat {
+		t.Fatalf("%v %v", st2, err)
+	}
+	if stats1.Conflicts != stats2.Conflicts || tr1.Len() != tr2.Len() {
+		t.Errorf("instrumentation changed the search: %+v vs %+v", stats1, stats2)
+	}
+}

@@ -36,6 +36,8 @@ func (s *Solver) reduceDB() {
 	if len(toDelete) == 0 {
 		return
 	}
+	s.obsReductions.Inc()
+	s.obsDeleted.Add(int64(len(toDelete)))
 	w := 0
 	for _, c := range s.learnts {
 		if toDelete[c] {

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cnf"
+	"repro/internal/obs"
 	"repro/internal/proof"
 )
 
@@ -173,6 +174,17 @@ type Options struct {
 	// Seed perturbs initial variable activities very slightly so runs with
 	// different seeds explore different proofs. 0 keeps uniform zeros.
 	Seed int64
+
+	// Obs, when non-nil, receives live search metrics: solver.* counters
+	// (conflicts, decisions, restarts, learned, deleted, reductions), a
+	// solver.learned_len histogram, and solver.propagations / trail /
+	// learnts gauges refreshed at every conflict. The handles are captured
+	// once in New, so a nil Obs costs one nil check per event.
+	Obs *obs.Registry
+
+	// Progress, when non-nil, is stepped once per conflict — the natural
+	// heartbeat of a CDCL search (total is usually unknown).
+	Progress *obs.Progress
 }
 
 func (o Options) withDefaults() Options {
@@ -266,6 +278,19 @@ type Solver struct {
 	writeErr error
 
 	stats Stats
+
+	// Observability handles, captured once from Options.Obs (nil when
+	// disabled — every call on them is then a no-op nil check).
+	obsConflicts  *obs.Counter
+	obsDecisions  *obs.Counter
+	obsRestarts   *obs.Counter
+	obsLearned    *obs.Counter
+	obsDeleted    *obs.Counter
+	obsReductions *obs.Counter
+	obsLearnedLen *obs.Histogram
+	obsProps      *obs.Gauge
+	obsTrail      *obs.Gauge
+	obsLearnts    *obs.Gauge
 }
 
 // New creates a solver over n variables.
@@ -291,6 +316,17 @@ func New(n int, opts Options) *Solver {
 	if !o.DisableProof {
 		s.trace = proof.New()
 	}
+	// Nil registry hands out nil handles; every use below is then a no-op.
+	s.obsConflicts = o.Obs.Counter("solver.conflicts")
+	s.obsDecisions = o.Obs.Counter("solver.decisions")
+	s.obsRestarts = o.Obs.Counter("solver.restarts")
+	s.obsLearned = o.Obs.Counter("solver.learned")
+	s.obsDeleted = o.Obs.Counter("solver.deleted")
+	s.obsReductions = o.Obs.Counter("solver.reductions")
+	s.obsLearnedLen = o.Obs.Histogram("solver.learned_len")
+	s.obsProps = o.Obs.Gauge("solver.propagations")
+	s.obsTrail = o.Obs.Gauge("solver.max_trail")
+	s.obsLearnts = o.Obs.Gauge("solver.learnts")
 	if o.Seed != 0 {
 		// xorshift64 perturbation; keeps runs deterministic per seed.
 		x := uint64(o.Seed)
@@ -563,6 +599,8 @@ func (s *Solver) emit(lits []cnf.Lit, resolutions int64, chain []int) {
 	s.stats.Learned++
 	s.stats.LearnedLits += int64(len(lits))
 	s.stats.Resolutions += resolutions
+	s.obsLearned.Inc()
+	s.obsLearnedLen.Observe(int64(len(lits)))
 	if s.trace != nil {
 		s.trace.Append(append(cnf.Clause(nil), lits...), resolutions)
 	}
