@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+# Per-target budget for the fuzz-smoke pass. Long enough to exercise the
+# mutator beyond the seed corpus, short enough for a pre-merge gate.
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race check bench fuzz-smoke clean
 
 all: build
 
@@ -16,13 +20,22 @@ vet:
 test:
 	$(GO) test ./...
 
+# race is timeout-bounded so a cancellation or deadlock regression fails the
+# gate instead of wedging it.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 10m ./...
 
-# check is the pre-merge gate: vet, a full build, and the test suite under
-# the race detector. Run it before every merge; CI and reviewers assume it
-# is green.
-check: vet build race
+# fuzz-smoke runs each fuzz target briefly. Go allows one -fuzz pattern per
+# package invocation, hence one line per target.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadTrace$$' -fuzztime $(FUZZTIME) ./internal/proof/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadBinaryTrace$$' -fuzztime $(FUZZTIME) ./internal/proof/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseCNF$$' -fuzztime $(FUZZTIME) ./internal/cnf/
+
+# check is the pre-merge gate: vet, a full build, the test suite under the
+# race detector, and a short fuzz pass over the untrusted-input parsers. Run
+# it before every merge; CI and reviewers assume it is green.
+check: vet build race fuzz-smoke
 
 # bench compiles and smoke-runs every benchmark once (not a measurement run).
 bench:

@@ -14,6 +14,7 @@
 //	-learn SCHEME   1uip | decision | hybrid (default hybrid)
 //	-heur NAME      berkmin | vsids (default berkmin)
 //	-max-conflicts N  give up after N conflicts (0 = unlimited)
+//	-timeout D      give up after this long (e.g. 30s, 5m; 0 = unlimited)
 //	-seed N         perturb initial activities
 //	-stats          print search statistics
 //	-stats-json FILE  write a JSON snapshot of every metric and the span tree
@@ -22,15 +23,22 @@
 //	-metrics ADDR   serve live metrics over HTTP (expvar-style JSON)
 //
 // Exit status: 10 for SAT (model printed as a "v" line), 20 for UNSAT,
-// 0 for unknown, 1 on error — the conventional SAT-competition codes.
+// 0 for unknown — the conventional SAT-competition codes — plus
+// 1 on usage errors, 3 on malformed/oversized input, 4 when -timeout
+// expires, 6 on internal errors, and 130 on SIGINT (search statistics for
+// the partial run are reported before exiting).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
+	"repro/cmd/internal/exitcode"
 	"repro/internal/cnf"
 	"repro/internal/drat"
 	"repro/internal/obs"
@@ -49,6 +57,7 @@ func run() int {
 	learn := flag.String("learn", "hybrid", "learning scheme: 1uip | decision | hybrid")
 	heur := flag.String("heur", "berkmin", "decision heuristic: berkmin | vsids")
 	maxConflicts := flag.Int64("max-conflicts", 0, "conflict budget (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "give up after this long (0 = unlimited)")
 	seed := flag.Int64("seed", 0, "activity perturbation seed")
 	stats := flag.Bool("stats", false, "print search statistics")
 	statsJSON := flag.String("stats-json", "", "write a JSON metrics snapshot to this file")
@@ -61,8 +70,19 @@ func run() int {
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: bksat [flags] formula.cnf")
-		return 1
+		return exitcode.Usage
 	}
+
+	// Context: an optional deadline, and SIGINT cancels so a ^C mid-search
+	// still reports statistics for the partial run before exiting 130.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt)
+	defer stopSignals()
 
 	// The registry exists whenever any observability surface is requested;
 	// nil otherwise, which turns every instrument call into a nil check.
@@ -74,7 +94,7 @@ func run() int {
 		addr, shutdown, serr := obs.Serve(*metricsAddr, reg)
 		if serr != nil {
 			fmt.Fprintln(os.Stderr, "bksat:", serr)
-			return 1
+			return exitcode.Internal
 		}
 		defer shutdown()
 		fmt.Fprintf(os.Stderr, "c metrics: http://%v/debug/vars\n", addr)
@@ -84,13 +104,13 @@ func run() int {
 	in, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bksat:", err)
-		return 1
+		return exitcode.BadInput
 	}
 	defer in.Close()
 	f, err := cnf.ParseDimacs(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bksat:", err)
-		return 1
+		return exitcode.BadInput
 	}
 	parseSpan.End()
 
@@ -99,13 +119,13 @@ func run() int {
 		pre, err = simplify.Simplify(f, simplify.Default())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bksat:", err)
-			return 1
+			return exitcode.Internal
 		}
 		fmt.Fprintf(os.Stderr, "c simp: %d -> %d clauses\n", f.NumClauses(), pre.F.NumClauses())
 		f = pre.F
 	}
 
-	opts := solver.Options{MaxConflicts: *maxConflicts, Seed: *seed, Obs: reg}
+	opts := solver.Options{MaxConflicts: *maxConflicts, Seed: *seed, Obs: reg, Ctx: ctx}
 	var prog *obs.Progress
 	if *progress {
 		learned := reg.Counter("solver.learned")
@@ -129,7 +149,7 @@ func run() int {
 		opts.Learn = solver.LearnHybrid
 	default:
 		fmt.Fprintf(os.Stderr, "bksat: unknown learning scheme %q\n", *learn)
-		return 1
+		return exitcode.Usage
 	}
 	switch *heur {
 	case "berkmin":
@@ -138,7 +158,7 @@ func run() int {
 		opts.Heuristic = solver.HeurVSIDS
 	default:
 		fmt.Fprintf(os.Stderr, "bksat: unknown heuristic %q\n", *heur)
-		return 1
+		return exitcode.Usage
 	}
 
 	var proofFile *os.File
@@ -150,7 +170,7 @@ func run() int {
 	if *portfolio > 0 {
 		if *dratPath != "" {
 			fmt.Fprintln(os.Stderr, "bksat: -drat is unavailable with -portfolio")
-			return 1
+			return exitcode.Usage
 		}
 		configs := make([]solver.Options, *portfolio)
 		for i := range configs {
@@ -164,7 +184,7 @@ func run() int {
 		solveSpan.End()
 		if perr != nil {
 			fmt.Fprintln(os.Stderr, "bksat:", perr)
-			return 1
+			return exitcode.Internal
 		}
 		st, tr, model, sstats = res.Status, res.Trace, res.Model, res.Stats
 		fmt.Fprintf(os.Stderr, "c portfolio: configuration %d won\n", res.Winner)
@@ -172,7 +192,7 @@ func run() int {
 			out, ferr := os.Create(*proofPath)
 			if ferr != nil {
 				fmt.Fprintln(os.Stderr, "bksat:", ferr)
-				return 1
+				return exitcode.Internal
 			}
 			defer out.Close()
 			var w io.Writer = out
@@ -181,7 +201,7 @@ func run() int {
 			}
 			if werr := proof.Write(w, tr); werr != nil {
 				fmt.Fprintln(os.Stderr, "bksat:", werr)
-				return 1
+				return exitcode.Internal
 			}
 		}
 	} else {
@@ -189,7 +209,7 @@ func run() int {
 			proofFile, err = os.Create(*proofPath)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bksat:", err)
-				return 1
+				return exitcode.Internal
 			}
 			defer proofFile.Close()
 			if reg != nil {
@@ -208,7 +228,7 @@ func run() int {
 		solveSpan.End()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bksat:", err)
-			return 1
+			return exitcode.Internal
 		}
 	}
 	prog.Finish()
@@ -216,12 +236,12 @@ func run() int {
 		out, serr := os.Create(*statsJSON)
 		if serr != nil {
 			fmt.Fprintln(os.Stderr, "bksat:", serr)
-			return 1
+			return exitcode.Internal
 		}
 		if serr := reg.WriteJSON(out); serr != nil {
 			out.Close()
 			fmt.Fprintln(os.Stderr, "bksat:", serr)
-			return 1
+			return exitcode.Internal
 		}
 		out.Close()
 	}
@@ -238,7 +258,7 @@ func run() int {
 			model, err = pre.ExtendModel(model)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bksat:", err)
-				return 1
+				return exitcode.Internal
 			}
 		}
 		fmt.Print("v ")
@@ -261,12 +281,12 @@ func run() int {
 			out, err := os.Create(*dratPath)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bksat:", err)
-				return 1
+				return exitcode.Internal
 			}
 			defer out.Close()
 			if err := drat.Write(out, rec.Proof()); err != nil {
 				fmt.Fprintln(os.Stderr, "bksat:", err)
-				return 1
+				return exitcode.Internal
 			}
 			fmt.Fprintf(os.Stderr, "c drat: %d additions, %d deletions -> %s\n",
 				rec.Proof().Additions(), rec.Proof().Deletions(), *dratPath)
@@ -274,6 +294,14 @@ func run() int {
 		return 20
 	default:
 		fmt.Println("s UNKNOWN")
+		switch {
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			fmt.Fprintln(os.Stderr, "c stopped: -timeout expired")
+			return exitcode.Timeout
+		case ctx.Err() != nil:
+			fmt.Fprintln(os.Stderr, "c stopped: interrupted")
+			return exitcode.Interrupted
+		}
 		return 0
 	}
 }

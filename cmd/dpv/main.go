@@ -16,6 +16,9 @@
 //	                mode always checks every clause and extracts no core)
 //	-core FILE      write the unsatisfiable core as DIMACS
 //	-trim FILE      write the trimmed proof (used clauses only)
+//	-timeout D      give up after this long (e.g. 30s, 5m; 0 = unlimited)
+//	-max-props N    give up after N unit propagations (0 = unlimited)
+//	-max-memory N   refuse runs whose estimated footprint exceeds N bytes
 //	-json           emit the verification result as JSON on stdout
 //	-stats-json FILE  write a JSON snapshot of every metric and the span tree
 //	-progress       report progress on stderr while checking
@@ -23,16 +26,27 @@
 //	-metrics ADDR   serve live metrics over HTTP (expvar-style JSON)
 //	-q              quiet: no statistics, exit code only
 //
-// Exit status: 0 when the proof is correct, 2 when it is rejected,
-// 1 on usage/IO errors.
+// Exit status:
+//
+//	0  proof verified
+//	1  usage error
+//	2  proof rejected
+//	3  malformed or oversized formula/proof input
+//	4  -timeout expired
+//	5  resource budget (-max-props, -max-memory) exhausted
+//	6  internal error (worker panic, failed output write)
+//	130  interrupted (SIGINT); partial progress is reported first
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"repro/cmd/internal/exitcode"
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -49,6 +63,9 @@ func run() int {
 	par := flag.Int("par", 0, "parallel workers (0 = sequential; implies -all, no core)")
 	corePath := flag.String("core", "", "write the unsatisfiable core (DIMACS) to this file")
 	trimPath := flag.String("trim", "", "write the trimmed proof to this file")
+	timeout := flag.Duration("timeout", 0, "give up after this long (0 = unlimited)")
+	maxProps := flag.Int64("max-props", 0, "give up after N unit propagations (0 = unlimited)")
+	maxMemory := flag.Int64("max-memory", 0, "refuse runs whose estimated footprint exceeds N bytes (0 = unlimited)")
 	jsonOut := flag.Bool("json", false, "emit the verification result as JSON on stdout")
 	statsJSON := flag.String("stats-json", "", "write a JSON metrics snapshot to this file")
 	progress := flag.Bool("progress", false, "report verification progress on stderr")
@@ -59,11 +76,11 @@ func run() int {
 
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: dpv [flags] formula.cnf proof.trace")
-		return 1
+		return exitcode.Usage
 	}
 	if *par != 0 && (*corePath != "" || *trimPath != "") {
 		fmt.Fprintln(os.Stderr, "dpv: -par checks every clause without marking; -core/-trim need the sequential checker")
-		return 1
+		return exitcode.Usage
 	}
 
 	// The registry exists whenever any observability surface is requested;
@@ -76,7 +93,7 @@ func run() int {
 		addr, shutdown, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dpv:", err)
-			return 1
+			return exitcode.Internal
 		}
 		defer shutdown()
 		fmt.Fprintf(os.Stderr, "c metrics: http://%v/debug/vars\n", addr)
@@ -86,29 +103,47 @@ func run() int {
 	fin, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpv:", err)
-		return 1
+		return exitcode.BadInput
 	}
 	defer fin.Close()
 	f, err := cnf.ParseDimacs(fin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpv:", err)
-		return 1
+		return exitcode.BadInput
 	}
 	parseSpan.End()
 
 	pin, err := os.Open(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpv:", err)
-		return 1
+		return exitcode.BadInput
 	}
 	defer pin.Close()
 	tr, err := proof.ReadObserved(pin, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpv:", err)
-		return 1
+		return exitcode.BadInput
 	}
 
-	opt := core.Options{Obs: reg}
+	// Context: an optional deadline, and SIGINT cancels so a ^C mid-run
+	// still reports how far verification got before exiting 130.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt)
+	defer stopSignals()
+
+	opt := core.Options{
+		Obs: reg,
+		Ctx: ctx,
+		Budget: core.Budget{
+			MaxPropagations: *maxProps,
+			MaxMemoryBytes:  *maxMemory,
+		},
+	}
 	if *all {
 		opt.Mode = core.ModeCheckAll
 	}
@@ -119,7 +154,7 @@ func run() int {
 		opt.Engine = core.EngineCounting
 	default:
 		fmt.Fprintf(os.Stderr, "dpv: unknown engine %q\n", *engine)
-		return 1
+		return exitcode.Usage
 	}
 
 	if *progress {
@@ -147,30 +182,39 @@ func run() int {
 	} else {
 		res, err = core.Verify(f, tr, opt)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dpv:", err)
-		return 1
-	}
 	opt.Progress.Finish()
 	if *statsJSON != "" {
-		if err := writeStats(*statsJSON, reg); err != nil {
-			fmt.Fprintln(os.Stderr, "dpv:", err)
-			return 1
+		if werr := writeStats(*statsJSON, reg); werr != nil {
+			fmt.Fprintln(os.Stderr, "dpv:", werr)
+			return exitcode.Internal
 		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpv:", err)
+		if res != nil && res.Incomplete {
+			fmt.Printf("s UNKNOWN\n")
+			fmt.Printf("c incomplete: stopped before a verdict\n")
+			fmt.Printf("c proof clauses=%d tested=%d tautologies=%d propagations=%d\n",
+				res.ProofClauses, res.Tested, res.Tautologies, res.Propagations)
+			if res.StoppedAt >= 0 {
+				fmt.Printf("c stopped at proof clause %d\n", res.StoppedAt)
+			}
+		}
+		return exitcode.FromVerifyError(err)
 	}
 
 	if *jsonOut {
 		if err := json.NewEncoder(os.Stdout).Encode(resultJSON(res, opt, *par, f.NumClauses())); err != nil {
 			fmt.Fprintln(os.Stderr, "dpv:", err)
-			return 1
+			return exitcode.Internal
 		}
 		if !res.OK {
-			return 2
+			return exitcode.VerifyFailed
 		}
 	} else if !res.OK {
 		fmt.Printf("s PROOF REJECTED\nc clause %d of the proof is not implied: %v\n",
 			res.FailedIndex, res.FailedClause)
-		return 2
+		return exitcode.VerifyFailed
 	}
 
 	if !*quiet && !*jsonOut {
@@ -187,32 +231,32 @@ func run() int {
 		out, err := os.Create(*corePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dpv:", err)
-			return 1
+			return exitcode.Internal
 		}
 		defer out.Close()
 		if err := cnf.WriteDimacs(out, core.CoreFormula(f, res)); err != nil {
 			fmt.Fprintln(os.Stderr, "dpv:", err)
-			return 1
+			return exitcode.Internal
 		}
 	}
 	if *trimPath != "" {
 		trimmed, err := core.Trim(tr, res)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dpv:", err)
-			return 1
+			return exitcode.Internal
 		}
 		out, err := os.Create(*trimPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dpv:", err)
-			return 1
+			return exitcode.Internal
 		}
 		defer out.Close()
 		if err := proof.Write(out, trimmed); err != nil {
 			fmt.Fprintln(os.Stderr, "dpv:", err)
-			return 1
+			return exitcode.Internal
 		}
 	}
-	return 0
+	return exitcode.OK
 }
 
 // jsonResult is the machine-readable shape of a core.Result for -json.

@@ -6,7 +6,8 @@
 //
 //	dratcheck formula.cnf proof.drat
 //
-// Exit status: 0 verified, 2 rejected, 1 on IO/usage errors.
+// Exit status: 0 verified, 1 usage errors, 2 rejected, 3 malformed or
+// unreadable formula/proof input, 6 internal errors (failed output writes).
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/exitcode"
 	"repro/internal/cnf"
 	"repro/internal/drat"
 )
@@ -30,29 +32,29 @@ func run() int {
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: dratcheck [-q] [-backward [-trim out.drat] [-core out.cnf]] formula.cnf proof.drat")
-		return 1
+		return exitcode.Usage
 	}
 	fin, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dratcheck:", err)
-		return 1
+		return exitcode.BadInput
 	}
 	defer fin.Close()
 	f, err := cnf.ParseDimacs(fin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dratcheck:", err)
-		return 1
+		return exitcode.BadInput
 	}
 	pin, err := os.Open(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dratcheck:", err)
-		return 1
+		return exitcode.BadInput
 	}
 	defer pin.Close()
 	p, err := drat.Read(pin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dratcheck:", err)
-		return 1
+		return exitcode.BadInput
 	}
 
 	var res *drat.Result
@@ -65,24 +67,24 @@ func run() int {
 				out, ferr := os.Create(*trimPath)
 				if ferr != nil {
 					fmt.Fprintln(os.Stderr, "dratcheck:", ferr)
-					return 1
+					return exitcode.Internal
 				}
 				defer out.Close()
 				if werr := drat.Write(out, trimmed); werr != nil {
 					fmt.Fprintln(os.Stderr, "dratcheck:", werr)
-					return 1
+					return exitcode.Internal
 				}
 			}
 			if *corePath != "" {
 				out, ferr := os.Create(*corePath)
 				if ferr != nil {
 					fmt.Fprintln(os.Stderr, "dratcheck:", ferr)
-					return 1
+					return exitcode.Internal
 				}
 				defer out.Close()
 				if werr := cnf.WriteDimacs(out, f.Restrict(coreIdx)); werr != nil {
 					fmt.Fprintln(os.Stderr, "dratcheck:", werr)
-					return 1
+					return exitcode.Internal
 				}
 			}
 			if !*quiet {
@@ -95,16 +97,16 @@ func run() int {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dratcheck:", err)
-		return 1
+		return exitcode.BadInput
 	}
 	if !res.OK {
 		fmt.Printf("s PROOF REJECTED\nc step %d: %s\n", res.FailedStep, res.Reason)
-		return 2
+		return exitcode.VerifyFailed
 	}
 	if !*quiet {
 		fmt.Println("s PROOF VERIFIED")
 		fmt.Printf("c additions=%d deletions=%d tautologies=%d rat=%d propagations=%d\n",
 			res.Additions, res.Deletions, res.Tautologies, res.RATChecks, res.Propagations)
 	}
-	return 0
+	return exitcode.OK
 }

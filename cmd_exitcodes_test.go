@@ -1,0 +1,181 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/proof"
+	"repro/internal/solver"
+)
+
+// The exit-code contract (cmd/internal/exitcode) is only real if the built
+// binaries honor it, so this test builds them and drives each outcome class:
+// verified, rejected, malformed input, timeout, budget, usage, SAT/UNSAT,
+// and SIGINT.
+
+// buildCmds compiles the CLI binaries once into a shared temp dir.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir, "./cmd/dpv", "./cmd/bksat", "./cmd/dratcheck")
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building binaries: %v\n%s", err, out)
+	}
+	return dir
+}
+
+// writeFixtures produces a verified formula/proof pair, a satisfiable
+// formula, a weakened (satisfiable) variant of the UNSAT formula, and a
+// garbage file, returning their paths.
+func writeFixtures(t *testing.T) (unsatCNF, trace, satCNF, weakCNF, garbage string) {
+	t.Helper()
+	dir := t.TempDir()
+
+	inst := gen.PHP(5)
+	st, tr, _, _, err := solver.Solve(inst.F, solver.Options{})
+	if err != nil || st != solver.Unsat {
+		t.Fatalf("solving php_5: %v %v", st, err)
+	}
+
+	write := func(name string, emit func(*os.File) error) string {
+		path := filepath.Join(dir, name)
+		out, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := emit(out); err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	unsatCNF = write("php5.cnf", func(o *os.File) error { return cnf.WriteDimacs(o, inst.F) })
+	trace = write("php5.trace", func(o *os.File) error { return proof.Write(o, tr) })
+	satCNF = write("sat.cnf", func(o *os.File) error {
+		return cnf.WriteDimacs(o, cnf.NewFormula(2).Add(1, 2).Add(-1, 2))
+	})
+	// PHP is minimally unsatisfiable: removing any clause leaves a
+	// satisfiable formula the old proof cannot be valid for.
+	weak := inst.F.Clone()
+	weak.Clauses = weak.Clauses[1:]
+	weakCNF = write("weak.cnf", func(o *os.File) error { return cnf.WriteDimacs(o, weak) })
+	garbage = write("garbage.cnf", func(o *os.File) error {
+		_, err := o.WriteString("p cnf x y\nnot a formula\n")
+		return err
+	})
+	return
+}
+
+func runCmd(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	if err == nil {
+		return 0, buf.String()
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), buf.String()
+	}
+	t.Fatalf("running %s %v: %v", bin, args, err)
+	return -1, ""
+}
+
+func TestExitCodes(t *testing.T) {
+	bins := buildCmds(t)
+	unsatCNF, trace, satCNF, weakCNF, garbage := writeFixtures(t)
+	dpv := filepath.Join(bins, "dpv")
+	bksat := filepath.Join(bins, "bksat")
+	dratcheck := filepath.Join(bins, "dratcheck")
+
+	cases := []struct {
+		name string
+		bin  string
+		args []string
+		want int
+	}{
+		{"dpv verified", dpv, []string{"-q", unsatCNF, trace}, 0},
+		{"dpv verified parallel", dpv, []string{"-q", "-par", "4", unsatCNF, trace}, 0},
+		{"dpv rejected", dpv, []string{"-q", weakCNF, trace}, 2},
+		{"dpv rejected all", dpv, []string{"-q", "-all", weakCNF, trace}, 2},
+		{"dpv malformed formula", dpv, []string{garbage, trace}, 3},
+		{"dpv missing file", dpv, []string{filepath.Join(bins, "no-such.cnf"), trace}, 3},
+		{"dpv malformed trace", dpv, []string{unsatCNF, garbage}, 3},
+		{"dpv timeout", dpv, []string{"-timeout", "1ns", unsatCNF, trace}, 4},
+		{"dpv prop budget", dpv, []string{"-max-props", "1", unsatCNF, trace}, 5},
+		{"dpv memory budget", dpv, []string{"-max-memory", "16", unsatCNF, trace}, 5},
+		{"dpv usage", dpv, []string{unsatCNF}, 1},
+		{"bksat sat", bksat, []string{satCNF}, 10},
+		{"bksat unsat", bksat, []string{unsatCNF}, 20},
+		{"bksat malformed", bksat, []string{garbage}, 3},
+		{"bksat timeout", bksat, []string{"-timeout", "1ns", unsatCNF}, 4},
+		{"bksat usage", bksat, []string{}, 1},
+		{"dratcheck malformed", dratcheck, []string{garbage, trace}, 3},
+		{"dratcheck usage", dratcheck, []string{unsatCNF}, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got, out := runCmd(t, tc.bin, tc.args...)
+			if got != tc.want {
+				t.Fatalf("exit code %d, want %d\noutput:\n%s", got, tc.want, out)
+			}
+		})
+	}
+}
+
+// TestExitCodeInterrupted sends SIGINT to a bksat run on an instance far too
+// hard to finish, and requires the 128+2 shell convention plus a clean
+// partial-run report instead of the runtime's default signal death.
+func TestExitCodeInterrupted(t *testing.T) {
+	bins := buildCmds(t)
+	dir := t.TempDir()
+	hard := filepath.Join(dir, "php10.cnf")
+	out, err := os.Create(hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cnf.WriteDimacs(out, gen.PHP(10).F); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+
+	// -timeout backstops the test: if SIGINT handling regresses, the run
+	// ends with code 4 instead of hanging for PHP(10)'s full search.
+	cmd := exec.Command(filepath.Join(bins, "bksat"), "-timeout", "60s", hard)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the process time to install its handler and enter the search.
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	werr := cmd.Wait()
+	ee, ok := werr.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("wait: %v (output: %s)", werr, buf.String())
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("exit code %d, want 130\noutput:\n%s", code, buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("s UNKNOWN")) {
+		t.Fatalf("interrupted run did not report a verdict line:\n%s", buf.String())
+	}
+}

@@ -21,7 +21,11 @@
 // off the proof stack while scanning it in reverse chronological order.
 package bcp
 
-import "repro/internal/cnf"
+import (
+	"errors"
+
+	"repro/internal/cnf"
+)
 
 // ID identifies a clause inside a Propagator. IDs are assigned densely in
 // Add order, so the verifier can map them back to "original formula clause
@@ -63,12 +67,81 @@ type Propagator interface {
 	WalkConflict(conflict ID, visit func(ID))
 	// Propagations returns the cumulative number of implied assignments.
 	Propagations() int64
+	// SetStop installs a cooperative stop hook, polled about every
+	// stopPollEvery dequeued trail literals during propagation and once at
+	// the start of every Refute. A non-nil return aborts the Refute in
+	// progress; the conflict result of an aborted Refute is meaningless and
+	// the cause is retrievable via StopErr until the next Refute. A nil
+	// hook (the default) removes the check from the hot path entirely.
+	SetStop(func() error)
+	// StopErr returns the error that aborted the last Refute, or nil when
+	// it ran to completion. Callers that install a stop hook must consult
+	// StopErr before interpreting a Refute result.
+	StopErr() error
 	// Stats returns the cumulative work counters (propagations, conflicts,
 	// clause visits). Counters are plain per-engine integers maintained on
 	// the hot path, so reading them costs nothing and needs no enabling.
 	Stats() Stats
 	// NumClauses returns how many clauses were added.
 	NumClauses() int
+}
+
+// ErrNotReactivable is returned by Engine.Reactivate when the engine was not
+// built with NewEngineReactivable and therefore compacted the clause out of
+// its watch lists on Deactivate.
+var ErrNotReactivable = errors.New("bcp: Reactivate requires an engine built with NewEngineReactivable")
+
+// stopPollEvery is how many dequeued trail literals may pass between polls
+// of the stop hook. Small enough that even adversarial formulas cannot keep
+// propagating for long past a cancellation; large enough that the hook costs
+// nothing measurable on the hot path.
+const stopPollEvery = 64
+
+// stopState implements the SetStop/StopErr half of Propagator; both engines
+// embed it and poll it from their propagation loops.
+type stopState struct {
+	stop      func() error
+	stopErr   error
+	countdown int
+}
+
+// SetStop implements Propagator.
+func (s *stopState) SetStop(f func() error) { s.stop = f; s.countdown = 0 }
+
+// StopErr implements Propagator.
+func (s *stopState) StopErr() error { return s.stopErr }
+
+// beginRefute clears a previous abort and polls once, so a condition that
+// already holds (expired deadline, exhausted budget) aborts the Refute
+// before any propagation work.
+func (s *stopState) beginRefute() bool {
+	s.stopErr = nil
+	if s.stop == nil {
+		return false
+	}
+	if err := s.stop(); err != nil {
+		s.stopErr = err
+		return true
+	}
+	s.countdown = stopPollEvery
+	return false
+}
+
+// poll reports whether the stop hook demands an abort; the hook itself runs
+// only every stopPollEvery calls.
+func (s *stopState) poll() bool {
+	if s.stop == nil {
+		return false
+	}
+	if s.countdown--; s.countdown > 0 {
+		return false
+	}
+	s.countdown = stopPollEvery
+	if err := s.stop(); err != nil {
+		s.stopErr = err
+		return true
+	}
+	return false
 }
 
 // Stats aggregates a propagator's cumulative work counters. Propagations

@@ -24,6 +24,8 @@ type Counting struct {
 	seen      []bool
 	seenReset []cnf.Var
 
+	stopState
+
 	propagations int64
 	refutations  int64
 	conflicts    int64
@@ -145,6 +147,9 @@ func (e *Counting) Refute(c cnf.Clause) (ID, bool) {
 	}
 	e.reset()
 	e.refutations++
+	if e.beginRefute() {
+		return NoConflict, false
+	}
 
 	w := 0
 	for _, id := range e.empty {
@@ -194,6 +199,9 @@ func (e *Counting) Refute(c cnf.Clause) (ID, bool) {
 
 func (e *Counting) propagate() (ID, bool) {
 	for e.qhead < len(e.trail) {
+		if e.poll() {
+			return NoConflict, false
+		}
 		p := e.trail[e.qhead]
 		e.qhead++
 		falseLit := p.Neg()

@@ -30,6 +30,8 @@ type Engine struct {
 	seen      []bool // per-var scratch for WalkConflict
 	seenReset []cnf.Var
 
+	stopState
+
 	propagations  int64
 	refutations   int64
 	conflicts     int64
@@ -62,20 +64,22 @@ func NewEngineReactivable(n int) *Engine {
 	return e
 }
 
-// Reactivate undoes a Deactivate. Only valid on engines created with
-// NewEngineReactivable.
-func (e *Engine) Reactivate(id ID) {
+// Reactivate undoes a Deactivate. It returns ErrNotReactivable on engines
+// not created with NewEngineReactivable (their Deactivate compacts the
+// clause out of the watch lists, so a flag flip cannot bring it back).
+func (e *Engine) Reactivate(id ID) error {
 	if !e.retainInactive {
-		panic("bcp: Reactivate requires NewEngineReactivable")
+		return ErrNotReactivable
 	}
 	c := &e.clauses[id]
 	if c.active || c.taut {
-		return
+		return nil
 	}
 	c.active = true
 	if len(c.lits) == 1 {
 		e.nUnits++
 	}
+	return nil
 }
 
 func (e *Engine) growTo(n int) {
@@ -185,6 +189,9 @@ func (e *Engine) Refute(c cnf.Clause) (ID, bool) {
 	}
 	e.reset()
 	e.refutations++
+	if e.beginRefute() {
+		return NoConflict, false
+	}
 
 	// An active empty clause conflicts immediately.
 	if e.retainInactive {
@@ -254,6 +261,9 @@ func (e *Engine) Refute(c cnf.Clause) (ID, bool) {
 // propagate runs watched-literal propagation until fixpoint or conflict.
 func (e *Engine) propagate() (ID, bool) {
 	for e.qhead < len(e.trail) {
+		if e.poll() {
+			return NoConflict, false
+		}
 		p := e.trail[e.qhead] // p just became true; p.Neg() is false
 		e.qhead++
 		falseLit := p.Neg()

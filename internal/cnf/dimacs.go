@@ -2,19 +2,123 @@ package cnf
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
 
-// ParseDimacs reads a CNF formula in DIMACS format. It tolerates comment
-// lines anywhere, a missing header (the formula is then sized from its
-// content), literals above the declared variable count (the range grows),
-// and clauses spanning multiple lines. It rejects a truncated final clause
-// and a header declaring more clauses than the file provides.
+// ParseLimits bounds what ParseDimacs accepts from untrusted input. Zero
+// fields fall back to DefaultParseLimits.
+type ParseLimits struct {
+	// MaxClauses bounds the number of clauses in the formula.
+	MaxClauses int
+	// MaxClauseLen bounds the number of literals in a single clause.
+	MaxClauseLen int
+	// MaxVars bounds the variable count — both as declared by the header and
+	// as implied by literal magnitudes. Keeps literals inside the int32 Var
+	// encoding and stops a single huge token from sizing a variable range.
+	MaxVars int
+	// MaxBytes bounds how many input bytes the parser consumes.
+	MaxBytes int64
+}
+
+// DefaultParseLimits matches the proof package's defaults: generous enough
+// for the paper's largest benchmarks with room to spare, small enough that
+// only hostile or corrupt input trips them.
+func DefaultParseLimits() ParseLimits {
+	return ParseLimits{
+		MaxClauses:   64 << 20, // 67M clauses
+		MaxClauseLen: 1 << 22,  // 4M literals in one clause
+		MaxVars:      1 << 27,  // 134M variables
+		MaxBytes:     8 << 30,  // 8 GiB of input
+	}
+}
+
+func (l ParseLimits) withDefaults() ParseLimits {
+	d := DefaultParseLimits()
+	if l.MaxClauses == 0 {
+		l.MaxClauses = d.MaxClauses
+	}
+	if l.MaxClauseLen == 0 {
+		l.MaxClauseLen = d.MaxClauseLen
+	}
+	if l.MaxVars == 0 {
+		l.MaxVars = d.MaxVars
+	}
+	if l.MaxBytes == 0 {
+		l.MaxBytes = d.MaxBytes
+	}
+	return l
+}
+
+// ErrLimit is the errors.Is target of every parse-limit violation.
+var ErrLimit = errors.New("dimacs: input exceeds limit")
+
+// ErrMalformed is the errors.Is target of every DIMACS syntax error, so
+// callers can tell bad input apart from IO failures without string matching.
+var ErrMalformed = errors.New("dimacs: malformed input")
+
+// LimitError reports which parse bound an input blew through.
+type LimitError struct {
+	What  string // "clauses" | "clause length" | "variables" | "bytes"
+	Limit int64
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("dimacs: input exceeds %s limit %d", e.What, e.Limit)
+}
+
+func (e *LimitError) Unwrap() error { return ErrLimit }
+
+// cappedReader hard-errors once more than limit bytes have been consumed,
+// instead of io.LimitReader's silent EOF (which would make an oversized file
+// parse as a truncated-but-plausible formula).
+type cappedReader struct {
+	r     io.Reader
+	left  int64
+	limit int64
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.left == 0 {
+		// Exactly at the limit: an input that ends here is legal, one with
+		// more bytes is not — probe a single byte to tell them apart.
+		var b [1]byte
+		n, err := c.r.Read(b[:])
+		if n > 0 {
+			c.left = -1
+			return 0, &LimitError{What: "bytes", Limit: c.limit}
+		}
+		return 0, err
+	}
+	if c.left < 0 {
+		return 0, &LimitError{What: "bytes", Limit: c.limit}
+	}
+	if int64(len(p)) > c.left {
+		p = p[:c.left]
+	}
+	n, err := c.r.Read(p)
+	c.left -= int64(n)
+	return n, err
+}
+
+// ParseDimacs reads a CNF formula in DIMACS format under DefaultParseLimits.
+// It tolerates comment lines anywhere, a missing header (the formula is then
+// sized from its content), literals above the declared variable count (the
+// range grows), and clauses spanning multiple lines. It rejects a truncated
+// final clause and a header declaring more clauses than the file provides.
 func ParseDimacs(r io.Reader) (*Formula, error) {
-	sc := bufio.NewScanner(r)
+	return ParseDimacsLimited(r, DefaultParseLimits())
+}
+
+// ParseDimacsLimited is ParseDimacs with explicit limits — the entry point
+// for genuinely untrusted input. Syntax problems wrap ErrMalformed and limit
+// violations wrap ErrLimit.
+func ParseDimacsLimited(r io.Reader, lim ParseLimits) (*Formula, error) {
+	lim = lim.withDefaults()
+	sc := bufio.NewScanner(&cappedReader{r: r, left: lim.MaxBytes, limit: lim.MaxBytes})
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
 
 	f := &Formula{}
@@ -31,12 +135,18 @@ func ParseDimacs(r io.Reader) (*Formula, error) {
 		if line[0] == 'p' {
 			fields := strings.Fields(line)
 			if len(fields) != 4 || fields[1] != "cnf" {
-				return nil, fmt.Errorf("dimacs: line %d: bad header %q", lineNo, line)
+				return nil, fmt.Errorf("%w: line %d: bad header %q", ErrMalformed, lineNo, line)
 			}
 			nv, err1 := strconv.Atoi(fields[2])
 			nc, err2 := strconv.Atoi(fields[3])
 			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
-				return nil, fmt.Errorf("dimacs: line %d: bad header %q", lineNo, line)
+				return nil, fmt.Errorf("%w: line %d: bad header %q", ErrMalformed, lineNo, line)
+			}
+			if nv > lim.MaxVars {
+				return nil, &LimitError{What: "variables", Limit: int64(lim.MaxVars)}
+			}
+			if nc > lim.MaxClauses {
+				return nil, &LimitError{What: "clauses", Limit: int64(lim.MaxClauses)}
 			}
 			f.NumVars = nv
 			declaredClauses = nc
@@ -45,12 +155,23 @@ func ParseDimacs(r io.Reader) (*Formula, error) {
 		for _, tok := range strings.Fields(line) {
 			d, err := strconv.Atoi(tok)
 			if err != nil {
-				return nil, fmt.Errorf("dimacs: line %d: unexpected token %q", lineNo, tok)
+				return nil, fmt.Errorf("%w: line %d: unexpected token %q", ErrMalformed, lineNo, tok)
 			}
 			if d == 0 {
+				if len(f.Clauses) >= lim.MaxClauses {
+					return nil, &LimitError{What: "clauses", Limit: int64(lim.MaxClauses)}
+				}
 				f.Clauses = append(f.Clauses, cur)
 				cur = nil
 				continue
+			}
+			// Bound the magnitude before FromDimacs narrows it into the
+			// int32 Var encoding.
+			if d > lim.MaxVars || -d > lim.MaxVars {
+				return nil, &LimitError{What: "variables", Limit: int64(lim.MaxVars)}
+			}
+			if len(cur) >= lim.MaxClauseLen {
+				return nil, &LimitError{What: "clause length", Limit: int64(lim.MaxClauseLen)}
 			}
 			l := FromDimacs(d)
 			if int(l.Var()) >= f.NumVars {
@@ -63,11 +184,11 @@ func ParseDimacs(r io.Reader) (*Formula, error) {
 		return nil, err
 	}
 	if len(cur) > 0 {
-		return nil, fmt.Errorf("dimacs: last clause not terminated by 0")
+		return nil, fmt.Errorf("%w: last clause not terminated by 0", ErrMalformed)
 	}
 	if declaredClauses >= 0 && len(f.Clauses) < declaredClauses {
-		return nil, fmt.Errorf("dimacs: header declares %d clauses, found %d",
-			declaredClauses, len(f.Clauses))
+		return nil, fmt.Errorf("%w: header declares %d clauses, found %d",
+			ErrMalformed, declaredClauses, len(f.Clauses))
 	}
 	return f, nil
 }

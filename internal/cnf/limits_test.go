@@ -1,0 +1,67 @@
+package cnf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseDimacsLimitedMaxVars(t *testing.T) {
+	// Magnitudes past the bound must be refused before FromDimacs narrows
+	// them into the int32 Var encoding — including ones that would have
+	// wrapped negative and panicked a downstream index.
+	for _, in := range []string{
+		"p cnf 2 1\n9000000000 0\n",
+		"p cnf 2 1\n-9000000000 0\n",
+		"70000 0\n",
+	} {
+		_, err := ParseDimacsLimited(strings.NewReader(in), ParseLimits{MaxVars: 65536})
+		var le *LimitError
+		if !errors.As(err, &le) || !errors.Is(err, ErrLimit) {
+			t.Fatalf("ParseDimacsLimited(%q) err = %v, want *LimitError", in, err)
+		}
+		if le.What != "variables" {
+			t.Fatalf("ParseDimacsLimited(%q): tripped %q limit, want variables", in, le.What)
+		}
+	}
+	// A header declaring an absurd variable count is refused up front,
+	// before any per-variable allocation downstream.
+	if _, err := ParseDimacsLimited(strings.NewReader("p cnf 1000000 1\n1 0\n"),
+		ParseLimits{MaxVars: 65536}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("header variable limit: err = %v", err)
+	}
+}
+
+func TestParseDimacsLimitedOtherLimits(t *testing.T) {
+	if _, err := ParseDimacsLimited(strings.NewReader("1 0\n2 0\n3 0\n"),
+		ParseLimits{MaxClauses: 2}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("clause-count limit: err = %v", err)
+	}
+	if _, err := ParseDimacsLimited(strings.NewReader("p cnf 2 5\n1 0\n"),
+		ParseLimits{MaxClauses: 2}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("header clause limit: err = %v", err)
+	}
+	if _, err := ParseDimacsLimited(strings.NewReader("1 2 3 4 0\n"),
+		ParseLimits{MaxClauseLen: 3}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("clause-length limit: err = %v", err)
+	}
+	if _, err := ParseDimacsLimited(strings.NewReader("1 2 0\n-1 0\n"),
+		ParseLimits{MaxBytes: 4}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("byte limit: err = %v", err)
+	}
+}
+
+func TestParseDimacsMalformedTyped(t *testing.T) {
+	cases := []string{
+		"p dnf 2 1\n1 0\n", // bad header kind
+		"p cnf x 1\n1 0\n", // non-numeric header
+		"1 two 0\n",        // garbage token
+		"1 2\n",            // unterminated final clause
+		"p cnf 2 3\n1 0\n", // fewer clauses than declared
+	}
+	for _, in := range cases {
+		if _, err := ParseDimacsString(in); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("ParseDimacsString(%q) err = %v, want ErrMalformed", in, err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -24,11 +25,41 @@ func VerifyParallel(f *cnf.Formula, t *proof.Trace, engine EngineKind, workers i
 	return VerifyParallelOpts(f, t, Options{Mode: ModeCheckAll, Engine: engine}, workers)
 }
 
+// parallelChunkHook, when non-nil, runs at the start of every chunk attempt
+// (worker id, chunk bounds, 0-based attempt). Test-only: panic-recovery
+// tests use it to blow up inside a worker and prove the process survives.
+var parallelChunkHook func(worker, lo, hi, attempt int)
+
+// fallbackEngine is the engine a panicked chunk is retried on: the counting
+// engine backs up the watched one and vice versa, so a defect confined to
+// one propagator's data structures cannot take down the whole verification.
+func fallbackEngine(k EngineKind) EngineKind {
+	if k == EngineCounting {
+		return EngineWatched
+	}
+	return EngineCounting
+}
+
+// chunkTally is one chunk attempt's contribution to the aggregate Result.
+type chunkTally struct {
+	tested, taut int
+	failed       int32 // first failed index within the whole trace, -1
+	failedClause cnf.Clause
+	props        int64
+}
+
 // VerifyParallelOpts is VerifyParallel with full Options: opt.Engine
 // selects the BCP engine, opt.Obs and opt.Progress instrument the run
 // (per-worker child spans record each chunk's bounds and wall time;
-// counters aggregate across workers). opt.Mode is ignored — parallel
-// verification always checks every clause.
+// counters aggregate across workers) and opt.Ctx/opt.Budget bound it.
+// opt.Mode is ignored — parallel verification always checks every clause.
+//
+// Failure isolation: a panic inside a worker is recovered and attributed
+// (worker id + chunk bounds); the chunk is retried once on the fallback
+// engine before the run gives up with a *WorkerPanicError. Cancellation,
+// deadline and budget exhaustion stop every worker promptly and return the
+// aggregated partial Result alongside the distinct error, exactly like the
+// sequential Verify.
 func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int) (*Result, error) {
 	term := t.Terminates()
 	if term == proof.TermNone {
@@ -46,29 +77,67 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 		seq.Mode = ModeCheckAll
 		return Verify(f, t, seq)
 	}
+	if err := checkBudgetUpfront(f, t, opt.Budget, workers); err != nil {
+		countStopErr(opt.Obs, err)
+		return &Result{FailedIndex: -1, StoppedAt: -1, Termination: term,
+			ProofClauses: m, Incomplete: true}, err
+	}
 
 	span := opt.Obs.StartSpan("verify-parallel")
 	defer span.End()
 	opt.Obs.Gauge("verify.workers").Set(int64(workers))
 	cChecked := opt.Obs.Counter("verify.checked")
 	cTaut := opt.Obs.Counter("verify.tautologies")
+	cPanics := opt.Obs.Counter("verify.worker_panics")
+	cRetries := opt.Obs.Counter("verify.chunk_retries")
 	hChunkProps := opt.Obs.Histogram("verify.props_per_chunk")
 
 	nVars := f.NumVars
 	if mv := t.MaxVar(); int(mv)+1 > nVars {
 		nVars = int(mv) + 1
 	}
+	nf := len(f.Clauses)
 
-	type chunkOut struct {
-		tested, taut int
-		failed       int32 // first failed index within the whole trace, -1
-		failedClause cnf.Clause
-		props        int64
+	outs := make([]chunkTally, workers)
+	for w := range outs {
+		outs[w].failed = -1
 	}
-	outs := make([]chunkOut, workers)
 
 	var failedAt atomic.Int32
 	failedAt.Store(int32(m)) // sentinel: no failure
+
+	// First stop cause wins (cancellation, budget exhaustion, or an
+	// unrecoverable worker panic); every worker's stop hook observes it
+	// and bails out at its next poll.
+	var stopPtr atomic.Pointer[error]
+	setStopped := func(err error) {
+		e := err
+		stopPtr.CompareAndSwap(nil, &e)
+	}
+	// The propagation budget is global: each worker's hook folds its
+	// engine's delta into sharedProps and compares the run-wide total.
+	var sharedProps atomic.Int64
+	mkStop := func(props func() int64) func() error {
+		var lastSeen int64
+		return func() error {
+			if p := stopPtr.Load(); p != nil {
+				return *p
+			}
+			if err := ctxErr(opt.Ctx); err != nil {
+				return err
+			}
+			if b := opt.Budget.MaxPropagations; b > 0 {
+				if cur := props(); cur != lastSeen {
+					sharedProps.Add(cur - lastSeen)
+					lastSeen = cur
+				}
+				if used := sharedProps.Load(); used > b {
+					return &BudgetError{Resource: "propagations", Limit: b, Used: used}
+				}
+			}
+			return nil
+		}
+	}
 
 	var wg sync.WaitGroup
 	chunk := (m + workers - 1) / workers
@@ -86,57 +155,107 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 			defer wg.Done()
 			wspan := span.Child(fmt.Sprintf("worker-%d [%d,%d)", w, lo, hi))
 			defer wspan.End()
-			var eng bcp.Propagator
-			switch opt.Engine {
-			case EngineCounting:
-				eng = bcp.NewCounting(nVars)
-			default:
-				eng = bcp.NewEngine(nVars)
-			}
-			defer func() { publishEngine(opt.Obs, eng) }()
-			build := wspan.Child("build-db")
-			for _, c := range f.Clauses {
-				eng.Add(c)
-			}
-			// This worker's database: proof clauses strictly before hi;
-			// clause i is checked after deactivating ids >= i, i.e. we add
-			// [0, hi) and walk backwards exactly like the sequential code.
-			nf := len(f.Clauses)
-			for i := 0; i < hi; i++ {
-				eng.Add(t.Clauses[i])
-			}
-			build.End()
-			out := &outs[w]
-			out.failed = -1
-			for i := hi - 1; i >= lo; i-- {
-				if failedAt.Load() != int32(m) {
-					break // some worker already found a bad clause
-				}
-				eng.Deactivate(bcp.ID(nf + i))
-				opt.Progress.Step(1)
-				conflict, selfContra := eng.Refute(t.Clauses[i])
-				if selfContra {
-					out.taut++
-					cTaut.Inc()
-					continue
-				}
-				out.tested++
-				cChecked.Inc()
-				if conflict == bcp.NoConflict {
-					out.failed = int32(i)
-					out.failedClause = t.Clauses[i].Clone()
-					// Publish the smallest failing index.
-					for {
-						cur := failedAt.Load()
-						if int32(i) >= cur || failedAt.CompareAndSwap(cur, int32(i)) {
-							break
-						}
+
+			// runAttempt checks trace clauses [hi-1..lo] on a fresh engine.
+			// A recovered panic discards the attempt's tally — a retry
+			// redoes the whole chunk, so merging would double count — while
+			// a stop error keeps it, so the aggregated partial Result stays
+			// accurate.
+			// panicked distinguishes a panic in THIS worker's attempt from a
+			// stop error merely relayed by the hook (which may itself be
+			// another worker's WorkerPanicError).
+			runAttempt := func(attempt int, kind EngineKind) (tally chunkTally, err error, panicked bool) {
+				tally.failed = -1
+				defer func() {
+					if r := recover(); r != nil {
+						tally = chunkTally{failed: -1}
+						err = &WorkerPanicError{Worker: w, Lo: lo, Hi: hi,
+							Attempts: attempt + 1, Value: r, Stack: debug.Stack()}
+						panicked = true
 					}
-					break
+				}()
+				if parallelChunkHook != nil {
+					parallelChunkHook(w, lo, hi, attempt)
+				}
+				var eng bcp.Propagator
+				switch kind {
+				case EngineCounting:
+					eng = bcp.NewCounting(nVars)
+				default:
+					eng = bcp.NewEngine(nVars)
+				}
+				defer func() { publishEngine(opt.Obs, eng) }()
+				stop := mkStop(eng.Propagations)
+				eng.SetStop(stop)
+
+				build := wspan.Child("build-db")
+				for _, c := range f.Clauses {
+					eng.Add(c)
+				}
+				// This worker's database: proof clauses strictly before hi;
+				// clause i is checked after deactivating ids >= i, i.e. we
+				// add [0, hi) and walk backwards like the sequential code.
+				for i := 0; i < hi; i++ {
+					eng.Add(t.Clauses[i])
+				}
+				build.End()
+
+				for i := hi - 1; i >= lo; i-- {
+					if failedAt.Load() != int32(m) {
+						break // some worker already found a bad clause
+					}
+					if serr := stop(); serr != nil {
+						tally.props = eng.Propagations()
+						return tally, serr, false
+					}
+					eng.Deactivate(bcp.ID(nf + i))
+					opt.Progress.Step(1)
+					conflict, selfContra := eng.Refute(t.Clauses[i])
+					if serr := eng.StopErr(); serr != nil {
+						tally.props = eng.Propagations()
+						return tally, serr, false
+					}
+					if selfContra {
+						tally.taut++
+						cTaut.Inc()
+						continue
+					}
+					tally.tested++
+					cChecked.Inc()
+					if conflict == bcp.NoConflict {
+						tally.failed = int32(i)
+						tally.failedClause = t.Clauses[i].Clone()
+						// Publish the smallest failing index.
+						for {
+							cur := failedAt.Load()
+							if int32(i) >= cur || failedAt.CompareAndSwap(cur, int32(i)) {
+								break
+							}
+						}
+						break
+					}
+				}
+				tally.props = eng.Propagations()
+				hChunkProps.Observe(tally.props)
+				return tally, nil, false
+			}
+
+			tally, err, panicked := runAttempt(0, opt.Engine)
+			if panicked {
+				cPanics.Inc()
+				if stopPtr.Load() == nil {
+					cRetries.Inc()
+					var again bool
+					tally, err, again = runAttempt(1, fallbackEngine(opt.Engine))
+					if again {
+						cPanics.Inc()
+					}
 				}
 			}
-			out.props = eng.Propagations()
-			hChunkProps.Observe(out.props)
+			outs[w] = tally
+			if err != nil {
+				setStopped(err)
+			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -144,6 +263,7 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 	res := &Result{
 		OK:           true,
 		FailedIndex:  -1,
+		StoppedAt:    -1,
 		Termination:  term,
 		ProofClauses: m,
 	}
@@ -152,9 +272,15 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 		res.Tautologies += outs[w].taut
 		res.Propagations += outs[w].props
 	}
+	if p := stopPtr.Load(); p != nil {
+		res.Incomplete = true
+		countStopErr(opt.Obs, *p)
+		return res, *p
+	}
 	if idx := failedAt.Load(); int(idx) < m {
 		res.OK = false
 		res.FailedIndex = int(idx)
+		res.FailedClause = t.Clauses[idx].Clone()
 		for w := range outs {
 			if outs[w].failed == idx {
 				res.FailedClause = outs[w].failedClause

@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -73,6 +74,16 @@ type Options struct {
 	Mode   Mode
 	Engine EngineKind
 
+	// Ctx, when non-nil, bounds the run: cancellation or an expired
+	// deadline stops the check loop (and propagation inside a single BCP
+	// call) promptly, returning a partial Result together with
+	// ErrCancelled or ErrDeadline. A nil Ctx never stops.
+	Ctx context.Context
+
+	// Budget bounds the resources the run may consume; exceeding a bound
+	// returns a partial Result together with a *BudgetError.
+	Budget Budget
+
 	// Obs, when non-nil, receives live metrics and spans: a "verify" span
 	// with build-db / check-loop / core-extract children, verify.* counters
 	// (checked, skipped, tautologies, marked) updated per clause, a
@@ -116,6 +127,14 @@ type Result struct {
 
 	// Propagations is the total number of BCP-implied assignments.
 	Propagations int64
+
+	// Incomplete is true when the run stopped before reaching a verdict
+	// (cancellation, deadline, budget, or a worker failure); the counters
+	// above then describe the work done so far and OK is meaningless.
+	// StoppedAt is the trace index the sequential check loop had reached
+	// when it stopped, or -1.
+	Incomplete bool
+	StoppedAt  int
 }
 
 // TestedPct returns Tested as a percentage of ProofClauses (the paper's
@@ -155,6 +174,11 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("%w: %d clauses but %d resolution annotations",
 			ErrBadTrace, len(t.Clauses), len(t.Resolutions))
 	}
+	if err := checkBudgetUpfront(f, t, opt.Budget, 1); err != nil {
+		countStopErr(opt.Obs, err)
+		return &Result{FailedIndex: -1, StoppedAt: -1, Termination: term,
+			ProofClauses: len(t.Clauses), Incomplete: true}, err
+	}
 
 	var eng bcp.Propagator
 	span := opt.Obs.StartSpan("verify")
@@ -189,6 +213,12 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 	}
 	build.End()
 
+	// The stop hook is polled by the engine inside propagation and by the
+	// check loop once per clause, so both a single pathological BCP call
+	// and a long proof stop promptly.
+	stop := verifyStopFunc(opt.Ctx, opt.Budget.MaxPropagations, eng.Propagations)
+	eng.SetStop(stop)
+
 	marked := make([]bool, nf+m)
 	switch term {
 	case proof.TermFinalPair:
@@ -203,6 +233,7 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 	res := &Result{
 		OK:           true,
 		FailedIndex:  -1,
+		StoppedAt:    -1,
 		Termination:  term,
 		ProofClauses: m,
 	}
@@ -212,6 +243,13 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 	for i := m - 1; i >= 0; i-- {
 		id := bcp.ID(nf + i)
 		c := t.Clauses[i]
+		if err := stop(); err != nil {
+			res.Incomplete = true
+			res.StoppedAt = i
+			res.Propagations = eng.Propagations()
+			countStopErr(opt.Obs, err)
+			return res, err
+		}
 		// Pop the clause off the proof stack: its own check and all later
 		// checks must not use it.
 		eng.Deactivate(id)
@@ -223,6 +261,13 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 		}
 		propsBefore := eng.Propagations()
 		conflict, selfContra := eng.Refute(c)
+		if err := eng.StopErr(); err != nil {
+			res.Incomplete = true
+			res.StoppedAt = i
+			res.Propagations = eng.Propagations()
+			countStopErr(opt.Obs, err)
+			return res, err
+		}
 		if selfContra {
 			// A tautologous "conflict clause" is implied by anything; it
 			// cannot participate in any later conflict either, so it needs

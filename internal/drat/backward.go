@@ -91,7 +91,11 @@ func VerifyBackward(f *cnf.Formula, p *Proof) (*Result, *Proof, []int, error) {
 	for i := lastStep; i >= 0; i-- {
 		s := p.Steps[i]
 		if s.Del {
-			eng.Reactivate(stepID[i])
+			if err := eng.Reactivate(stepID[i]); err != nil {
+				// Cannot happen — eng came from NewEngineReactivable above —
+				// but an internal error beats silently skipping the undo.
+				return nil, nil, nil, fmt.Errorf("drat: undoing deletion step %d: %w", i, err)
+			}
 			continue
 		}
 		if len(s.C) == 0 {

@@ -1,0 +1,205 @@
+// Package faults is a deterministic fault-injection harness for the
+// verification pipeline. It mutates known-good formula/trace pairs (and
+// their serialized forms) in the ways a buggy or adversarial solver would —
+// flipped literals, dropped or reordered clauses, truncated output, corrupt
+// bytes — so tests can assert the verifier's robustness contract: it must
+// reject or error, never accept an unsound proof, never panic, never hang.
+//
+// All mutations are driven by a seeded PRNG, so a failing case reproduces
+// from its seed alone.
+package faults
+
+import (
+	"math/rand"
+
+	"repro/internal/cnf"
+	"repro/internal/obs"
+	"repro/internal/proof"
+)
+
+// Kind enumerates the corruption modes the injector can apply.
+type Kind int
+
+const (
+	// FlipLit negates one literal in one trace clause.
+	FlipLit Kind = iota
+	// DropClause removes one trace clause (later clauses that resolved on
+	// it lose a premise).
+	DropClause
+	// DupClause duplicates one trace clause in place (always logically
+	// harmless — a regression guard against the verifier being *unsound
+	// the other way*, rejecting valid proofs).
+	DupClause
+	// SwapClauses exchanges two trace clauses, breaking the "derived only
+	// from earlier clauses" order when one resolved on the other.
+	SwapClauses
+	// TruncateTrace drops a suffix of the trace, as a solver killed
+	// mid-write would.
+	TruncateTrace
+	// GarbageLit replaces one trace literal with a fresh variable the
+	// formula never mentions.
+	GarbageLit
+	// DropFormulaClause removes one clause of the *formula*. On a minimally
+	// unsatisfiable input this makes the formula satisfiable, so any
+	// checker that still accepts the old proof is unsound.
+	DropFormulaClause
+)
+
+// Kinds lists every structural corruption mode, for matrix tests.
+var Kinds = []Kind{
+	FlipLit, DropClause, DupClause, SwapClauses,
+	TruncateTrace, GarbageLit, DropFormulaClause,
+}
+
+func (k Kind) String() string {
+	switch k {
+	case FlipLit:
+		return "flip-lit"
+	case DropClause:
+		return "drop-clause"
+	case DupClause:
+		return "dup-clause"
+	case SwapClauses:
+		return "swap-clauses"
+	case TruncateTrace:
+		return "truncate-trace"
+	case GarbageLit:
+		return "garbage-lit"
+	case DropFormulaClause:
+		return "drop-formula-clause"
+	default:
+		return "unknown-fault"
+	}
+}
+
+// Injector applies seeded, reproducible corruptions. The zero value is not
+// usable; construct with New.
+type Injector struct {
+	rng *rand.Rand
+	// Obs, when non-nil, counts every applied corruption under
+	// "faults.injected".
+	Obs *obs.Registry
+}
+
+// New returns an injector whose mutation choices are fully determined by
+// seed.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (in *Injector) count() {
+	if in.Obs != nil {
+		in.Obs.Counter("faults.injected").Inc()
+	}
+}
+
+// Apply returns corrupted copies of f and t. The inputs are never mutated.
+// ok is false when the kind does not apply to this instance (e.g. swapping
+// clauses of a one-clause trace); nothing is counted in that case.
+func (in *Injector) Apply(k Kind, f *cnf.Formula, t *proof.Trace) (mf *cnf.Formula, mt *proof.Trace, ok bool) {
+	mf, mt = f.Clone(), t.Clone()
+	switch k {
+	case FlipLit:
+		ci, li, ok2 := in.pickLit(mt)
+		if !ok2 {
+			return nil, nil, false
+		}
+		mt.Clauses[ci][li] = mt.Clauses[ci][li].Neg()
+	case DropClause:
+		if len(mt.Clauses) == 0 {
+			return nil, nil, false
+		}
+		i := in.rng.Intn(len(mt.Clauses))
+		mt.Clauses = append(mt.Clauses[:i], mt.Clauses[i+1:]...)
+		if mt.Resolutions != nil {
+			mt.Resolutions = append(mt.Resolutions[:i], mt.Resolutions[i+1:]...)
+		}
+	case DupClause:
+		if len(mt.Clauses) == 0 {
+			return nil, nil, false
+		}
+		i := in.rng.Intn(len(mt.Clauses))
+		c := mt.Clauses[i].Clone()
+		mt.Clauses = append(mt.Clauses[:i+1], append([]cnf.Clause{c}, mt.Clauses[i+1:]...)...)
+		if mt.Resolutions != nil {
+			r := mt.Resolutions[i]
+			mt.Resolutions = append(mt.Resolutions[:i+1], append([]int64{r}, mt.Resolutions[i+1:]...)...)
+		}
+	case SwapClauses:
+		if len(mt.Clauses) < 2 {
+			return nil, nil, false
+		}
+		i := in.rng.Intn(len(mt.Clauses) - 1)
+		j := i + 1 + in.rng.Intn(len(mt.Clauses)-i-1)
+		mt.Clauses[i], mt.Clauses[j] = mt.Clauses[j], mt.Clauses[i]
+		if mt.Resolutions != nil {
+			mt.Resolutions[i], mt.Resolutions[j] = mt.Resolutions[j], mt.Resolutions[i]
+		}
+	case TruncateTrace:
+		if len(mt.Clauses) == 0 {
+			return nil, nil, false
+		}
+		n := in.rng.Intn(len(mt.Clauses)) // keep [0, n), always dropping >= 1
+		mt.Clauses = mt.Clauses[:n]
+		if mt.Resolutions != nil {
+			mt.Resolutions = mt.Resolutions[:n]
+		}
+	case GarbageLit:
+		ci, li, ok2 := in.pickLit(mt)
+		if !ok2 {
+			return nil, nil, false
+		}
+		fresh := int(mf.MaxVar()) + 2 + in.rng.Intn(16)
+		if mv := mt.MaxVar(); int(mv)+2 > fresh {
+			fresh = int(mv) + 2
+		}
+		if in.rng.Intn(2) == 0 {
+			fresh = -fresh
+		}
+		mt.Clauses[ci][li] = cnf.FromDimacs(fresh)
+	case DropFormulaClause:
+		if len(mf.Clauses) == 0 {
+			return nil, nil, false
+		}
+		i := in.rng.Intn(len(mf.Clauses))
+		mf.Clauses = append(mf.Clauses[:i], mf.Clauses[i+1:]...)
+	default:
+		return nil, nil, false
+	}
+	in.count()
+	return mf, mt, true
+}
+
+// pickLit selects a uniformly random literal position among non-empty
+// trace clauses.
+func (in *Injector) pickLit(t *proof.Trace) (clause, lit int, ok bool) {
+	var candidates []int
+	for i, c := range t.Clauses {
+		if len(c) > 0 {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, 0, false
+	}
+	ci := candidates[in.rng.Intn(len(candidates))]
+	return ci, in.rng.Intn(len(t.Clauses[ci])), true
+}
+
+// CorruptBytes returns a copy of data with one byte changed to a different
+// value at a random offset — the serialized-form counterpart of the
+// structural kinds, for exercising the parsers. Returns ok=false on empty
+// input.
+func (in *Injector) CorruptBytes(data []byte) (out []byte, ok bool) {
+	if len(data) == 0 {
+		return nil, false
+	}
+	out = append([]byte(nil), data...)
+	i := in.rng.Intn(len(out))
+	old := out[i]
+	for out[i] == old {
+		out[i] = byte(in.rng.Intn(256))
+	}
+	in.count()
+	return out, true
+}

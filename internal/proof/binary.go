@@ -3,6 +3,7 @@ package proof
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -37,15 +38,21 @@ func mapLit(l cnf.Lit) uint64 {
 	return uint64(d) << 1
 }
 
-func unmapLit(u uint64) (cnf.Lit, error) {
-	mag := int(u >> 1)
+// unmapLit decodes a mapped literal, refusing magnitudes beyond maxVar —
+// the check must happen on the uint64 before narrowing, or a 2^40 "variable"
+// would wrap the int32 literal encoding into nonsense (or a panic).
+func unmapLit(u uint64, maxVar int) (cnf.Lit, error) {
+	mag := u >> 1
 	if mag == 0 {
-		return cnf.LitUndef, fmt.Errorf("proof: binary literal 0 outside terminator position")
+		return cnf.LitUndef, fmt.Errorf("%w: binary literal 0 outside terminator position", ErrMalformed)
+	}
+	if mag > uint64(maxVar) {
+		return cnf.LitUndef, &LimitError{What: "variable", Limit: int64(maxVar)}
 	}
 	if u&1 == 1 {
-		return cnf.FromDimacs(-mag), nil
+		return cnf.FromDimacs(-int(mag)), nil
 	}
-	return cnf.FromDimacs(mag), nil
+	return cnf.FromDimacs(int(mag)), nil
 }
 
 // WriteBinary writes the trace in the binary format.
@@ -88,18 +95,28 @@ func WriteBinary(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a binary trace.
+// ReadBinary parses a binary trace under DefaultLimits.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
+	return ReadBinaryLimited(r, DefaultLimits())
+}
+
+// ReadBinaryLimited is ReadBinary with explicit Limits. Truncation and
+// encoding garbage wrap ErrMalformed; limit violations wrap ErrLimit.
+func ReadBinaryLimited(r io.Reader, lim Limits) (*Trace, error) {
+	lim = lim.withDefaults()
+	br := bufio.NewReader(newCappedReader(r, lim.MaxBytes))
 	head := make([]byte, len(binaryMagic)+2)
 	if _, err := io.ReadFull(br, head); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: truncated binary header", ErrMalformed)
+		}
 		return nil, fmt.Errorf("proof: binary header: %w", err)
 	}
 	if string(head[:4]) != binaryMagic {
-		return nil, fmt.Errorf("proof: bad magic %q", head[:4])
+		return nil, fmt.Errorf("%w: bad magic %q", ErrMalformed, head[:4])
 	}
 	if head[4] != binaryVersion {
-		return nil, fmt.Errorf("proof: unsupported binary version %d", head[4])
+		return nil, fmt.Errorf("%w: unsupported binary version %d", ErrMalformed, head[4])
 	}
 	flags := head[5]
 	hasRes := flags&binaryFlagResCounts != 0
@@ -115,7 +132,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 				return t, nil
 			}
 			if err != nil {
-				return nil, fmt.Errorf("proof: binary resolution count: %w", err)
+				return nil, fmt.Errorf("%w: binary resolution count: %v", ErrMalformed, err)
 			}
 			t.Resolutions = append(t.Resolutions, int64(res))
 		}
@@ -127,20 +144,30 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 				if first && !hasRes {
 					return t, nil
 				}
-				return nil, fmt.Errorf("proof: truncated binary clause")
+				return nil, fmt.Errorf("%w: truncated binary clause", ErrMalformed)
 			}
 			if err != nil {
-				return nil, fmt.Errorf("proof: binary literal: %w", err)
+				var le *LimitError
+				if errors.As(err, &le) {
+					return nil, le
+				}
+				return nil, fmt.Errorf("%w: binary literal: %v", ErrMalformed, err)
 			}
 			first = false
 			if u == 0 {
 				break
 			}
-			l, err := unmapLit(u)
+			if len(c) >= lim.MaxClauseLen {
+				return nil, &LimitError{What: "clause length", Limit: int64(lim.MaxClauseLen)}
+			}
+			l, err := unmapLit(u, lim.MaxVar)
 			if err != nil {
 				return nil, err
 			}
 			c = append(c, l)
+		}
+		if len(t.Clauses) >= lim.MaxClauses {
+			return nil, &LimitError{What: "clauses", Limit: int64(lim.MaxClauses)}
 		}
 		t.Clauses = append(t.Clauses, c)
 	}

@@ -36,11 +36,19 @@ func Write(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// Read parses a trace in the text format. Clauses may span lines; comments
-// other than "c res" are ignored. A "c res <n>" comment annotates the next
-// clause. If any clause carries an annotation, unannotated clauses get 0.
-func Read(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
+// Read parses a trace in the text format under DefaultLimits. Clauses may
+// span lines; comments other than "c res" are ignored. A "c res <n>"
+// comment annotates the next clause. If any clause carries an annotation,
+// unannotated clauses get 0.
+func Read(r io.Reader) (*Trace, error) { return ReadLimited(r, DefaultLimits()) }
+
+// ReadLimited is Read with explicit Limits — the entry point for genuinely
+// untrusted input. Syntax problems (including truncation) wrap ErrMalformed
+// and limit violations wrap ErrLimit, so callers can map the two failure
+// classes to distinct outcomes.
+func ReadLimited(r io.Reader, lim Limits) (*Trace, error) {
+	lim = lim.withDefaults()
+	sc := bufio.NewScanner(newCappedReader(r, lim.MaxBytes))
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
 
 	t := New()
@@ -62,7 +70,7 @@ func Read(r io.Reader) (*Trace, error) {
 			if len(fields) == 3 && fields[1] == "res" {
 				n, err := strconv.ParseInt(fields[2], 10, 64)
 				if err != nil {
-					return nil, fmt.Errorf("proof: line %d: bad res count %q", lineNo, fields[2])
+					return nil, fmt.Errorf("%w: line %d: bad res count %q", ErrMalformed, lineNo, fields[2])
 				}
 				pendingRes = n
 				sawRes = true
@@ -72,14 +80,23 @@ func Read(r io.Reader) (*Trace, error) {
 		for _, tok := range strings.Fields(line) {
 			d, err := strconv.Atoi(tok)
 			if err != nil {
-				return nil, fmt.Errorf("proof: line %d: unexpected token %q", lineNo, tok)
+				return nil, fmt.Errorf("%w: line %d: unexpected token %q", ErrMalformed, lineNo, tok)
 			}
 			if d == 0 {
+				if len(t.Clauses) >= lim.MaxClauses {
+					return nil, &LimitError{What: "clauses", Limit: int64(lim.MaxClauses)}
+				}
 				t.Clauses = append(t.Clauses, cur)
 				resCounts = append(resCounts, pendingRes)
 				cur = nil
 				pendingRes = 0
 				continue
+			}
+			if d > lim.MaxVar || -d > lim.MaxVar {
+				return nil, &LimitError{What: "variable", Limit: int64(lim.MaxVar)}
+			}
+			if len(cur) >= lim.MaxClauseLen {
+				return nil, &LimitError{What: "clause length", Limit: int64(lim.MaxClauseLen)}
 			}
 			cur = append(cur, cnf.FromDimacs(d))
 		}
@@ -88,7 +105,7 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	if len(cur) > 0 {
-		return nil, fmt.Errorf("proof: last clause not terminated by 0")
+		return nil, fmt.Errorf("%w: last clause not terminated by 0", ErrMalformed)
 	}
 	if sawRes {
 		t.Resolutions = resCounts

@@ -86,6 +86,9 @@ func (s *Solver) RunAssuming(assumps []cnf.Lit) Status {
 			if s.opts.Stop != nil && s.opts.Stop.Load() {
 				return Unknown
 			}
+			if s.opts.Ctx != nil && s.opts.Ctx.Err() != nil {
+				return Unknown
+			}
 			if restartBudget > 0 && conflictsSinceRestart >= restartBudget {
 				conflictsSinceRestart = 0
 				s.stats.Restarts++

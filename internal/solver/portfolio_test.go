@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 
@@ -80,5 +81,21 @@ func TestStopFlag(t *testing.T) {
 	}
 	if stats.Conflicts > 2 {
 		t.Errorf("ran %d conflicts past the stop flag", stats.Conflicts)
+	}
+}
+
+func TestCtxCancellation(t *testing.T) {
+	f := php(8) // hard enough not to finish instantly
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, _, _, stats, err := Solve(f, Options{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unknown {
+		t.Fatalf("status %v with pre-cancelled context", st)
+	}
+	if stats.Conflicts > 2 {
+		t.Errorf("ran %d conflicts past the cancelled context", stats.Conflicts)
 	}
 }

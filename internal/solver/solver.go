@@ -25,6 +25,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -170,6 +171,11 @@ type Options struct {
 	// the search return Unknown promptly. Used for portfolio racing and
 	// external timeouts.
 	Stop *atomic.Bool
+
+	// Ctx, when non-nil, is polled once per conflict; cancellation or an
+	// expired deadline makes the search return Unknown promptly, exactly
+	// like Stop. Nil means no context control.
+	Ctx context.Context
 
 	// Seed perturbs initial variable activities very slightly so runs with
 	// different seeds explore different proofs. 0 keeps uniform zeros.
