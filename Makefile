@@ -7,7 +7,7 @@ GO ?= go
 # mutator beyond the seed corpus, short enough for a pre-merge gate.
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race check bench fuzz-smoke clean
+.PHONY: all build vet test race check bench fuzz-smoke crash-smoke clean
 
 all: build
 
@@ -32,10 +32,20 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinaryTrace$$' -fuzztime $(FUZZTIME) ./internal/proof/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseCNF$$' -fuzztime $(FUZZTIME) ./internal/cnf/
 
+# crash-smoke is the seeded kill-and-recover loop: the built CLIs are
+# SIGKILLed at durable checkpoint appends and resumed until they finish, and
+# the recovered artifacts must be byte-identical to an uninterrupted run.
+# The journal-corruption matrix (truncated tail, bit flips, stale
+# fingerprints, version skew) rides along from internal/faults.
+crash-smoke:
+	$(GO) test -run '^TestCrashRecoverMatrix$$|^TestCrashHookFiresAfterDurableAppend$$|^TestExitCodeInterruptedResume$$' -count=1 -v .
+	$(GO) test -run '^TestJournalFault' -count=1 ./internal/faults/
+
 # check is the pre-merge gate: vet, a full build, the test suite under the
-# race detector, and a short fuzz pass over the untrusted-input parsers. Run
-# it before every merge; CI and reviewers assume it is green.
-check: vet build race fuzz-smoke
+# race detector, a short fuzz pass over the untrusted-input parsers, and the
+# kill-and-recover crash loop. Run it before every merge; CI and reviewers
+# assume it is green.
+check: vet build race fuzz-smoke crash-smoke
 
 # bench compiles and smoke-runs every benchmark once (not a measurement run).
 bench:

@@ -39,6 +39,7 @@ import (
 	"os/signal"
 
 	"repro/cmd/internal/exitcode"
+	"repro/internal/atomicio"
 	"repro/internal/cnf"
 	"repro/internal/drat"
 	"repro/internal/obs"
@@ -161,7 +162,7 @@ func run() int {
 		return exitcode.Usage
 	}
 
-	var proofFile *os.File
+	var proofFile *atomicio.File
 	var rec *drat.Recorder
 	var st solver.Status
 	var tr *proof.Trace
@@ -189,28 +190,27 @@ func run() int {
 		st, tr, model, sstats = res.Status, res.Trace, res.Model, res.Stats
 		fmt.Fprintf(os.Stderr, "c portfolio: configuration %d won\n", res.Winner)
 		if *proofPath != "" && st == solver.Unsat {
-			out, ferr := os.Create(*proofPath)
-			if ferr != nil {
-				fmt.Fprintln(os.Stderr, "bksat:", ferr)
-				return exitcode.Internal
-			}
-			defer out.Close()
-			var w io.Writer = out
-			if reg != nil {
-				w = obs.CountingWriter(out, reg.Counter("proof.write.bytes"))
-			}
-			if werr := proof.Write(w, tr); werr != nil {
+			werr := atomicio.WriteFile(*proofPath, func(out io.Writer) error {
+				w := out
+				if reg != nil {
+					w = obs.CountingWriter(out, reg.Counter("proof.write.bytes"))
+				}
+				return proof.Write(w, tr)
+			})
+			if werr != nil {
 				fmt.Fprintln(os.Stderr, "bksat:", werr)
 				return exitcode.Internal
 			}
 		}
 	} else {
 		if *proofPath != "" {
-			proofFile, err = os.Create(*proofPath)
+			proofFile, err = atomicio.Create(*proofPath)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bksat:", err)
 				return exitcode.Internal
 			}
+			// Closed uncommitted (and hence discarded) on every path except a
+			// completed UNSAT run, which commits it below.
 			defer proofFile.Close()
 			if reg != nil {
 				opts.ProofWriter = obs.CountingWriter(proofFile, reg.Counter("proof.write.bytes"))
@@ -233,17 +233,10 @@ func run() int {
 	}
 	prog.Finish()
 	if *statsJSON != "" {
-		out, serr := os.Create(*statsJSON)
-		if serr != nil {
+		if serr := atomicio.WriteFile(*statsJSON, reg.WriteJSON); serr != nil {
 			fmt.Fprintln(os.Stderr, "bksat:", serr)
 			return exitcode.Internal
 		}
-		if serr := reg.WriteJSON(out); serr != nil {
-			out.Close()
-			fmt.Fprintln(os.Stderr, "bksat:", serr)
-			return exitcode.Internal
-		}
-		out.Close()
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "c conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d deleted=%d resolutions=%d\n",
@@ -274,17 +267,17 @@ func run() int {
 	case solver.Unsat:
 		fmt.Println("s UNSATISFIABLE")
 		if proofFile != nil {
+			if err := proofFile.Commit(); err != nil {
+				fmt.Fprintln(os.Stderr, "bksat:", err)
+				return exitcode.Internal
+			}
 			fmt.Fprintf(os.Stderr, "c proof: %d conflict clauses, %d literals, termination: %v -> %s\n",
 				tr.Len(), tr.NumLiterals(), tr.Terminates(), *proofPath)
 		}
 		if rec != nil {
-			out, err := os.Create(*dratPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "bksat:", err)
-				return exitcode.Internal
-			}
-			defer out.Close()
-			if err := drat.Write(out, rec.Proof()); err != nil {
+			if err := atomicio.WriteFile(*dratPath, func(out io.Writer) error {
+				return drat.Write(out, rec.Proof())
+			}); err != nil {
 				fmt.Fprintln(os.Stderr, "bksat:", err)
 				return exitcode.Internal
 			}

@@ -19,6 +19,10 @@
 //	-timeout D      give up after this long (e.g. 30s, 5m; 0 = unlimited)
 //	-max-props N    give up after N unit propagations (0 = unlimited)
 //	-max-memory N   refuse runs whose estimated footprint exceeds N bytes
+//	-checkpoint FILE  write resumable checkpoints to this journal file
+//	-checkpoint-every N  checkpoint interval in proof clauses (default 1000)
+//	-resume         resume from the -checkpoint journal when it matches;
+//	                any mismatch or corruption falls back to a full run
 //	-json           emit the verification result as JSON on stdout
 //	-stats-json FILE  write a JSON snapshot of every metric and the span tree
 //	-progress       report progress on stderr while checking
@@ -43,12 +47,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
+	"repro/cmd/internal/ckpt"
 	"repro/cmd/internal/exitcode"
+	"repro/internal/atomicio"
 	"repro/internal/cnf"
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/proof"
 )
@@ -66,6 +74,9 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "give up after this long (0 = unlimited)")
 	maxProps := flag.Int64("max-props", 0, "give up after N unit propagations (0 = unlimited)")
 	maxMemory := flag.Int64("max-memory", 0, "refuse runs whose estimated footprint exceeds N bytes (0 = unlimited)")
+	checkpointPath := flag.String("checkpoint", "", "write resumable checkpoints to this journal file")
+	checkpointEvery := flag.Int("checkpoint-every", 1000, "checkpoint interval in proof clauses")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint journal when it matches")
 	jsonOut := flag.Bool("json", false, "emit the verification result as JSON on stdout")
 	statsJSON := flag.String("stats-json", "", "write a JSON metrics snapshot to this file")
 	progress := flag.Bool("progress", false, "report verification progress on stderr")
@@ -80,6 +91,14 @@ func run() int {
 	}
 	if *par != 0 && (*corePath != "" || *trimPath != "") {
 		fmt.Fprintln(os.Stderr, "dpv: -par checks every clause without marking; -core/-trim need the sequential checker")
+		return exitcode.Usage
+	}
+	if *resume && *checkpointPath == "" {
+		fmt.Fprintln(os.Stderr, "dpv: -resume requires -checkpoint")
+		return exitcode.Usage
+	}
+	if *checkpointPath != "" && *checkpointEvery <= 0 {
+		fmt.Fprintln(os.Stderr, "dpv: -checkpoint-every must be positive")
 		return exitcode.Usage
 	}
 
@@ -157,6 +176,66 @@ func run() int {
 		return exitcode.Usage
 	}
 
+	// Checkpoint journal: open a matching journal first when resuming, then
+	// start a fresh one for this run. The resumed record is re-appended as
+	// the new journal's first record so no durable progress is ever lost,
+	// and every validation failure degrades to a full run with a warning —
+	// never a wrong verdict.
+	var jw *journal.Writer
+	if *checkpointPath != "" {
+		meta := journal.Meta{
+			Kind:      journal.KindVerifySeq,
+			Mode:      uint8(opt.Mode),
+			Engine:    uint8(opt.Engine),
+			Interval:  uint32(*checkpointEvery),
+			FormulaFP: journal.FingerprintFormula(f),
+			ProofFP:   journal.FingerprintTrace(tr),
+		}
+		if *par != 0 {
+			meta.Kind = journal.KindVerifyParallel
+			meta.Mode = uint8(core.ModeCheckAll)
+			meta.Workers = uint32(core.ResolveWorkers(tr.Len(), *par))
+		}
+		var resumeCp *core.Checkpoint
+		var resumePayload []byte
+		if *resume {
+			payload, jerr := journal.Open(*checkpointPath, meta, reg)
+			if jerr == nil {
+				cp, derr := core.DecodeCheckpoint(payload)
+				if derr == nil {
+					derr = cp.ValidateFor(f.NumClauses(), tr.Len(), int(meta.Workers))
+				}
+				if derr == nil {
+					resumeCp = cp
+					resumePayload = payload
+				} else {
+					jerr = derr
+				}
+			}
+			if jerr != nil {
+				fmt.Fprintf(os.Stderr, "dpv: warning: not resuming (%v); running from scratch\n", jerr)
+			}
+		}
+		w, jerr := journal.Create(*checkpointPath, meta, reg)
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "dpv:", jerr)
+			return exitcode.Internal
+		}
+		jw = w
+		defer jw.Close()
+		if resumePayload != nil {
+			if jerr := jw.Append(resumePayload); jerr != nil {
+				fmt.Fprintln(os.Stderr, "dpv:", jerr)
+				return exitcode.Internal
+			}
+		}
+		opt.Checkpoint = core.CheckpointConfig{
+			Every:  *checkpointEvery,
+			Sink:   ckpt.CrashSink(jw.Append),
+			Resume: resumeCp,
+		}
+	}
+
 	if *progress {
 		markedC := reg.Counter("verify.marked")
 		total := tr.Len()
@@ -190,6 +269,18 @@ func run() int {
 		}
 	}
 	if err != nil {
+		if jw != nil {
+			// Flush a final record so the journal visibly ends with a clean
+			// stop (SIGINT, timeout, budget); a later -resume restarts from
+			// the last checkpoint record.
+			note := fmt.Sprintf("incomplete err=%v", err)
+			if res != nil {
+				note = fmt.Sprintf("incomplete stopped_at=%d tested=%d err=%v", res.StoppedAt, res.Tested, err)
+			}
+			if ferr := jw.AppendFinal([]byte(note)); ferr != nil {
+				fmt.Fprintln(os.Stderr, "dpv:", ferr)
+			}
+		}
 		fmt.Fprintln(os.Stderr, "dpv:", err)
 		if res != nil && res.Incomplete {
 			fmt.Printf("s UNKNOWN\n")
@@ -201,6 +292,13 @@ func run() int {
 			}
 		}
 		return exitcode.FromVerifyError(err)
+	}
+
+	// A verdict was reached; the journal is stale by definition.
+	if jw != nil {
+		if rerr := jw.Remove(); rerr != nil {
+			fmt.Fprintln(os.Stderr, "dpv:", rerr)
+		}
 	}
 
 	if *jsonOut {
@@ -228,13 +326,10 @@ func run() int {
 	}
 
 	if *corePath != "" {
-		out, err := os.Create(*corePath)
+		err := atomicio.WriteFile(*corePath, func(w io.Writer) error {
+			return cnf.WriteDimacs(w, core.CoreFormula(f, res))
+		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dpv:", err)
-			return exitcode.Internal
-		}
-		defer out.Close()
-		if err := cnf.WriteDimacs(out, core.CoreFormula(f, res)); err != nil {
 			fmt.Fprintln(os.Stderr, "dpv:", err)
 			return exitcode.Internal
 		}
@@ -245,13 +340,10 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "dpv:", err)
 			return exitcode.Internal
 		}
-		out, err := os.Create(*trimPath)
+		err = atomicio.WriteFile(*trimPath, func(w io.Writer) error {
+			return proof.Write(w, trimmed)
+		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dpv:", err)
-			return exitcode.Internal
-		}
-		defer out.Close()
-		if err := proof.Write(out, trimmed); err != nil {
 			fmt.Fprintln(os.Stderr, "dpv:", err)
 			return exitcode.Internal
 		}
@@ -310,10 +402,7 @@ func resultJSON(res *core.Result, opt core.Options, workers, nOriginal int) json
 }
 
 func writeStats(path string, reg *obs.Registry) error {
-	out, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer out.Close()
-	return reg.WriteJSON(out)
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return reg.WriteJSON(w)
+	})
 }

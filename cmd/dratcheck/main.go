@@ -6,6 +6,11 @@
 //
 //	dratcheck formula.cnf proof.drat
 //
+// With -backward -checkpoint FILE the backward pass writes resumable
+// checkpoints every -checkpoint-every steps; -resume restarts from the
+// journal's last durable record, falling back to a full run on any
+// mismatch or corruption.
+//
 // Exit status: 0 verified, 1 usage errors, 2 rejected, 3 malformed or
 // unreadable formula/proof input, 6 internal errors (failed output writes).
 package main
@@ -13,11 +18,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/cmd/internal/ckpt"
 	"repro/cmd/internal/exitcode"
+	"repro/internal/atomicio"
 	"repro/internal/cnf"
 	"repro/internal/drat"
+	"repro/internal/journal"
 )
 
 func main() {
@@ -29,9 +38,24 @@ func run() int {
 	backward := flag.Bool("backward", false, "backward checking with marking (drat-trim style; checks only used clauses)")
 	trimPath := flag.String("trim", "", "with -backward: write the trimmed proof to this file")
 	corePath := flag.String("core", "", "with -backward: write the unsat core (DIMACS) to this file")
+	checkpointPath := flag.String("checkpoint", "", "with -backward: write resumable checkpoints to this journal file")
+	checkpointEvery := flag.Int("checkpoint-every", 1000, "checkpoint interval in proof steps")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint journal when it matches")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: dratcheck [-q] [-backward [-trim out.drat] [-core out.cnf]] formula.cnf proof.drat")
+		fmt.Fprintln(os.Stderr, "usage: dratcheck [-q] [-backward [-trim out.drat] [-core out.cnf] [-checkpoint j [-resume]]] formula.cnf proof.drat")
+		return exitcode.Usage
+	}
+	if (*checkpointPath != "" || *resume) && !*backward {
+		fmt.Fprintln(os.Stderr, "dratcheck: -checkpoint/-resume require -backward")
+		return exitcode.Usage
+	}
+	if *resume && *checkpointPath == "" {
+		fmt.Fprintln(os.Stderr, "dratcheck: -resume requires -checkpoint")
+		return exitcode.Usage
+	}
+	if *checkpointPath != "" && *checkpointEvery <= 0 {
+		fmt.Fprintln(os.Stderr, "dratcheck: -checkpoint-every must be positive")
 		return exitcode.Usage
 	}
 	fin, err := os.Open(flag.Arg(0))
@@ -59,30 +83,71 @@ func run() int {
 
 	var res *drat.Result
 	if *backward {
-		var trimmed *drat.Proof
-		var coreIdx []int
-		res, trimmed, coreIdx, err = drat.VerifyBackward(f, p)
-		if err == nil && res.OK {
-			if *trimPath != "" {
-				out, ferr := os.Create(*trimPath)
-				if ferr != nil {
-					fmt.Fprintln(os.Stderr, "dratcheck:", ferr)
+		var bopt drat.BackwardOptions
+		var jw *journal.Writer
+		if *checkpointPath != "" {
+			meta := journal.Meta{
+				Kind:      journal.KindDRATBackward,
+				Interval:  uint32(*checkpointEvery),
+				FormulaFP: journal.FingerprintFormula(f),
+				ProofFP:   p.Fingerprint(),
+			}
+			var resumePayload []byte
+			if *resume {
+				payload, jerr := journal.Open(*checkpointPath, meta, nil)
+				if jerr == nil {
+					cp, derr := drat.DecodeBackwardCheckpoint(payload)
+					if derr == nil {
+						bopt.Resume = cp
+						resumePayload = payload
+					} else {
+						jerr = derr
+					}
+				}
+				if jerr != nil {
+					fmt.Fprintf(os.Stderr, "dratcheck: warning: not resuming (%v); running from scratch\n", jerr)
+				}
+			}
+			w, jerr := journal.Create(*checkpointPath, meta, nil)
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "dratcheck:", jerr)
+				return exitcode.Internal
+			}
+			jw = w
+			defer jw.Close()
+			if resumePayload != nil {
+				if jerr := jw.Append(resumePayload); jerr != nil {
+					fmt.Fprintln(os.Stderr, "dratcheck:", jerr)
 					return exitcode.Internal
 				}
-				defer out.Close()
-				if werr := drat.Write(out, trimmed); werr != nil {
+			}
+			bopt.Every = *checkpointEvery
+			bopt.Sink = ckpt.CrashSink(jw.Append)
+		}
+		var trimmed *drat.Proof
+		var coreIdx []int
+		res, trimmed, coreIdx, err = drat.VerifyBackwardOpts(f, p, bopt)
+		if err == nil && jw != nil {
+			// A verdict was reached; the journal is stale by definition.
+			if rerr := jw.Remove(); rerr != nil {
+				fmt.Fprintln(os.Stderr, "dratcheck:", rerr)
+			}
+		}
+		if err == nil && res.OK {
+			if *trimPath != "" {
+				werr := atomicio.WriteFile(*trimPath, func(w io.Writer) error {
+					return drat.Write(w, trimmed)
+				})
+				if werr != nil {
 					fmt.Fprintln(os.Stderr, "dratcheck:", werr)
 					return exitcode.Internal
 				}
 			}
 			if *corePath != "" {
-				out, ferr := os.Create(*corePath)
-				if ferr != nil {
-					fmt.Fprintln(os.Stderr, "dratcheck:", ferr)
-					return exitcode.Internal
-				}
-				defer out.Close()
-				if werr := cnf.WriteDimacs(out, f.Restrict(coreIdx)); werr != nil {
+				werr := atomicio.WriteFile(*corePath, func(w io.Writer) error {
+					return cnf.WriteDimacs(w, f.Restrict(coreIdx))
+				})
+				if werr != nil {
 					fmt.Fprintln(os.Stderr, "dratcheck:", werr)
 					return exitcode.Internal
 				}

@@ -1,0 +1,41 @@
+// Package ckpt holds checkpoint-journal glue shared by the checker CLIs:
+// the fault-injection hook that turns a durable journal append into a
+// deterministic crash point for the kill-and-recover harness.
+package ckpt
+
+import (
+	"os"
+	"strconv"
+)
+
+// EnvCrashAfterAppends names the environment hook used by the
+// kill-and-recover fault harness: when set to a positive integer N, the
+// process SIGKILLs itself immediately after the Nth durable checkpoint
+// append. The record is already fsynced when the signal fires, so the crash
+// lands exactly on the "record durable, everything after it lost" boundary
+// — the same state a power cut mid-run leaves behind.
+const EnvCrashAfterAppends = "DPV_FAULT_CRASH_AFTER_APPENDS"
+
+// CrashSink wraps a checkpoint sink with the EnvCrashAfterAppends hook. With
+// the variable unset (the normal case) the sink is returned unchanged.
+func CrashSink(sink func([]byte) error) func([]byte) error {
+	n, err := strconv.Atoi(os.Getenv(EnvCrashAfterAppends))
+	if err != nil || n <= 0 {
+		return sink
+	}
+	var appends int
+	return func(p []byte) error {
+		if err := sink(p); err != nil {
+			return err
+		}
+		appends++
+		if appends >= n {
+			// A genuine SIGKILL: no deferred cleanup, no exit handlers — the
+			// closest stand-in for a power cut a process can give itself.
+			proc, _ := os.FindProcess(os.Getpid())
+			proc.Kill()
+			select {} // wait for the signal to land
+		}
+		return nil
+	}
+}

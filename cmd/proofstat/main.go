@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/proof"
 )
 
@@ -76,10 +77,7 @@ func run() int {
 }
 
 func writeWith(path string, tr *proof.Trace, w func(io.Writer, *proof.Trace) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return w(f, tr)
+	return atomicio.WriteFile(path, func(out io.Writer) error {
+		return w(out, tr)
+	})
 }

@@ -179,3 +179,81 @@ func TestExitCodeInterrupted(t *testing.T) {
 		t.Fatalf("interrupted run did not report a verdict line:\n%s", buf.String())
 	}
 }
+
+// TestExitCodeInterruptedResume drives the durability half of the SIGINT
+// contract: a checkpointing dpv run interrupted mid-verification must exit
+// 130 with a final record flushed to its journal, and a subsequent -resume
+// must complete with the same stdout report as an uninterrupted run.
+func TestExitCodeInterruptedResume(t *testing.T) {
+	bins := buildCmds(t)
+	dir := t.TempDir()
+	// Long enough that the run is still verifying when the signal lands
+	// (~1s of checkpointed work), deterministic, and no solver needed.
+	cnfPath, tracePath, _ := writeChainFixtures(t, dir, 12000)
+	dpv := filepath.Join(bins, "dpv")
+	j := filepath.Join(dir, "ck.dpvj")
+
+	code, baseOut := runWithEnv(t, nil, dpv,
+		"-checkpoint", filepath.Join(dir, "base.dpvj"), "-checkpoint-every", "100", cnfPath, tracePath)
+	if code != 0 {
+		t.Fatalf("baseline exit %d:\n%s", code, baseOut)
+	}
+
+	cmd := exec.Command(dpv, "-checkpoint", j, "-checkpoint-every", "100", cnfPath, tracePath)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt only once a checkpoint record is durable, so the resumed run
+	// demonstrably starts mid-proof rather than from scratch.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if fi, err := os.Stat(j); err == nil && fi.Size() > 40+9 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("no checkpoint record appeared within 30s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	werr := cmd.Wait()
+	ee, ok := werr.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("wait: %v — run finished before SIGINT; grow the fixture\noutput:\n%s", werr, buf.String())
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("exit code %d, want 130\noutput:\n%s", code, buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("s UNKNOWN")) {
+		t.Fatalf("interrupted run did not report a verdict line:\n%s", buf.String())
+	}
+
+	// The journal must end with a cleanly flushed final record after the
+	// checkpoints the run managed to write.
+	data, err := os.ReadFile(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	markers := journalMarkers(t, data)
+	if len(markers) < 2 || markers[len(markers)-1] != 'F' {
+		t.Fatalf("journal records after SIGINT are %q, want checkpoints then a final record", markers)
+	}
+
+	code, out := runWithEnv(t, nil, dpv,
+		"-checkpoint", j, "-checkpoint-every", "100", "-resume", cnfPath, tracePath)
+	if code != 0 {
+		t.Fatalf("resumed run exit %d:\n%s", code, out)
+	}
+	if out != baseOut {
+		t.Fatalf("resumed stdout diverged:\n got %q\nwant %q", out, baseOut)
+	}
+	if _, err := os.Stat(j); !os.IsNotExist(err) {
+		t.Errorf("journal still present after the resumed verdict (err=%v)", err)
+	}
+}

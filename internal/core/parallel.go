@@ -25,6 +25,21 @@ func VerifyParallel(f *cnf.Formula, t *proof.Trace, engine EngineKind, workers i
 	return VerifyParallelOpts(f, t, Options{Mode: ModeCheckAll, Engine: engine}, workers)
 }
 
+// ResolveWorkers maps a requested worker count to the effective one for a
+// proof of m clauses: non-positive selects GOMAXPROCS, and the count is
+// clamped to m. CLI callers use it to record the effective parallelism in a
+// checkpoint journal's metadata before VerifyParallelOpts applies the same
+// resolution.
+func ResolveWorkers(m, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	return workers
+}
+
 // parallelChunkHook, when non-nil, runs at the start of every chunk attempt
 // (worker id, chunk bounds, 0-based attempt). Test-only: panic-recovery
 // tests use it to blow up inside a worker and prove the process survives.
@@ -65,13 +80,8 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 	if term == proof.TermNone {
 		return nil, errTermination()
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	m := len(t.Clauses)
-	if workers > m {
-		workers = m
-	}
+	workers = ResolveWorkers(m, workers)
 	if workers <= 1 {
 		seq := opt
 		seq.Mode = ModeCheckAll
@@ -82,6 +92,15 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 		return &Result{FailedIndex: -1, StoppedAt: -1, Termination: term,
 			ProofClauses: m, Incomplete: true}, err
 	}
+	ck := opt.Checkpoint
+	if ck.Resume != nil {
+		if !ck.enabled() {
+			return nil, fmt.Errorf("%w: resume requires a checkpoint interval", ErrBadCheckpoint)
+		}
+		if err := ck.Resume.ValidateFor(len(f.Clauses), m, workers); err != nil {
+			return nil, err
+		}
+	}
 
 	span := opt.Obs.StartSpan("verify-parallel")
 	defer span.End()
@@ -90,6 +109,7 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 	cTaut := opt.Obs.Counter("verify.tautologies")
 	cPanics := opt.Obs.Counter("verify.worker_panics")
 	cRetries := opt.Obs.Counter("verify.chunk_retries")
+	cCkpt := opt.Obs.Counter("verify.checkpoints")
 	hChunkProps := opt.Obs.Histogram("verify.props_per_chunk")
 
 	nVars := f.NumVars
@@ -139,8 +159,55 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 		}
 	}
 
-	var wg sync.WaitGroup
+	// slots is the durable per-worker progress: each worker owns its entry
+	// and commits an updated copy at every checkpoint boundary; the sink
+	// record is a snapshot of the whole array, so any single record can
+	// restart every worker. ckMu serializes slot updates with the snapshot
+	// and keeps journal appends ordered.
+	var ckMu sync.Mutex
 	chunk := (m + workers - 1) / workers
+	slots := make([]WorkerState, workers)
+	for w := range slots {
+		lo, hi := w*chunk, min((w+1)*chunk, m)
+		if lo >= hi {
+			slots[w].Next = m // empty chunk sentinel, see ValidateFor
+		} else {
+			slots[w].Next = hi - 1
+		}
+	}
+	if rcp := ck.Resume; rcp != nil {
+		copy(slots, rcp.Workers)
+		// Re-seed the aggregate counters so a resumed run's final snapshot
+		// equals an uninterrupted run's.
+		var tested, taut int64
+		var st bcp.Stats
+		for _, ws := range rcp.Workers {
+			tested += int64(ws.Tested)
+			taut += int64(ws.Tautologies)
+			st = addStats(st, ws.Stats)
+		}
+		cChecked.Add(tested)
+		cTaut.Add(taut)
+		publishStats(opt.Obs, st)
+	}
+	commitSlot := func(w int, st WorkerState) error {
+		ckMu.Lock()
+		defer ckMu.Unlock()
+		slots[w] = st
+		cCkpt.Inc()
+		if ck.Sink == nil {
+			return nil
+		}
+		cp := &Checkpoint{Par: true, Workers: append([]WorkerState(nil), slots...)}
+		return ck.Sink(cp.Encode())
+	}
+	readSlot := func(w int) WorkerState {
+		ckMu.Lock()
+		defer ckMu.Unlock()
+		return slots[w]
+	}
+
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -156,19 +223,24 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 			wspan := span.Child(fmt.Sprintf("worker-%d [%d,%d)", w, lo, hi))
 			defer wspan.End()
 
-			// runAttempt checks trace clauses [hi-1..lo] on a fresh engine.
-			// A recovered panic discards the attempt's tally — a retry
-			// redoes the whole chunk, so merging would double count — while
-			// a stop error keeps it, so the aggregated partial Result stays
-			// accurate.
+			// runAttempt checks trace clauses [seed.Next..lo] on a fresh
+			// engine, seeded from the worker's committed slot (the chunk top
+			// on a fresh run, the last checkpoint after a resume or a panic
+			// retry). A recovered panic reverts the tally to the seed — a
+			// retry redoes everything since the last commit, so merging
+			// would double count — while a stop error keeps it, so the
+			// aggregated partial Result stays accurate.
 			// panicked distinguishes a panic in THIS worker's attempt from a
 			// stop error merely relayed by the hook (which may itself be
 			// another worker's WorkerPanicError).
 			runAttempt := func(attempt int, kind EngineKind) (tally chunkTally, err error, panicked bool) {
-				tally.failed = -1
+				seed := readSlot(w)
+				seedTally := chunkTally{tested: seed.Tested, taut: seed.Tautologies,
+					failed: -1, props: seed.Stats.Propagations}
+				tally = seedTally
 				defer func() {
 					if r := recover(); r != nil {
-						tally = chunkTally{failed: -1}
+						tally = seedTally
 						err = &WorkerPanicError{Worker: w, Lo: lo, Hi: hi,
 							Attempts: attempt + 1, Value: r, Stack: debug.Stack()}
 						panicked = true
@@ -177,42 +249,85 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 				if parallelChunkHook != nil {
 					parallelChunkHook(w, lo, hi, attempt)
 				}
-				var eng bcp.Propagator
-				switch kind {
-				case EngineCounting:
-					eng = bcp.NewCounting(nVars)
-				default:
-					eng = bcp.NewEngine(nVars)
+				startAt := seed.Next
+				if startAt < lo {
+					// The resumed state says this chunk is already done.
+					hChunkProps.Observe(tally.props)
+					return tally, nil, false
 				}
-				defer func() { publishEngine(opt.Obs, eng) }()
-				stop := mkStop(eng.Propagations)
-				eng.SetStop(stop)
+				statsBase := seed.Stats
+				var eng bcp.Propagator
+				defer func() {
+					if eng != nil {
+						// Publish only this attempt's new work; the seed
+						// portion was published once during resume setup.
+						publishStats(opt.Obs, subStats(addStats(statsBase, eng.Stats()), seed.Stats))
+					}
+				}()
+				totalProps := func() int64 {
+					if eng == nil {
+						return statsBase.Propagations
+					}
+					return statsBase.Propagations + eng.Propagations()
+				}
+				stop := mkStop(totalProps)
+				// buildEngine (re)creates the engine with the formula and
+				// trace prefix [0, upto) active, folding the previous
+				// engine's statistics into statsBase. Under checkpointing it
+				// runs at every epoch boundary so interrupted and
+				// uninterrupted runs share engine states (see checkpoint.go);
+				// clause i is checked after deactivating ids >= i, i.e. we
+				// add [0, upto) and walk backwards like the sequential code.
+				buildEngine := func(upto int) {
+					if eng != nil {
+						statsBase = addStats(statsBase, eng.Stats())
+					}
+					switch kind {
+					case EngineCounting:
+						eng = bcp.NewCounting(nVars)
+					default:
+						eng = bcp.NewEngine(nVars)
+					}
+					eng.SetStop(stop)
+					for _, c := range f.Clauses {
+						eng.Add(c)
+					}
+					for i := 0; i < upto; i++ {
+						eng.Add(t.Clauses[i])
+					}
+				}
 
 				build := wspan.Child("build-db")
-				for _, c := range f.Clauses {
-					eng.Add(c)
-				}
-				// This worker's database: proof clauses strictly before hi;
-				// clause i is checked after deactivating ids >= i, i.e. we
-				// add [0, hi) and walk backwards like the sequential code.
-				for i := 0; i < hi; i++ {
-					eng.Add(t.Clauses[i])
-				}
+				buildEngine(startAt + 1)
 				build.End()
 
-				for i := hi - 1; i >= lo; i-- {
+				completed := true
+				for i := startAt; i >= lo; i-- {
+					if ck.enabled() && i != startAt && (hi-1-i)%ck.Every == 0 {
+						// Per-worker epoch boundary, anchored at the chunk
+						// top: canonical rebuild, then a durable record of
+						// every worker's slot.
+						buildEngine(i + 1)
+						st := WorkerState{Next: i, Tested: tally.tested,
+							Tautologies: tally.taut, Stats: statsBase}
+						if cerr := commitSlot(w, st); cerr != nil {
+							tally.props = totalProps()
+							return tally, fmt.Errorf("core: checkpoint append: %w", cerr), false
+						}
+					}
 					if failedAt.Load() != int32(m) {
+						completed = false
 						break // some worker already found a bad clause
 					}
 					if serr := stop(); serr != nil {
-						tally.props = eng.Propagations()
+						tally.props = totalProps()
 						return tally, serr, false
 					}
 					eng.Deactivate(bcp.ID(nf + i))
 					opt.Progress.Step(1)
 					conflict, selfContra := eng.Refute(t.Clauses[i])
 					if serr := eng.StopErr(); serr != nil {
-						tally.props = eng.Propagations()
+						tally.props = totalProps()
 						return tally, serr, false
 					}
 					if selfContra {
@@ -232,10 +347,20 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 								break
 							}
 						}
+						completed = false
 						break
 					}
 				}
-				tally.props = eng.Propagations()
+				tally.props = totalProps()
+				if completed && ck.enabled() {
+					// Chunk-done record (Next = lo-1): a later resume skips
+					// this chunk entirely and reuses its final tallies.
+					st := WorkerState{Next: lo - 1, Tested: tally.tested,
+						Tautologies: tally.taut, Stats: addStats(statsBase, eng.Stats())}
+					if cerr := commitSlot(w, st); cerr != nil {
+						return tally, fmt.Errorf("core: checkpoint append: %w", cerr), false
+					}
+				}
 				hChunkProps.Observe(tally.props)
 				return tally, nil, false
 			}

@@ -95,6 +95,11 @@ type Options struct {
 	// (checked, skipped or tautological alike), so its total should be the
 	// trace length.
 	Progress *obs.Progress
+
+	// Checkpoint configures durable progress records and resume; the zero
+	// value disables both and leaves the check loop byte-for-byte
+	// unchanged. See checkpoint.go for the determinism contract.
+	Checkpoint CheckpointConfig
 }
 
 // Result reports the outcome of a verification run.
@@ -179,8 +184,20 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 		return &Result{FailedIndex: -1, StoppedAt: -1, Termination: term,
 			ProofClauses: len(t.Clauses), Incomplete: true}, err
 	}
+	nf := len(f.Clauses)
+	m := len(t.Clauses)
+	ck := opt.Checkpoint
+	if ck.Resume != nil {
+		if !ck.enabled() {
+			return nil, fmt.Errorf("%w: resume requires a checkpoint interval", ErrBadCheckpoint)
+		}
+		if err := ck.Resume.ValidateFor(nf, m, 0); err != nil {
+			return nil, err
+		}
+	}
 
 	var eng bcp.Propagator
+	var statsBase bcp.Stats // work done by engines already folded (rebuilds, resume)
 	span := opt.Obs.StartSpan("verify")
 	defer span.End()
 	cChecked := opt.Obs.Counter("verify.checked")
@@ -188,48 +205,58 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 	cTaut := opt.Obs.Counter("verify.tautologies")
 	cMarked := opt.Obs.Counter("verify.marked")          // marks on proof clauses
 	cMarkedOrig := opt.Obs.Counter("verify.marked_orig") // marks on original clauses (the core)
+	cCkpt := opt.Obs.Counter("verify.checkpoints")
 	hProps := opt.Obs.Histogram("verify.props_per_check")
-	defer func() { publishEngine(opt.Obs, eng) }()
+	defer func() {
+		st := statsBase
+		if eng != nil {
+			st = addStats(st, eng.Stats())
+		}
+		publishStats(opt.Obs, st)
+	}()
 
-	build := span.Child("build-db")
 	nVars := f.NumVars
 	if mv := t.MaxVar(); int(mv)+1 > nVars {
 		nVars = int(mv) + 1
 	}
-	switch opt.Engine {
-	case EngineCounting:
-		eng = bcp.NewCounting(nVars)
-	default:
-		eng = bcp.NewEngine(nVars)
+	totalProps := func() int64 {
+		if eng == nil {
+			return statsBase.Propagations
+		}
+		return statsBase.Propagations + eng.Propagations()
 	}
-
-	nf := len(f.Clauses)
-	m := len(t.Clauses)
-	for _, c := range f.Clauses {
-		eng.Add(c)
-	}
-	for _, c := range t.Clauses {
-		eng.Add(c)
-	}
-	build.End()
-
 	// The stop hook is polled by the engine inside propagation and by the
 	// check loop once per clause, so both a single pathological BCP call
-	// and a long proof stop promptly.
-	stop := verifyStopFunc(opt.Ctx, opt.Budget.MaxPropagations, eng.Propagations)
-	eng.SetStop(stop)
+	// and a long proof stop promptly. The propagation budget covers the
+	// whole run, including work resumed from a checkpoint.
+	stop := verifyStopFunc(opt.Ctx, opt.Budget.MaxPropagations, totalProps)
 
-	marked := make([]bool, nf+m)
-	switch term {
-	case proof.TermFinalPair:
-		marked[nf+m-1] = true
-		marked[nf+m-2] = true
-		cMarked.Add(2)
-	case proof.TermEmptyClause:
-		marked[nf+m-1] = true
-		cMarked.Inc()
+	// buildEngine (re)creates the engine with the formula and the trace
+	// prefix [0, upto) active, folding the previous engine's statistics
+	// into statsBase. Called once at the start and — when checkpointing is
+	// enabled — at every epoch boundary, so that an uninterrupted run and
+	// a killed-and-resumed run pass through identical engine states (see
+	// checkpoint.go).
+	buildEngine := func(upto int) {
+		if eng != nil {
+			statsBase = addStats(statsBase, eng.Stats())
+		}
+		switch opt.Engine {
+		case EngineCounting:
+			eng = bcp.NewCounting(nVars)
+		default:
+			eng = bcp.NewEngine(nVars)
+		}
+		eng.SetStop(stop)
+		for _, c := range f.Clauses {
+			eng.Add(c)
+		}
+		for i := 0; i < upto; i++ {
+			eng.Add(t.Clauses[i])
+		}
 	}
 
+	marked := make([]bool, nf+m)
 	res := &Result{
 		OK:           true,
 		FailedIndex:  -1,
@@ -238,15 +265,74 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 		ProofClauses: m,
 	}
 
+	start := m - 1
+	resumedAt := -2 // sentinel: no boundary suppressed
+	if rcp := ck.Resume; rcp != nil {
+		// Restart from the durable state: loop boundary, marked bitmap,
+		// counters. The obs counters are re-seeded so a resumed run's
+		// final snapshot equals an uninterrupted run's.
+		start = rcp.NextIndex
+		resumedAt = start
+		copy(marked, rcp.Marked)
+		res.Tested, res.Skipped, res.Tautologies = rcp.Tested, rcp.Skipped, rcp.Tautologies
+		statsBase = rcp.Stats
+		cChecked.Add(int64(rcp.Tested))
+		cSkipped.Add(int64(rcp.Skipped))
+		cTaut.Add(int64(rcp.Tautologies))
+		orig, prf := markedCounts(marked, nf)
+		cMarkedOrig.Add(orig)
+		cMarked.Add(prf)
+		opt.Progress.Step(int64(m - 1 - start))
+	} else {
+		switch term {
+		case proof.TermFinalPair:
+			marked[nf+m-1] = true
+			marked[nf+m-2] = true
+			cMarked.Add(2)
+		case proof.TermEmptyClause:
+			marked[nf+m-1] = true
+			cMarked.Inc()
+		}
+	}
+
+	build := span.Child("build-db")
+	buildEngine(start + 1)
+	build.End()
+
 	check := span.Child("check-loop")
 	defer check.End()
-	for i := m - 1; i >= 0; i-- {
+	for i := start; i >= 0; i-- {
+		if ck.enabled() && i != m-1 && i != resumedAt && (m-1-i)%ck.Every == 0 {
+			// Epoch boundary: rebuild the engine into its canonical state
+			// (formula + active trace prefix in input order) and persist
+			// the resumable record. Clause i has not been processed yet,
+			// so the active prefix is [0, i+1).
+			buildEngine(i + 1)
+			cCkpt.Inc()
+			if ck.Sink != nil {
+				cp := &Checkpoint{
+					NextIndex:   i,
+					Marked:      marked,
+					Tested:      res.Tested,
+					Skipped:     res.Skipped,
+					Tautologies: res.Tautologies,
+					Stats:       statsBase,
+				}
+				if err := ck.Sink(cp.Encode()); err != nil {
+					res.Incomplete = true
+					res.StoppedAt = i
+					res.Propagations = totalProps()
+					countStopErr(opt.Obs, err)
+					return res, fmt.Errorf("core: checkpoint append: %w", err)
+				}
+			}
+		}
 		id := bcp.ID(nf + i)
 		c := t.Clauses[i]
 		if err := stop(); err != nil {
 			res.Incomplete = true
 			res.StoppedAt = i
-			res.Propagations = eng.Propagations()
+			res.Propagations = totalProps()
 			countStopErr(opt.Obs, err)
 			return res, err
 		}
@@ -259,12 +345,12 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 			cSkipped.Inc()
 			continue
 		}
-		propsBefore := eng.Propagations()
+		propsBefore := totalProps()
 		conflict, selfContra := eng.Refute(c)
 		if err := eng.StopErr(); err != nil {
 			res.Incomplete = true
 			res.StoppedAt = i
-			res.Propagations = eng.Propagations()
+			res.Propagations = totalProps()
 			countStopErr(opt.Obs, err)
 			return res, err
 		}
@@ -278,12 +364,12 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 		}
 		res.Tested++
 		cChecked.Inc()
-		hProps.Observe(eng.Propagations() - propsBefore)
+		hProps.Observe(totalProps() - propsBefore)
 		if conflict == bcp.NoConflict {
 			res.OK = false
 			res.FailedIndex = i
 			res.FailedClause = c.Clone()
-			res.Propagations = eng.Propagations()
+			res.Propagations = totalProps()
 			return res, nil
 		}
 		eng.WalkConflict(conflict, func(used bcp.ID) {
@@ -313,7 +399,7 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 			res.MarkedProof++
 		}
 	}
-	res.Propagations = eng.Propagations()
+	res.Propagations = totalProps()
 	return res, nil
 }
 
@@ -324,7 +410,13 @@ func publishEngine(r *obs.Registry, eng bcp.Propagator) {
 	if r == nil || eng == nil {
 		return
 	}
-	st := eng.Stats()
+	publishStats(r, eng.Stats())
+}
+
+func publishStats(r *obs.Registry, st bcp.Stats) {
+	if r == nil {
+		return
+	}
 	r.Counter("bcp.propagations").Add(st.Propagations)
 	r.Counter("bcp.refutations").Add(st.Refutations)
 	r.Counter("bcp.conflicts").Add(st.Conflicts)

@@ -1,11 +1,122 @@
 package drat
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/bcp"
 	"repro/internal/cnf"
 )
+
+// BackwardOptions configures checkpointing for VerifyBackwardOpts. The zero
+// value disables it and leaves the scan byte-for-byte unchanged.
+//
+// The determinism contract matches internal/core's checkpointing (see
+// core/checkpoint.go): when Every > 0 the checker rebuilds its BCP engine
+// into a canonical state — formula plus the forward replay of the step
+// prefix — at every epoch boundary, so an interrupted-then-resumed run
+// passes through the same engine states as an uninterrupted checkpointed
+// run and produces an identical trimmed proof and core.
+type BackwardOptions struct {
+	// Every is the checkpoint interval in backward steps. Zero disables
+	// checkpointing.
+	Every int
+	// Sink receives each encoded BackwardCheckpoint and must make it
+	// durable before returning.
+	Sink func(payload []byte) error
+	// Resume restarts the backward pass from a decoded checkpoint.
+	Resume *BackwardCheckpoint
+}
+
+// ErrBadCheckpoint wraps resume states that do not fit the proof they are
+// offered to; callers fall back to a full run.
+var ErrBadCheckpoint = errors.New("drat: checkpoint does not match this verification")
+
+// BackwardCheckpoint is the durable state of a backward pass: the step
+// index the loop will process next, the marked bitmap over the clause-ID
+// space (formula clauses then additions, in forward order — IDs are assigned
+// deterministically, so the bitmap is stable across processes), and the
+// counters accumulated so far.
+type BackwardCheckpoint struct {
+	NextStep     int
+	Marked       []bool
+	Tautologies  int
+	Propagations int64
+}
+
+const backwardCheckpointVersion = 1
+
+// Encode serializes the checkpoint (version byte, little-endian integers,
+// packed bitmap).
+func (cp *BackwardCheckpoint) Encode() []byte {
+	b := []byte{backwardCheckpointVersion}
+	for _, v := range []int64{int64(cp.NextStep), int64(cp.Tautologies), cp.Propagations} {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(cp.Marked)))
+	bm := make([]byte, (len(cp.Marked)+7)/8)
+	for i, m := range cp.Marked {
+		if m {
+			bm[i/8] |= 1 << (i % 8)
+		}
+	}
+	return append(b, bm...)
+}
+
+// DecodeBackwardCheckpoint parses an encoded checkpoint payload.
+func DecodeBackwardCheckpoint(b []byte) (*BackwardCheckpoint, error) {
+	fail := func(what string) (*BackwardCheckpoint, error) {
+		return nil, fmt.Errorf("%w: %s", ErrBadCheckpoint, what)
+	}
+	if len(b) < 1+4*8 {
+		return fail("payload too short")
+	}
+	if b[0] != backwardCheckpointVersion {
+		return fail(fmt.Sprintf("payload version %d, want %d", b[0], backwardCheckpointVersion))
+	}
+	b = b[1:]
+	cp := &BackwardCheckpoint{
+		NextStep:     int(int64(binary.LittleEndian.Uint64(b))),
+		Tautologies:  int(binary.LittleEndian.Uint64(b[8:])),
+		Propagations: int64(binary.LittleEndian.Uint64(b[16:])),
+	}
+	nBits := int(binary.LittleEndian.Uint64(b[24:]))
+	b = b[32:]
+	if nBits < 0 || nBits > 1<<34 || len(b) != (nBits+7)/8 {
+		return fail("bitmap length mismatch")
+	}
+	cp.Marked = make([]bool, nBits)
+	for i := range cp.Marked {
+		cp.Marked[i] = b[i/8]&(1<<(i%8)) != 0
+	}
+	return cp, nil
+}
+
+// Fingerprint hashes the proof's logical content — step kinds and literals
+// in order — with FNV-64a, for binding a checkpoint journal to its inputs.
+func (p *Proof) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(int64(len(p.Steps)))
+	for _, s := range p.Steps {
+		if s.Del {
+			put(1)
+		} else {
+			put(0)
+		}
+		put(int64(len(s.C)))
+		for _, l := range s.C {
+			put(int64(l.Dimacs()))
+		}
+	}
+	return h.Sum64()
+}
 
 // VerifyBackward checks a DRUP proof the way drat-trim does — which is
 // exactly the paper's Proof_verification2 generalized to deletion lines:
@@ -26,25 +137,31 @@ import (
 // Note the backward pass uses only the RUP check; RAT additions (which the
 // forward Verify accepts) are rejected here, matching the paper's scope.
 func VerifyBackward(f *cnf.Formula, p *Proof) (*Result, *Proof, []int, error) {
+	return VerifyBackwardOpts(f, p, BackwardOptions{})
+}
+
+// VerifyBackwardOpts is VerifyBackward with checkpoint support.
+func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result, *Proof, []int, error) {
 	nVars := f.NumVars
 	for _, s := range p.Steps {
 		if mv := s.C.MaxVar(); int(mv)+1 > nVars {
 			nVars = int(mv) + 1
 		}
 	}
-	eng := bcp.NewEngineReactivable(nVars)
-	store := newClauseStore()
 	res := &Result{OK: true, FailedStep: -1}
-
 	nf := len(f.Clauses)
-	for _, c := range f.Clauses {
-		store.add(eng.Add(c), c)
-	}
 
-	// Forward replay, remembering each step's clause ID. Deletion steps
-	// record the ID they deactivated so the backward pass can reactivate
-	// exactly that instance.
+	// Structural scan: assign each step its clause ID and validate
+	// deletions, without touching an engine. IDs are predictable — the
+	// engine hands out sequential IDs, formula clauses first, then each
+	// addition in forward order — which is what makes a checkpoint's
+	// ID-space bitmap stable across processes.
+	store := newClauseStore()
+	for i, c := range f.Clauses {
+		store.add(bcp.ID(i), c)
+	}
 	stepID := make([]bcp.ID, len(p.Steps))
+	nextID := bcp.ID(nf)
 	refutedAt := -1
 	for i, s := range p.Steps {
 		if s.Del {
@@ -56,7 +173,6 @@ func VerifyBackward(f *cnf.Formula, p *Proof) (*Result, *Proof, []int, error) {
 				res.Reason = fmt.Sprintf("deletion of a clause that is not live: %v", s.C)
 				return res, nil, nil, nil
 			}
-			eng.Deactivate(id)
 			stepID[i] = id
 			continue
 		}
@@ -66,29 +182,91 @@ func VerifyBackward(f *cnf.Formula, p *Proof) (*Result, *Proof, []int, error) {
 			stepID[i] = -1
 			break
 		}
-		id := eng.Add(s.C)
-		store.add(id, s.C)
-		stepID[i] = id
+		stepID[i] = nextID
+		store.add(nextID, s.C)
+		nextID++
 	}
 	lastStep := len(p.Steps) - 1
 	if refutedAt >= 0 {
 		lastStep = refutedAt
 	}
+	nIDs := int(nextID)
 
-	// The final database must be refuted by unit propagation alone.
-	conflict, _ := eng.Refute(nil)
-	if conflict == bcp.NoConflict {
-		res.OK = false
-		res.FailedStep = lastStep + 1
-		res.Reason = "proof ends without deriving a refutation"
-		res.Propagations = eng.Propagations()
-		return res, nil, nil, nil
+	if opt.Resume != nil {
+		if opt.Every <= 0 {
+			return nil, nil, nil, fmt.Errorf("%w: resume requires a checkpoint interval", ErrBadCheckpoint)
+		}
+		if rcp := opt.Resume; rcp.NextStep < 0 || rcp.NextStep > lastStep || len(rcp.Marked) != nIDs {
+			return nil, nil, nil, fmt.Errorf("%w: next step %d / bitmap %d bits against %d steps / %d ids",
+				ErrBadCheckpoint, opt.Resume.NextStep, len(opt.Resume.Marked), lastStep+1, nIDs)
+		}
 	}
-	marked := make(map[bcp.ID]bool)
-	eng.WalkConflict(conflict, func(id bcp.ID) { marked[id] = true })
+
+	// buildEngine (re)creates the engine in the canonical state holding the
+	// formula and the forward replay of steps [0, upto], folding the
+	// previous engine's propagation count into statsProps. The backward
+	// loop is about to process step upto, whose own effect is still in
+	// place; everything later has been undone.
+	var eng *bcp.Engine
+	var statsProps int64
+	buildEngine := func(upto int) {
+		if eng != nil {
+			statsProps += eng.Propagations()
+		}
+		eng = bcp.NewEngineReactivable(nVars)
+		for _, c := range f.Clauses {
+			eng.Add(c)
+		}
+		for j := 0; j <= upto; j++ {
+			s := p.Steps[j]
+			switch {
+			case s.Del:
+				eng.Deactivate(stepID[j])
+			case len(s.C) == 0:
+				// the refutation point; no clause
+			default:
+				eng.Add(s.C)
+			}
+		}
+	}
+	totalProps := func() int64 { return statsProps + eng.Propagations() }
+
+	marked := make([]bool, nIDs)
+	start := lastStep
+	resumedAt := -2 // sentinel: no boundary suppressed
+	if rcp := opt.Resume; rcp != nil {
+		start = rcp.NextStep
+		resumedAt = start
+		copy(marked, rcp.Marked)
+		res.Tautologies = rcp.Tautologies
+		statsProps = rcp.Propagations
+		buildEngine(start)
+	} else {
+		buildEngine(lastStep)
+		// The final database must be refuted by unit propagation alone.
+		conflict, _ := eng.Refute(nil)
+		if conflict == bcp.NoConflict {
+			res.OK = false
+			res.FailedStep = lastStep + 1
+			res.Reason = "proof ends without deriving a refutation"
+			res.Propagations = totalProps()
+			return res, nil, nil, nil
+		}
+		eng.WalkConflict(conflict, func(id bcp.ID) { marked[id] = true })
+	}
 
 	// Backward pass.
-	for i := lastStep; i >= 0; i-- {
+	for i := start; i >= 0; i-- {
+		if opt.Every > 0 && i != lastStep && i != resumedAt && (lastStep-i)%opt.Every == 0 {
+			buildEngine(i)
+			if opt.Sink != nil {
+				cp := &BackwardCheckpoint{NextStep: i, Marked: marked,
+					Tautologies: res.Tautologies, Propagations: statsProps}
+				if err := opt.Sink(cp.Encode()); err != nil {
+					return nil, nil, nil, fmt.Errorf("drat: checkpoint append: %w", err)
+				}
+			}
+		}
 		s := p.Steps[i]
 		if s.Del {
 			if err := eng.Reactivate(stepID[i]); err != nil {
@@ -115,13 +293,13 @@ func VerifyBackward(f *cnf.Formula, p *Proof) (*Result, *Proof, []int, error) {
 			res.OK = false
 			res.FailedStep = i
 			res.Reason = fmt.Sprintf("marked clause is not RUP: %v", s.C)
-			res.Propagations = eng.Propagations()
+			res.Propagations = totalProps()
 			return res, nil, nil, nil
 		}
 		eng.WalkConflict(c, func(used bcp.ID) { marked[used] = true })
 	}
 	res.Refuted = true
-	res.Propagations = eng.Propagations()
+	res.Propagations = totalProps()
 
 	// Trimmed proof: marked additions in chronological order (no deletion
 	// lines — the trimmed set is small enough not to need them), plus the

@@ -1,0 +1,172 @@
+package drat
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+func TestBackwardCheckpointRoundTrip(t *testing.T) {
+	cp := &BackwardCheckpoint{
+		NextStep:     17,
+		Marked:       []bool{true, false, false, true, true},
+		Tautologies:  2,
+		Propagations: 9001,
+	}
+	got, err := DecodeBackwardCheckpoint(cp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(cp) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, cp)
+	}
+	for i, b := range [][]byte{nil, {backwardCheckpointVersion}, {backwardCheckpointVersion + 3, 0, 0}} {
+		if _, err := DecodeBackwardCheckpoint(b); !errors.Is(err, ErrBadCheckpoint) {
+			t.Fatalf("case %d: err = %v, want ErrBadCheckpoint", i, err)
+		}
+	}
+	if _, err := DecodeBackwardCheckpoint(append(cp.Encode(), 0)); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatal("trailing junk accepted")
+	}
+}
+
+func TestProofFingerprint(t *testing.T) {
+	p := &Proof{}
+	p.Add(cl(1, 2))
+	p.Delete(cl(1, 2))
+	p.Add(nil)
+	q := &Proof{}
+	q.Add(cl(1, 2))
+	q.Add(cl(1, 2)) // same literals, different step kind
+	q.Add(nil)
+	if p.Fingerprint() == q.Fingerprint() {
+		t.Fatal("deletion flag not fingerprinted")
+	}
+	r := &Proof{}
+	r.Add(cl(1, 2))
+	r.Delete(cl(1, 2))
+	r.Add(nil)
+	if p.Fingerprint() != r.Fingerprint() {
+		t.Fatal("identical proofs fingerprint differently")
+	}
+}
+
+// backwardFingerprint flattens everything a resumed run must reproduce:
+// verdict, tallies, the trimmed proof bytes, and the core.
+func backwardFingerprint(t *testing.T, res *Result, trimmed *Proof, core []int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, trimmed); err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("ok=%v refuted=%v failed=%d adds=%d dels=%d taut=%d props=%d core=%v trim=%q",
+		res.OK, res.Refuted, res.FailedStep, res.Additions, res.Deletions,
+		res.Tautologies, res.Propagations, core, buf.String())
+}
+
+// TestBackwardResumeMatchesUninterrupted is the drat golden test: a
+// checkpointed backward pass over a solver-recorded proof (with real
+// deletion lines) is resumed from every record it wrote, and each resumed
+// run must reproduce the verdict, trimmed proof, and core byte-for-byte.
+func TestBackwardResumeMatchesUninterrupted(t *testing.T) {
+	inst := gen.PHP(6)
+	rec := NewRecorder()
+	opts := solver.Options{
+		MaxLearnedFactor: 0.1,
+		RestartInterval:  30,
+		OnLearn:          rec.Learn,
+		OnDelete:         rec.Delete,
+	}
+	if st, _, _, _, err := solver.Solve(inst.F, opts); err != nil || st != solver.Unsat {
+		t.Fatalf("solve: %v %v", st, err)
+	}
+	p := rec.Proof()
+	if p.Deletions() == 0 {
+		t.Fatal("want a proof with deletion lines")
+	}
+
+	const every = 16
+	var records [][]byte
+	res, trimmed, core, err := VerifyBackwardOpts(inst.F, p, BackwardOptions{
+		Every: every,
+		Sink: func(b []byte) error {
+			records = append(records, append([]byte(nil), b...))
+			return nil
+		},
+	})
+	if err != nil || !res.OK {
+		t.Fatalf("uninterrupted: err=%v res=%+v", err, res)
+	}
+	if len(records) == 0 {
+		t.Fatal("no checkpoint records written")
+	}
+	want := backwardFingerprint(t, res, trimmed, core)
+
+	// The checkpointed run must agree with the plain run on the verdict.
+	plain, _, _, err := VerifyBackward(inst.F, p)
+	if err != nil || plain.OK != res.OK {
+		t.Fatalf("plain run disagrees: err=%v ok=%v", err, plain.OK)
+	}
+
+	for k, rec := range records {
+		cp, err := DecodeBackwardCheckpoint(rec)
+		if err != nil {
+			t.Fatalf("record %d: %v", k, err)
+		}
+		resC, trimC, coreC, err := VerifyBackwardOpts(inst.F, p, BackwardOptions{Every: every, Resume: cp})
+		if err != nil {
+			t.Fatalf("resume from record %d: %v", k, err)
+		}
+		if got := backwardFingerprint(t, resC, trimC, coreC); got != want {
+			t.Fatalf("resume from record %d diverged:\n got %s\nwant %s", k, got, want)
+		}
+	}
+}
+
+func TestBackwardResumeRejectsMismatch(t *testing.T) {
+	p := &Proof{}
+	p.Add(cl(1))
+	p.Add(cl(-1))
+	p.Add(nil)
+	f := chainFormula()
+	cp := &BackwardCheckpoint{NextStep: 99, Marked: make([]bool, 3)}
+	if _, _, _, err := VerifyBackwardOpts(f, p, BackwardOptions{Every: 2, Resume: cp}); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("err = %v, want ErrBadCheckpoint", err)
+	}
+	ok := &BackwardCheckpoint{NextStep: 0, Marked: make([]bool, len(f.Clauses)+2)}
+	if _, _, _, err := VerifyBackwardOpts(f, p, BackwardOptions{Resume: ok}); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("resume without interval: err = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+// chainInstance builds an implication chain x1, xi→xi+1, ¬xn whose DRUP
+// proof derives every unit in order — long enough to cross many checkpoint
+// boundaries without a solver run.
+func chainInstance(n int) (*cnf.Formula, *Proof) {
+	f := cnf.NewFormula(n).Add(1)
+	for i := 1; i < n; i++ {
+		f.Add(-i, i+1)
+	}
+	f.Add(-n)
+	p := &Proof{}
+	for i := 2; i <= n; i++ {
+		p.Add(cl(i))
+	}
+	p.Add(nil)
+	return f, p
+}
+
+func TestBackwardCheckpointSinkErrorStops(t *testing.T) {
+	f, p := chainInstance(40)
+	sinkErr := errors.New("disk full")
+	_, _, _, err := VerifyBackwardOpts(f, p, BackwardOptions{
+		Every: 4, Sink: func([]byte) error { return sinkErr }})
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("err = %v, want wrapped sink error", err)
+	}
+}

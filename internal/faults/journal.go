@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"encoding/binary"
+
+	"repro/internal/journal"
+)
+
+// JournalKind enumerates corruptions of a checkpoint-journal *file* — the
+// crash-and-bitrot counterpart of the structural proof corruptions. Each one
+// models a distinct way a journal on disk can be wrong when a verifier tries
+// to resume from it, and each must degrade to "resume from an earlier durable
+// record" or "fall back to a full run": never a wrong verdict, never a hang.
+type JournalKind int
+
+const (
+	// JournalTruncatedTail cuts bytes off the end of the file, as a crash
+	// mid-append does. This is the one corruption the format is *expected*
+	// to tolerate: resume restarts from the last record that still checks
+	// out (or reports an empty journal when none survives).
+	JournalTruncatedTail JournalKind = iota
+	// JournalBitFlip flips a single bit somewhere in the record region —
+	// bitrot, a bad sector, a buggy copy. CRC32 detects every single-bit
+	// error inside a framed record, so Open must either reject the journal
+	// or return a payload that was genuinely appended; it may never invent
+	// a new one.
+	JournalBitFlip
+	// JournalStaleFingerprint forges a header with a *valid* CRC but the
+	// formula fingerprint of some other instance — a journal left behind by
+	// a run on a different input. Open must report a metadata mismatch.
+	JournalStaleFingerprint
+	// JournalVersionSkew rewrites the format version field, as a journal
+	// written by a newer or older build would carry. Open must report
+	// version skew without attempting to parse the records.
+	JournalVersionSkew
+)
+
+// JournalKinds lists every journal corruption mode, for matrix tests.
+var JournalKinds = []JournalKind{
+	JournalTruncatedTail, JournalBitFlip, JournalStaleFingerprint, JournalVersionSkew,
+}
+
+func (k JournalKind) String() string {
+	switch k {
+	case JournalTruncatedTail:
+		return "journal-truncated-tail"
+	case JournalBitFlip:
+		return "journal-bit-flip"
+	case JournalStaleFingerprint:
+		return "journal-stale-fingerprint"
+	case JournalVersionSkew:
+		return "journal-version-skew"
+	default:
+		return "unknown-journal-fault"
+	}
+}
+
+// ApplyJournal returns a corrupted copy of a serialized journal. The input is
+// never mutated. ok is false when the kind does not apply (e.g. the file is
+// too short to have a record region to damage).
+func (in *Injector) ApplyJournal(k JournalKind, data []byte) (out []byte, ok bool) {
+	switch k {
+	case JournalTruncatedTail:
+		if len(data) <= journal.HeaderSize {
+			return nil, false
+		}
+		// Cut anywhere in the record region, always dropping at least one
+		// byte; cutting a whole record (or all of them) is a legal outcome
+		// of a crash too.
+		cut := journal.HeaderSize + in.rng.Intn(len(data)-journal.HeaderSize)
+		out = append([]byte(nil), data[:cut]...)
+	case JournalBitFlip:
+		if len(data) <= journal.HeaderSize {
+			return nil, false
+		}
+		out = append([]byte(nil), data...)
+		i := journal.HeaderSize + in.rng.Intn(len(out)-journal.HeaderSize)
+		out[i] ^= 1 << in.rng.Intn(8)
+	case JournalStaleFingerprint:
+		meta, err := journal.DecodeHeader(data)
+		if err != nil {
+			return nil, false
+		}
+		meta.FormulaFP ^= 1 + uint64(in.rng.Int63())
+		out = append([]byte(nil), data...)
+		copy(out, journal.EncodeHeader(meta))
+	case JournalVersionSkew:
+		if len(data) < journal.HeaderSize {
+			return nil, false
+		}
+		out = append([]byte(nil), data...)
+		skew := uint32(journal.Version + 1 + in.rng.Intn(16))
+		binary.LittleEndian.PutUint32(out[4:], skew)
+	default:
+		return nil, false
+	}
+	in.count()
+	return out, true
+}

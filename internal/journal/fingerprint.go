@@ -1,0 +1,52 @@
+package journal
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"repro/internal/cnf"
+	"repro/internal/proof"
+)
+
+// FingerprintFormula hashes the logical content of a CNF formula — variable
+// count, clause count, and every literal in order — with FNV-64a. Two
+// formulas with equal fingerprints are, for checkpoint-resume purposes, the
+// same input; any edit to the file between runs changes the fingerprint and
+// invalidates the journal.
+func FingerprintFormula(f *cnf.Formula) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(int64(f.NumVars))
+	put(int64(len(f.Clauses)))
+	for _, c := range f.Clauses {
+		put(int64(len(c)))
+		for _, l := range c {
+			put(int64(l.Dimacs()))
+		}
+	}
+	return h.Sum64()
+}
+
+// FingerprintTrace hashes a conflict-clause proof trace the same way.
+// Resolution annotations are excluded: they do not affect verification, so
+// a trace differing only in its "c res" comments still resumes.
+func FingerprintTrace(t *proof.Trace) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(int64(len(t.Clauses)))
+	for _, c := range t.Clauses {
+		put(int64(len(c)))
+		for _, l := range c {
+			put(int64(l.Dimacs()))
+		}
+	}
+	return h.Sum64()
+}
