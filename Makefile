@@ -7,7 +7,7 @@ GO ?= go
 # mutator beyond the seed corpus, short enough for a pre-merge gate.
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race check bench fuzz-smoke crash-smoke clean
+.PHONY: all build vet test race check bench bench-smoke fuzz-smoke crash-smoke clean
 
 all: build
 
@@ -41,11 +41,19 @@ crash-smoke:
 	$(GO) test -run '^TestCrashRecoverMatrix$$|^TestCrashHookFiresAfterDurableAppend$$|^TestExitCodeInterruptedResume$$' -count=1 -v .
 	$(GO) test -run '^TestJournalFault' -count=1 ./internal/faults/
 
+# bench-smoke replays small pigeonhole/random proofs through every BCP
+# engine and refreshes BENCH_bcp.json (propagations/sec, watcher-visits per
+# check, and the incremental-vs-scratch ratios). Quick suite, so the numbers
+# are a smoke reading, not the committed full-suite measurement — regenerate
+# that with `go run ./cmd/bcpbench -iters 3 -out BENCH_bcp.json`.
+bench-smoke:
+	$(GO) run ./cmd/bcpbench -quick -iters 2 -out BENCH_bcp.json
+
 # check is the pre-merge gate: vet, a full build, the test suite under the
-# race detector, a short fuzz pass over the untrusted-input parsers, and the
-# kill-and-recover crash loop. Run it before every merge; CI and reviewers
-# assume it is green.
-check: vet build race fuzz-smoke crash-smoke
+# race detector, a short fuzz pass over the untrusted-input parsers, the
+# kill-and-recover crash loop, and the BCP engine smoke benchmark. Run it
+# before every merge; CI and reviewers assume it is green.
+check: vet build race fuzz-smoke crash-smoke bench-smoke
 
 # bench compiles and smoke-runs every benchmark once (not a measurement run).
 bench:

@@ -67,7 +67,7 @@ func main() {
 
 func run() int {
 	all := flag.Bool("all", false, "check every clause (Proof_verification1)")
-	engine := flag.String("engine", "watched", "BCP engine: watched | counting")
+	engine := flag.String("engine", "watched", "BCP engine: watched | counting | watched-scratch")
 	par := flag.Int("par", 0, "parallel workers (0 = sequential; implies -all, no core)")
 	corePath := flag.String("core", "", "write the unsatisfiable core (DIMACS) to this file")
 	trimPath := flag.String("trim", "", "write the trimmed proof to this file")
@@ -171,6 +171,8 @@ func run() int {
 		opt.Engine = core.EngineWatched
 	case "counting":
 		opt.Engine = core.EngineCounting
+	case "watched-scratch":
+		opt.Engine = core.EngineWatchedScratch
 	default:
 		fmt.Fprintf(os.Stderr, "dpv: unknown engine %q\n", *engine)
 		return exitcode.Usage

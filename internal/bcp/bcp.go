@@ -45,14 +45,24 @@ type Propagator interface {
 	// Add inserts a clause and returns its ID. The clause is copied and
 	// normalized internally; tautologies are accepted but never propagate.
 	Add(c cnf.Clause) ID
-	// Deactivate removes the clause from future propagations. Deactivation
-	// is permanent (the verifier only ever pops the proof stack).
+	// Deactivate removes the clause from future propagations. Engines built
+	// for it (see NewEngineReactivable) can undo a deactivation via
+	// Reactivate; elsewhere it is permanent (the verifier only ever pops the
+	// proof stack). Deactivating an inactive clause is a no-op.
 	Deactivate(id ID)
+	// Reactivate undoes a Deactivate. Engines that compact deactivated
+	// clauses out of their propagation structures return ErrNotReactivable.
+	Reactivate(id ID) error
 	// Refute assigns every literal of c to false, propagates the active
 	// clause database and returns the ID of a falsified clause, or
 	// NoConflict when propagation completes quietly (which means c is NOT
 	// implied and the proof is bogus). Passing an empty clause checks
 	// whether the database is refuted by unit propagation alone.
+	//
+	// Engines may keep the database's assumption-free propagation fixpoint
+	// (the "root trail") alive between calls; the observable contract is
+	// unchanged — each Refute behaves as if run against a fresh engine
+	// holding the currently active clauses.
 	//
 	// Refute reports selfContradictory=true (with conflict==NoConflict)
 	// when c contains complementary literals, i.e. cannot be falsified;

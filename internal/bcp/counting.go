@@ -13,8 +13,9 @@ type Counting struct {
 	clauses []countClause
 	occurs  [][]ID // indexed by literal: clauses containing it
 
-	units []ID
-	empty []ID
+	units  []ID
+	empty  []ID
+	nEmpty int // active empty count (maintained on Add/Deactivate)
 
 	assign []int8
 	reason []ID
@@ -90,6 +91,7 @@ func (e *Counting) Add(c cnf.Clause) ID {
 	switch len(norm) {
 	case 0:
 		e.empty = append(e.empty, id)
+		e.nEmpty++
 	case 1:
 		e.units = append(e.units, id)
 	default:
@@ -102,8 +104,19 @@ func (e *Counting) Add(c cnf.Clause) ID {
 
 // Deactivate removes the clause from future propagations.
 func (e *Counting) Deactivate(id ID) {
-	e.clauses[id].active = false
+	c := &e.clauses[id]
+	if !c.active {
+		return
+	}
+	c.active = false
+	if len(c.lits) == 0 {
+		e.nEmpty--
+	}
 }
+
+// Reactivate implements Propagator. The counting engine compacts
+// deactivated units out of its injection list, so it cannot restore them.
+func (e *Counting) Reactivate(ID) error { return ErrNotReactivable }
 
 func (e *Counting) reset() {
 	for i, l := range e.trail {
@@ -151,15 +164,15 @@ func (e *Counting) Refute(c cnf.Clause) (ID, bool) {
 		return NoConflict, false
 	}
 
-	w := 0
-	for _, id := range e.empty {
-		if e.clauses[id].active {
-			e.empty[w] = id
-			w++
+	if e.nEmpty > 0 {
+		w := 0
+		for _, id := range e.empty {
+			if e.clauses[id].active {
+				e.empty[w] = id
+				w++
+			}
 		}
-	}
-	e.empty = e.empty[:w]
-	if len(e.empty) > 0 {
+		e.empty = e.empty[:w]
 		e.conflicts++
 		return e.empty[0], false
 	}
@@ -170,7 +183,7 @@ func (e *Counting) Refute(c cnf.Clause) (ID, bool) {
 		}
 	}
 
-	w = 0
+	w := 0
 	conflict := NoConflict
 	for i, id := range e.units {
 		uc := &e.clauses[id]

@@ -2,33 +2,90 @@ package bcp
 
 import "repro/internal/cnf"
 
-// Engine is the two-watched-literal propagator. Clauses of length >= 2 keep
-// two watched positions (lits[0] and lits[1]); a clause is revisited only
-// when one of its watched literals becomes false. Unit and empty clauses are
-// tracked separately and (re)injected at the start of every Refute, because
-// refutation always restarts from an empty trail.
+// Engine is the two-watched-literal propagator. Three design choices make it
+// fast on the verifier's access pattern (one Refute per checked clause, over
+// a database that changes by one clause between checks):
+//
+//   - Persistent root trail. The fixpoint of the active database under unit
+//     propagation alone — the "root level" — is computed lazily and kept
+//     alive between Refute calls. Each Refute backtracks to the saved root
+//     length, pushes only the refuted clause's assumption literals, and
+//     propagates from there, instead of re-injecting every unit clause and
+//     re-deriving the whole fixpoint per check. Add/Deactivate/Reactivate
+//     maintain the trail's validity: deactivating a clause that is the
+//     reason for a root literal truncates the trail at that literal (every
+//     later entry is conservatively dropped) and schedules a lazy
+//     re-propagation; mutations that can only extend the fixpoint merely
+//     clear the fixed flag.
+//
+//   - Flat clause arena. All literals live in one contiguous []cnf.Lit and a
+//     clause is an {offset, length} header, so the propagation loop walks
+//     cache-local memory instead of chasing a pointer per clause.
+//
+//   - Blocking literals. A watch-list entry carries a copy of some literal
+//     of its clause (initially the other watched literal); if the blocker is
+//     true the clause is already satisfied and is skipped without touching
+//     clause memory at all.
+//
+// Clauses of length >= 2 keep two watched positions (lits[0] and lits[1]);
+// a clause is revisited only when one of its watched literals becomes false.
+// Unit and empty clauses are tracked separately: units are (re)injected when
+// the root fixpoint is rebuilt, and active empty clauses are counted so the
+// common no-empty-clause case costs one integer compare per Refute.
 type Engine struct {
-	nVars   int
-	clauses []watchedClause
-	watches [][]ID // indexed by literal: clauses currently watching it
+	nVars int
+	arena []cnf.Lit   // all clause literals, contiguous in Add order
+	hdrs  []clauseHdr // indexed by clause ID
+	// watches is indexed by literal: entries for clauses currently watching
+	// it, each with a blocking literal checked before the clause is loaded.
+	watches [][]watcher
 
 	// retainInactive keeps deactivated clauses in the watch/unit lists
 	// (skipped during propagation) so Reactivate is a flag flip. Enabled
 	// by NewEngineReactivable; costs list compaction.
 	retainInactive bool
+	// incremental enables the persistent root trail. Disabled by
+	// NewEngineNonIncremental, which rebuilds the root fixpoint from scratch
+	// on every Refute — the historical behavior, kept as the benchmark
+	// baseline and as a reference implementation for differential tests.
+	incremental bool
 
 	units  []ID // active unit clauses (lazily compacted)
-	empty  []ID // active empty clauses
+	empty  []ID // active empty clauses (lazily compacted)
 	taut   int  // count of tautologies, for stats only
-	nUnits int  // active unit count (maintained on Deactivate)
+	nUnits int  // active unit count (maintained on Add/Deactivate/Reactivate)
+	nEmpty int  // active empty count (maintained on Add/Deactivate/Reactivate)
 
 	assign []int8
 	reason []ID
+	varPos []int32 // trail index of each assigned variable
 	trail  []cnf.Lit
 	qhead  int
 
+	// Root-trail state. trail[:rootLen] is the committed prefix of the root
+	// fixpoint: every entry is implied by the active database alone (no
+	// assumptions). When rootFixed, the prefix IS the fixpoint and
+	// rootConflict caches its outcome; otherwise rootFix resumes propagation
+	// at rootQhead (0 forces a full replay of the kept prefix, needed after
+	// a truncation because a clause can become unit under any kept literal).
+	rootLen      int
+	rootQhead    int
+	rootFixed    bool
+	rootConflict ID
+
+	// When a Refute assumption clashes with a root literal, the literal's
+	// root reason clause is reported as the conflict and its reason is
+	// temporarily overridden to reasonAssumption so WalkConflict treats the
+	// clash variable as an assumption (visiting the conflict clause once,
+	// like a falsified-clause conflict). savedVar/savedReason restore it on
+	// the next backtrack. savedVar < 0 means no override is in place.
+	savedVar    int
+	savedReason ID
+
+	litMark   []bool // per-literal scratch for the tautology pre-scan
 	seen      []bool // per-var scratch for WalkConflict
 	seenReset []cnf.Var
+	walkStack []cnf.Lit // scratch stack reused across WalkConflict calls
 
 	stopState
 
@@ -38,10 +95,20 @@ type Engine struct {
 	watcherVisits int64
 }
 
-type watchedClause struct {
-	lits   cnf.Clause
+// clauseHdr locates a clause's literals inside the arena.
+type clauseHdr struct {
+	off    uint32
+	n      uint32
 	active bool
 	taut   bool // tautologies can never be activated
+}
+
+// watcher is a watch-list entry: the watching clause plus a blocking
+// literal. The blocker is always some literal of the clause, so blocker-true
+// implies clause-satisfied even when the entry is stale.
+type watcher struct {
+	id      ID
+	blocker cnf.Lit
 }
 
 var _ Propagator = (*Engine)(nil)
@@ -49,7 +116,7 @@ var _ Propagator = (*Engine)(nil)
 // NewEngine returns a watched-literal engine over n variables. The variable
 // range grows automatically when Add or Refute mention larger variables.
 func NewEngine(n int) *Engine {
-	e := &Engine{nVars: n}
+	e := &Engine{nVars: n, incremental: true, rootConflict: NoConflict, savedVar: -1}
 	e.growTo(n)
 	return e
 }
@@ -64,6 +131,23 @@ func NewEngineReactivable(n int) *Engine {
 	return e
 }
 
+// NewEngineNonIncremental returns an engine with the arena and blocking
+// literals but without the persistent root trail: every Refute re-derives
+// the formula's unit-propagation fixpoint from scratch. This replicates the
+// historical per-check cost and exists as the before/after benchmark
+// baseline and as an independent reference for differential tests.
+func NewEngineNonIncremental(n int) *Engine {
+	e := NewEngine(n)
+	e.incremental = false
+	return e
+}
+
+// lits returns the arena slice of a clause.
+func (e *Engine) lits(id ID) []cnf.Lit {
+	h := &e.hdrs[id]
+	return e.arena[h.off : h.off+h.n]
+}
+
 // Reactivate undoes a Deactivate. It returns ErrNotReactivable on engines
 // not created with NewEngineReactivable (their Deactivate compacts the
 // clause out of the watch lists, so a flag flip cannot bring it back).
@@ -71,13 +155,32 @@ func (e *Engine) Reactivate(id ID) error {
 	if !e.retainInactive {
 		return ErrNotReactivable
 	}
-	c := &e.clauses[id]
-	if c.active || c.taut {
+	h := &e.hdrs[id]
+	if h.active || h.taut {
 		return nil
 	}
-	c.active = true
-	if len(c.lits) == 1 {
+	e.backtrackToRoot()
+	h.active = true
+	switch h.n {
+	case 0:
+		e.nEmpty++
+	case 1:
 		e.nUnits++
+		// The unit extends the root fixpoint; the unit scan in rootFix will
+		// pick it up, and propagation resumes from the current queue.
+		e.rootFixed = false
+	default:
+		// If a watched literal is already false, its falsification event is
+		// in the past: replay the whole kept trail so the clause is visited.
+		// A true watch exempts the clause — it is satisfied at root, and any
+		// truncation that could unassign the true watch forces a replay
+		// itself.
+		ls := e.lits(id)
+		v0, v1 := litValue(e.assign, ls[0]), litValue(e.assign, ls[1])
+		if (v0 == -1 || v1 == -1) && v0 != 1 && v1 != 1 {
+			e.rootFixed = false
+			e.rootQhead = 0
+		}
 	}
 	return nil
 }
@@ -92,14 +195,16 @@ func (e *Engine) growTo(n int) {
 	for len(e.assign) < n {
 		e.assign = append(e.assign, 0)
 		e.reason = append(e.reason, reasonAssumption)
+		e.varPos = append(e.varPos, 0)
 		e.seen = append(e.seen, false)
 		e.watches = append(e.watches, nil, nil)
+		e.litMark = append(e.litMark, false, false)
 	}
 	e.nVars = n
 }
 
 // NumClauses returns how many clauses were added.
-func (e *Engine) NumClauses() int { return len(e.clauses) }
+func (e *Engine) NumClauses() int { return len(e.hdrs) }
 
 // Propagations returns the cumulative number of implied assignments.
 func (e *Engine) Propagations() int64 { return e.propagations }
@@ -114,14 +219,21 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// RootTrailLen reports how many literals the persistent root trail currently
+// holds. Exposed for tests and diagnostics.
+func (e *Engine) RootTrailLen() int { return e.rootLen }
+
 // Add inserts a clause and returns its ID.
 func (e *Engine) Add(c cnf.Clause) ID {
 	norm, taut := c.Normalize()
 	if mv := norm.MaxVar(); int(mv) >= e.nVars {
 		e.growTo(int(mv) + 1)
 	}
-	id := ID(len(e.clauses))
-	e.clauses = append(e.clauses, watchedClause{lits: norm, active: !taut, taut: taut})
+	e.backtrackToRoot()
+	id := ID(len(e.hdrs))
+	off := uint32(len(e.arena))
+	e.arena = append(e.arena, norm...)
+	e.hdrs = append(e.hdrs, clauseHdr{off: off, n: uint32(len(norm)), active: !taut, taut: taut})
 	if taut {
 		e.taut++
 		return id
@@ -129,39 +241,112 @@ func (e *Engine) Add(c cnf.Clause) ID {
 	switch len(norm) {
 	case 0:
 		e.empty = append(e.empty, id)
+		e.nEmpty++
 	case 1:
 		e.units = append(e.units, id)
 		e.nUnits++
+		// May extend the root fixpoint; injected on the next rootFix.
+		e.rootFixed = false
 	default:
-		e.watches[norm[0]] = append(e.watches[norm[0]], id)
-		e.watches[norm[1]] = append(e.watches[norm[1]], id)
+		// Prefer two non-false watches under the current root assignment so
+		// the watch invariant (a watched literal is false only if its
+		// falsification event is at or after the propagation queue head)
+		// holds without replaying the trail. Fewer than two exist only when
+		// the clause is already unit or falsified at root — then force a
+		// full replay, which revisits every falsification event.
+		ls := e.arena[off : off+uint32(len(norm))]
+		nw := 0
+		for k := 0; k < len(ls) && nw < 2; k++ {
+			if litValue(e.assign, ls[k]) != -1 {
+				ls[nw], ls[k] = ls[k], ls[nw]
+				nw++
+			}
+		}
+		e.watches[ls[0]] = append(e.watches[ls[0]], watcher{id, ls[1]})
+		e.watches[ls[1]] = append(e.watches[ls[1]], watcher{id, ls[0]})
+		if nw < 2 {
+			e.rootFixed = false
+			e.rootQhead = 0
+		}
 	}
 	return id
 }
 
-// Deactivate removes the clause from future propagations.
+// Deactivate removes the clause from future propagations. If the clause is
+// the reason for a root-trail literal, the trail is truncated at that
+// literal — every later entry is dropped and re-derived lazily, since its
+// own justification may depend on the invalidated one.
 func (e *Engine) Deactivate(id ID) {
-	c := &e.clauses[id]
-	if !c.active {
+	h := &e.hdrs[id]
+	if !h.active {
 		return
 	}
-	c.active = false
-	if len(c.lits) == 1 {
+	e.backtrackToRoot()
+	h.active = false
+	switch h.n {
+	case 0:
+		e.nEmpty--
+		return
+	case 1:
 		e.nUnits--
 	}
-	// Watched clauses are removed lazily from watch lists during
-	// propagation; unit/empty lists are skipped by the active flag.
+	// Root propagation keeps each implied literal at position 0 of its
+	// reason clause, so one load decides whether id justifies a trail entry.
+	l0 := e.arena[h.off]
+	if litValue(e.assign, l0) == 1 && e.reason[l0.Var()] == id {
+		pos := int(e.varPos[l0.Var()])
+		e.shrinkTrail(pos)
+		e.rootLen = pos
+		e.rootQhead = 0 // a clause can be unit under any kept literal: full replay
+		e.rootFixed = false
+		e.rootConflict = NoConflict
+		return
+	}
+	if id == e.rootConflict {
+		// The cached root conflict is gone; re-derive the fixpoint outcome.
+		e.rootConflict = NoConflict
+		e.rootQhead = 0
+		e.rootFixed = false
+	}
+	// Any other deactivation only removes constraints: the remaining trail
+	// stays justified and a cached conflict on a different clause stays
+	// falsified. Watch lists are cleaned lazily during propagation.
 }
 
-// reset clears the trail and all assignments made by the previous Refute.
-func (e *Engine) reset() {
-	for _, l := range e.trail {
-		v := l.Var()
+// shrinkTrail unassigns every trail literal at index >= to.
+func (e *Engine) shrinkTrail(to int) {
+	for i := len(e.trail) - 1; i >= to; i-- {
+		v := e.trail[i].Var()
 		e.assign[v] = 0
 		e.reason[v] = reasonAssumption
 	}
-	e.trail = e.trail[:0]
-	e.qhead = 0
+	e.trail = e.trail[:to]
+	if e.qhead > to {
+		e.qhead = to
+	}
+}
+
+// backtrackToRoot removes the previous Refute's assumptions and their
+// consequences, restoring the committed root prefix (and any reason
+// temporarily overridden for conflict reporting).
+func (e *Engine) backtrackToRoot() {
+	if e.savedVar >= 0 {
+		e.reason[e.savedVar] = e.savedReason
+		e.savedVar = -1
+	}
+	if len(e.trail) > e.rootLen {
+		e.shrinkTrail(e.rootLen)
+	}
+}
+
+// dropRoot discards the persistent root state entirely (non-incremental
+// mode: every Refute re-derives the fixpoint from scratch).
+func (e *Engine) dropRoot() {
+	e.shrinkTrail(0)
+	e.rootLen = 0
+	e.rootQhead = 0
+	e.rootFixed = false
+	e.rootConflict = NoConflict
 }
 
 // enqueue makes l true with the given reason. It returns false when l is
@@ -174,7 +359,9 @@ func (e *Engine) enqueue(l cnf.Lit, why ID) bool {
 		return false // conflict
 	}
 	assignLit(e.assign, l)
-	e.reason[l.Var()] = why
+	v := l.Var()
+	e.reason[v] = why
+	e.varPos[v] = int32(len(e.trail))
 	e.trail = append(e.trail, l)
 	if why != reasonAssumption {
 		e.propagations++
@@ -182,55 +369,23 @@ func (e *Engine) enqueue(l cnf.Lit, why ID) bool {
 	return true
 }
 
-// Refute implements Propagator.
-func (e *Engine) Refute(c cnf.Clause) (ID, bool) {
-	if mv := c.MaxVar(); int(mv) >= e.nVars {
-		e.growTo(int(mv) + 1)
+// rootFix brings the root trail to the unit-propagation fixpoint of the
+// active database and returns the cached conflict (or NoConflict). On a
+// cooperative abort the partial progress is kept — every enqueued literal
+// is justified — and the root stays unfixed; callers must check StopErr.
+func (e *Engine) rootFix() ID {
+	if e.rootFixed {
+		return e.rootConflict
 	}
-	e.reset()
-	e.refutations++
-	if e.beginRefute() {
-		return NoConflict, false
-	}
-
-	// An active empty clause conflicts immediately.
-	if e.retainInactive {
-		for _, id := range e.empty {
-			if e.clauses[id].active {
-				e.conflicts++
-				return id, false
-			}
-		}
-	} else {
-		w := 0
-		for _, id := range e.empty {
-			if e.clauses[id].active {
-				e.empty[w] = id
-				w++
-			}
-		}
-		e.empty = e.empty[:w]
-		if len(e.empty) > 0 {
-			e.conflicts++
-			return e.empty[0], false
-		}
-	}
-
-	// Assumptions first: falsify every literal of c. If two literals of c
-	// clash, c is a tautology and cannot be falsified.
-	for _, l := range c {
-		if !e.enqueue(l.Neg(), reasonAssumption) {
-			return NoConflict, true
-		}
-	}
+	e.qhead = e.rootQhead
 
 	// Inject active unit clauses, compacting the list as we go (unless
 	// inactive entries must be retained for reactivation).
 	w := 0
 	conflict := NoConflict
 	for i, id := range e.units {
-		uc := &e.clauses[id]
-		if !uc.active {
+		h := &e.hdrs[id]
+		if !h.active {
 			if e.retainInactive {
 				e.units[w] = id
 				w++
@@ -239,7 +394,7 @@ func (e *Engine) Refute(c cnf.Clause) (ID, bool) {
 		}
 		e.units[w] = id
 		w++
-		if !e.enqueue(uc.lits[0], id) {
+		if !e.enqueue(e.arena[h.off], id) {
 			// Preserve the not-yet-scanned suffix before bailing out.
 			for _, rest := range e.units[i+1:] {
 				e.units[w] = rest
@@ -250,19 +405,118 @@ func (e *Engine) Refute(c cnf.Clause) (ID, bool) {
 		}
 	}
 	e.units = e.units[:w]
+
+	if conflict == NoConflict {
+		conflict = e.propagate()
+		if e.stopErr != nil {
+			e.rootLen = len(e.trail)
+			e.rootQhead = e.qhead
+			return NoConflict
+		}
+	}
+	e.rootLen = len(e.trail)
+	e.rootQhead = e.qhead
+	e.rootConflict = conflict
+	e.rootFixed = true
+	return conflict
+}
+
+// Refute implements Propagator.
+func (e *Engine) Refute(c cnf.Clause) (ID, bool) {
+	conflict, selfContra := e.refute(c)
 	if conflict != NoConflict {
 		e.conflicts++
+	}
+	return conflict, selfContra
+}
+
+func (e *Engine) refute(c cnf.Clause) (ID, bool) {
+	if mv := c.MaxVar(); int(mv) >= e.nVars {
+		e.growTo(int(mv) + 1)
+	}
+	e.backtrackToRoot()
+	if !e.incremental {
+		e.dropRoot()
+	}
+	e.refutations++
+	if e.beginRefute() {
+		return NoConflict, false
+	}
+
+	// An active empty clause conflicts immediately; nEmpty makes the common
+	// case one compare.
+	if e.nEmpty > 0 {
+		if e.retainInactive {
+			for _, id := range e.empty {
+				if e.hdrs[id].active {
+					return id, false
+				}
+			}
+		} else {
+			w := 0
+			for _, id := range e.empty {
+				if e.hdrs[id].active {
+					e.empty[w] = id
+					w++
+				}
+			}
+			e.empty = e.empty[:w]
+			return e.empty[0], false
+		}
+	}
+
+	// Tautology pre-scan: c cannot be falsified iff it contains a
+	// complementary pair. Checked against scratch marks rather than the
+	// trail, because root literals are no longer assumption-assigned.
+	selfContra := false
+	for _, l := range c {
+		if e.litMark[l.Neg()] {
+			selfContra = true
+			break
+		}
+		e.litMark[l] = true
+	}
+	for _, l := range c {
+		e.litMark[l] = false
+	}
+	if selfContra {
+		return NoConflict, true
+	}
+
+	// Root fixpoint: cached across Refute calls; a database that is already
+	// refuted by unit propagation alone conflicts regardless of assumptions.
+	if conflict := e.rootFix(); conflict != NoConflict || e.stopErr != nil {
 		return conflict, false
 	}
 
-	return e.propagate()
+	// Assumptions: falsify every literal of c. A clash means the literal is
+	// already true at root (complementary pairs were excluded above, and
+	// every root literal has a clause reason); that reason clause is the
+	// conflict, with the clash variable reported as assumption-assigned so
+	// conflict analysis walks its remaining literals' root reasons.
+	for _, l := range c {
+		if !e.enqueue(l.Neg(), reasonAssumption) {
+			v := l.Var()
+			r := e.reason[v]
+			e.savedVar = int(v)
+			e.savedReason = r
+			e.reason[v] = reasonAssumption
+			return r, false
+		}
+	}
+
+	conflict := e.propagate()
+	if e.stopErr != nil {
+		return NoConflict, false
+	}
+	return conflict, false
 }
 
 // propagate runs watched-literal propagation until fixpoint or conflict.
-func (e *Engine) propagate() (ID, bool) {
+func (e *Engine) propagate() ID {
 	for e.qhead < len(e.trail) {
 		if e.poll() {
-			return NoConflict, false
+			return NoConflict
 		}
 		p := e.trail[e.qhead] // p just became true; p.Neg() is false
 		e.qhead++
@@ -271,22 +525,28 @@ func (e *Engine) propagate() (ID, bool) {
 		out := ws[:0]
 		e.watcherVisits += int64(len(ws))
 		for i := 0; i < len(ws); i++ {
-			id := ws[i]
-			c := &e.clauses[id]
-			if !c.active {
+			w := ws[i]
+			// Blocker true => clause satisfied: skip without loading it.
+			if litValue(e.assign, w.blocker) == 1 {
+				out = append(out, w)
+				continue
+			}
+			h := &e.hdrs[w.id]
+			if !h.active {
 				if e.retainInactive {
-					out = append(out, id) // keep: may be reactivated later
+					out = append(out, w) // keep: may be reactivated later
 				}
 				continue
 			}
-			lits := c.lits
+			lits := e.arena[h.off : h.off+h.n]
 			// Ensure the false watch is lits[1].
 			if lits[0] == falseLit {
 				lits[0], lits[1] = lits[1], lits[0]
 			}
+			first := lits[0]
 			// If the other watch is true, the clause is satisfied.
-			if litValue(e.assign, lits[0]) == 1 {
-				out = append(out, id)
+			if first != w.blocker && litValue(e.assign, first) == 1 {
+				out = append(out, watcher{w.id, first})
 				continue
 			}
 			// Look for a new literal to watch.
@@ -294,7 +554,7 @@ func (e *Engine) propagate() (ID, bool) {
 			for k := 2; k < len(lits); k++ {
 				if litValue(e.assign, lits[k]) != -1 {
 					lits[1], lits[k] = lits[k], lits[1]
-					e.watches[lits[1]] = append(e.watches[lits[1]], id)
+					e.watches[lits[1]] = append(e.watches[lits[1]], watcher{w.id, first})
 					found = true
 					break
 				}
@@ -302,19 +562,18 @@ func (e *Engine) propagate() (ID, bool) {
 			if found {
 				continue // clause moved to another watch list
 			}
-			// Clause is unit on lits[0] (or falsified).
-			out = append(out, id)
-			if !e.enqueue(lits[0], id) {
+			// Clause is unit on first (or falsified).
+			out = append(out, watcher{w.id, first})
+			if !e.enqueue(first, w.id) {
 				// Conflict: keep the remaining watchers in place.
 				out = append(out, ws[i+1:]...)
 				e.watches[falseLit] = out
-				e.conflicts++
-				return id, false
+				return w.id
 			}
 		}
 		e.watches[falseLit] = out
 	}
-	return NoConflict, false
+	return NoConflict
 }
 
 // WalkConflict implements Propagator. It marks, transitively, every clause
@@ -337,7 +596,7 @@ func (e *Engine) WalkConflict(conflict ID, visit func(ID)) {
 	// never itself be falsified (its implied literal stays true), so with
 	// per-variable deduplication every clause is visited at most once.
 	visit(conflict)
-	stack := append([]cnf.Lit(nil), e.clauses[conflict].lits...)
+	stack := append(e.walkStack[:0], e.lits(conflict)...)
 	for len(stack) > 0 {
 		l := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -352,12 +611,13 @@ func (e *Engine) WalkConflict(conflict ID, visit func(ID)) {
 			continue
 		}
 		visit(r)
-		for _, rl := range e.clauses[r].lits {
+		for _, rl := range e.lits(r) {
 			if rl.Var() != v {
 				stack = append(stack, rl)
 			}
 		}
 	}
+	e.walkStack = stack[:0]
 }
 
 // Assignment returns the current value of a variable after the last Refute:

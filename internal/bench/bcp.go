@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/proof"
+	"repro/internal/solver"
+)
+
+// BCP benchmark: measures the verifier's propagation engines against each
+// other on the backward marked scan (ModeCheckMarked), the hot path the
+// incremental root-trail engine optimises. Three engines run over identical
+// solver-recorded proofs:
+//
+//   - watched          — incremental: persistent root trail, flat arena,
+//     blocking literals (the default engine)
+//   - watched-scratch  — same algorithm and layout, but the root
+//     unit-propagation fixpoint is re-derived on every Refute
+//   - counting         — the naive occurrence-counter propagator
+//
+// The headline ratios compare watched against watched-scratch, isolating the
+// root-trail reuse from the watcher-vs-counter algorithmic difference.
+
+// BCPRow is one engine's measurements on one instance.
+type BCPRow struct {
+	Engine        string  `json:"engine"`
+	VerifyMillis  float64 `json:"verify_ms"` // best of iters
+	Checked       int     `json:"checked"`   // proof clauses actually refuted
+	Propagations  int64   `json:"propagations"`
+	WatcherVisits int64   `json:"watcher_visits"` // 0 for counting
+	OccTouches    int64   `json:"occ_touches"`    // 0 for watched engines
+
+	PropsPerSec    float64 `json:"props_per_sec"`
+	VisitsPerCheck float64 `json:"visits_per_check"`
+}
+
+// BCPInstanceReport aggregates the engines' rows on one instance.
+type BCPInstanceReport struct {
+	Name     string `json:"name"`
+	Vars     int    `json:"vars"`
+	Clauses  int    `json:"clauses"`
+	TraceLen int    `json:"trace_len"`
+
+	Rows []BCPRow `json:"rows"`
+
+	// VisitReduction is watched-scratch watcher visits divided by watched
+	// (incremental) watcher visits: how much watch-list traffic the
+	// persistent root trail removes.
+	VisitReduction float64 `json:"visit_reduction"`
+	// Speedup is watched-scratch wall time divided by watched wall time.
+	Speedup float64 `json:"speedup"`
+}
+
+// BCPReport is the whole benchmark, serialised to BENCH_bcp.json. The
+// headline ratios are computed over suite totals (sum of watcher visits and
+// wall time across instances), watched-scratch vs watched.
+type BCPReport struct {
+	Mode      string              `json:"mode"`
+	Iters     int                 `json:"iters"`
+	Instances []BCPInstanceReport `json:"instances"`
+
+	// TotalVisits and TotalMillis index suite totals by engine name.
+	TotalVisits map[string]int64   `json:"total_watcher_visits"`
+	TotalMillis map[string]float64 `json:"total_verify_ms"`
+
+	// VisitReduction is total watched-scratch watcher visits over total
+	// watched visits; Speedup is the same ratio on wall time.
+	VisitReduction float64 `json:"visit_reduction"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// BCPSuite returns the instances the BCP benchmark runs: pigeonhole and
+// random UNSAT. The pinned/chained variants carry the root-implied prefixes
+// (preprocessing/BMC-style) that root-trail reuse targets; the plain
+// variants have near-empty root trails and bound the overhead of keeping
+// the trail alive. quick keeps the run short for make bench-smoke.
+func BCPSuite(quick bool) []gen.Instance {
+	insts := []gen.Instance{
+		gen.PHPPinned(5, 20),
+		gen.RandUnsatChained(3, 40, 1500),
+		gen.PHP(5),
+		gen.RandUnsat(9, 50),
+	}
+	if !quick {
+		insts = append(insts,
+			gen.PHPPinned(6, 48),
+			gen.PHPPinned(7, 40),
+			gen.RandUnsatChained(9, 60, 4000),
+			gen.PHP(7),
+			gen.RandUnsat(17, 60),
+		)
+	}
+	return insts
+}
+
+var bcpEngines = []core.EngineKind{
+	core.EngineWatched,
+	core.EngineWatchedScratch,
+	core.EngineCounting,
+}
+
+// bcpMeasure runs one engine over a recorded proof iters times and reports
+// the best wall time together with the engine work counters (identical
+// across repetitions — the engines are deterministic).
+func bcpMeasure(inst gen.Instance, tr *proof.Trace, kind core.EngineKind, iters int) (BCPRow, error) {
+	row := BCPRow{Engine: kind.String()}
+	best := time.Duration(-1)
+	for it := 0; it < iters; it++ {
+		reg := obs.New()
+		t0 := time.Now()
+		res, err := core.Verify(inst.F, tr, core.Options{
+			Mode:   core.ModeCheckMarked,
+			Engine: kind,
+			Obs:    reg,
+		})
+		d := time.Since(t0)
+		if err != nil {
+			return row, fmt.Errorf("bench: %s/%v: %w", inst.Name, kind, err)
+		}
+		if !res.OK {
+			return row, fmt.Errorf("bench: %s/%v: proof rejected at %d", inst.Name, kind, res.FailedIndex)
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+		if it == 0 {
+			snap := reg.Snapshot()
+			row.Checked = res.Tested
+			row.Propagations = snap.Counters["bcp.propagations"]
+			row.WatcherVisits = snap.Counters["bcp.watcher_visits"]
+			row.OccTouches = snap.Counters["bcp.occ_touches"]
+		}
+	}
+	row.VerifyMillis = float64(best.Nanoseconds()) / 1e6
+	if best > 0 {
+		row.PropsPerSec = float64(row.Propagations) / best.Seconds()
+	}
+	if row.Checked > 0 {
+		row.VisitsPerCheck = float64(row.WatcherVisits) / float64(row.Checked)
+	}
+	return row, nil
+}
+
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// BCPBench solves each instance once and replays the proof through every
+// engine.
+func BCPBench(insts []gen.Instance, iters int) (*BCPReport, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	rep := &BCPReport{
+		Mode:        core.ModeCheckMarked.String(),
+		Iters:       iters,
+		TotalVisits: map[string]int64{},
+		TotalMillis: map[string]float64{},
+	}
+	for _, inst := range insts {
+		st, tr, _, _, err := solver.Solve(inst.F, DefaultSolverOptions())
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", inst.Name, err)
+		}
+		if st != solver.Unsat {
+			return nil, fmt.Errorf("bench: %s: solver returned %v", inst.Name, st)
+		}
+		ir := BCPInstanceReport{
+			Name:     inst.Name,
+			Vars:     inst.F.NumVars,
+			Clauses:  inst.F.NumClauses(),
+			TraceLen: tr.Len(),
+		}
+		byEngine := map[string]BCPRow{}
+		for _, kind := range bcpEngines {
+			row, err := bcpMeasure(inst, tr, kind, iters)
+			if err != nil {
+				return nil, err
+			}
+			ir.Rows = append(ir.Rows, row)
+			byEngine[row.Engine] = row
+			rep.TotalVisits[row.Engine] += row.WatcherVisits
+			rep.TotalMillis[row.Engine] += row.VerifyMillis
+		}
+		inc, scr := byEngine["watched"], byEngine["watched-scratch"]
+		ir.VisitReduction = ratio(float64(scr.WatcherVisits), float64(inc.WatcherVisits))
+		ir.Speedup = ratio(scr.VerifyMillis, inc.VerifyMillis)
+		rep.Instances = append(rep.Instances, ir)
+	}
+	rep.VisitReduction = ratio(
+		float64(rep.TotalVisits["watched-scratch"]), float64(rep.TotalVisits["watched"]))
+	rep.Speedup = ratio(rep.TotalMillis["watched-scratch"], rep.TotalMillis["watched"])
+	return rep, nil
+}

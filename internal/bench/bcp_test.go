@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestBCPBenchSmall(t *testing.T) {
+	insts := []gen.Instance{
+		gen.PHPPinned(4, 12),
+		gen.RandUnsatChained(3, 30, 500),
+		gen.PHP(4),
+	}
+	rep, err := BCPBench(insts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Instances) != len(insts) {
+		t.Fatalf("%d instance reports", len(rep.Instances))
+	}
+	for _, ir := range rep.Instances {
+		if len(ir.Rows) != 3 {
+			t.Fatalf("%s: %d rows", ir.Name, len(ir.Rows))
+		}
+		for _, r := range ir.Rows {
+			if r.Checked <= 0 || r.Propagations <= 0 {
+				t.Errorf("%s/%s: no work measured: %+v", ir.Name, r.Engine, r)
+			}
+			switch r.Engine {
+			case "counting":
+				if r.WatcherVisits != 0 || r.OccTouches <= 0 {
+					t.Errorf("%s/counting: visits=%d occ=%d", ir.Name, r.WatcherVisits, r.OccTouches)
+				}
+			default:
+				if r.WatcherVisits <= 0 || r.OccTouches != 0 {
+					t.Errorf("%s/%s: visits=%d occ=%d", ir.Name, r.Engine, r.WatcherVisits, r.OccTouches)
+				}
+			}
+		}
+		if ir.VisitReduction < 1 {
+			t.Errorf("%s: root-trail reuse increased visits: %.2f", ir.Name, ir.VisitReduction)
+		}
+	}
+	// The pinned/chained instances exist to show the incremental win; the
+	// suite-level visit reduction is deterministic, so pin it down.
+	if rep.VisitReduction < 2 {
+		t.Errorf("suite visit reduction %.2f, want >= 2", rep.VisitReduction)
+	}
+}

@@ -33,6 +33,14 @@ import (
 // accumulator that the checkpoint carries.
 //
 // Non-checkpointed runs never rebuild and are byte-for-byte unchanged.
+//
+// The incremental watched engine (persistent root trail, DESIGN.md §6b)
+// adds engine state that outlives a single Refute, but it needs no special
+// handling here: a rebuilt engine's entire state — arena, watch order, root
+// trail — is a pure function of the canonical Add/Deactivate sequence, so
+// the rebuild grid above still pins down every downstream byte. The replay
+// test in internal/bcp (TestIncrementalDeterministicReplay) and the
+// kill/resume differential tests keep this honest.
 
 // CheckpointConfig enables durable progress records. The zero value
 // disables checkpointing entirely.

@@ -285,6 +285,8 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 					switch kind {
 					case EngineCounting:
 						eng = bcp.NewCounting(nVars)
+					case EngineWatchedScratch:
+						eng = bcp.NewEngineNonIncremental(nVars)
 					default:
 						eng = bcp.NewEngine(nVars)
 					}

@@ -56,15 +56,25 @@ func (m Mode) String() string {
 type EngineKind int
 
 const (
-	// EngineWatched uses two-watched-literal propagation (default).
+	// EngineWatched uses two-watched-literal propagation with a persistent
+	// root trail: the formula's unit-propagation fixpoint is computed once
+	// and reused across checks, each Refute pushing only its assumption
+	// literals (default).
 	EngineWatched EngineKind = iota
 	// EngineCounting uses the naive counter-based propagator (ablation).
 	EngineCounting
+	// EngineWatchedScratch is the watched engine without the persistent
+	// root trail: every Refute re-derives the root fixpoint from scratch.
+	// It exists as a baseline for benchmarks and differential tests.
+	EngineWatchedScratch
 )
 
 func (k EngineKind) String() string {
-	if k == EngineCounting {
+	switch k {
+	case EngineCounting:
 		return "counting"
+	case EngineWatchedScratch:
+		return "watched-scratch"
 	}
 	return "watched"
 }
@@ -244,6 +254,8 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 		switch opt.Engine {
 		case EngineCounting:
 			eng = bcp.NewCounting(nVars)
+		case EngineWatchedScratch:
+			eng = bcp.NewEngineNonIncremental(nVars)
 		default:
 			eng = bcp.NewEngine(nVars)
 		}

@@ -269,6 +269,10 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 		}
 		s := p.Steps[i]
 		if s.Del {
+			// Walking a deletion backwards re-adds the clause. The engine's
+			// persistent root trail handles the flip: Reactivate re-queues
+			// root propagation only when the clause can actually extend the
+			// current fixpoint (see DESIGN.md §6b), so cheap undos stay cheap.
 			if err := eng.Reactivate(stepID[i]); err != nil {
 				// Cannot happen — eng came from NewEngineReactivable above —
 				// but an internal error beats silently skipping the undo.

@@ -422,6 +422,27 @@ func PHP(n int) Instance {
 	return Instance{Name: fmt.Sprintf("php_%d", n), Family: "php", F: f}
 }
 
+// PHPPinned is the pigeonhole formula with n+k+1 pigeons and n+k holes,
+// where the last k pigeons are pinned to the last k holes by unit clauses.
+// Unit propagation eliminates the pinned pigeons and their holes at the root
+// level, leaving a subproblem exactly as hard as PHP(n) — the pins model the
+// large root-implied prefixes that preprocessing and BMC unrolling leave in
+// industrial CNFs, which is the workload the incremental root trail in
+// internal/bcp exists for: a scratch engine re-derives the k·(n+k) pinned
+// closure on every check of the reverse scan, a persistent one derives it
+// once.
+func PHPPinned(n, k int) Instance {
+	inst := PHP(n + k)
+	m := n + k // holes in the base formula
+	v := func(p, h int) cnf.Var { return cnf.Var(p*m + h) }
+	for i := 0; i < k; i++ {
+		// Pigeon n+1+i sits in hole n+i.
+		inst.F.AddClause(cnf.Clause{cnf.PosLit(v(n+1+i, n+i))})
+	}
+	inst.Name = fmt.Sprintf("php_%d_pin%d", n, k)
+	return inst
+}
+
 // XorChain encodes the inconsistent parity chain x1^x2=1, x2^x3=1, ...,
 // xn^x1=1 for odd n (summing all equations gives 0=n mod 2=1).
 func XorChain(n int) Instance {
@@ -443,6 +464,15 @@ func XorChain(n int) Instance {
 // overwhelming probability (tests confirm per instance). seed selects the
 // instance deterministically (xorshift; no global RNG).
 func RandUnsat(seed int64, nVars int) Instance {
+	return RandUnsatClauses(seed, nVars, 6*nVars)
+}
+
+// RandUnsatClauses is RandUnsat with an explicit clause count, so callers
+// can pick a clause/variable ratio closer to the satisfiability threshold
+// (~4.27): such instances are still unsatisfiable with high probability but
+// need real search, giving long proofs with learned units spread through
+// the trace — the shape the BCP benchmarks exercise.
+func RandUnsatClauses(seed int64, nVars, nClauses int) Instance {
 	x := uint64(seed)*2654435761 + 1
 	next := func(n int) int {
 		x ^= x << 13
@@ -451,12 +481,35 @@ func RandUnsat(seed int64, nVars int) Instance {
 		return int(x % uint64(n))
 	}
 	f := cnf.NewFormula(nVars)
-	for i := 0; i < 6*nVars; i++ {
+	for i := 0; i < nClauses; i++ {
 		c := make(cnf.Clause, 0, 3)
 		for j := 0; j < 3; j++ {
 			c = append(c, cnf.NewLit(cnf.Var(next(nVars)), next(2) == 0))
 		}
 		f.AddClause(c)
 	}
-	return Instance{Name: fmt.Sprintf("rand3_v%ds%d", nVars, seed), Family: "random", F: f}
+	name := fmt.Sprintf("rand3_v%ds%d", nVars, seed)
+	if nClauses != 6*nVars {
+		name = fmt.Sprintf("rand3_v%dc%ds%d", nVars, nClauses, seed)
+	}
+	return Instance{Name: name, Family: "random", F: f}
+}
+
+// RandUnsatChained is RandUnsat(seed, nVars) extended with a unit-rooted
+// implication chain over chain fresh variables: y1, and yi → yi+1 for each
+// link. The chain is satisfiable on its own and disjoint from the random
+// core, so the proof is unchanged — but the root unit-propagation closure
+// now contains chain literals, modeling the root-implied prefixes that
+// preprocessing leaves in industrial CNFs. Scratch BCP engines re-derive the
+// whole chain on every check of the reverse scan; the incremental root trail
+// derives it once.
+func RandUnsatChained(seed int64, nVars, chain int) Instance {
+	inst := RandUnsat(seed, nVars)
+	y := func(i int) cnf.Var { return cnf.Var(nVars + i) }
+	inst.F.AddClause(cnf.Clause{cnf.PosLit(y(0))})
+	for i := 1; i < chain; i++ {
+		inst.F.AddClause(cnf.Clause{cnf.NegLit(y(i - 1)), cnf.PosLit(y(i))})
+	}
+	inst.Name = fmt.Sprintf("rand3_v%ds%d_chain%d", nVars, seed, chain)
+	return inst
 }

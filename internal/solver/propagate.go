@@ -1,7 +1,12 @@
 package solver
 
 // propagate performs two-watched-literal unit propagation to fixpoint and
-// returns a falsified clause, or nil when no conflict arises.
+// returns a falsified clause, or nil when no conflict arises. Original
+// clauses' literals live in the solver's flat arena (see Solver.arena), so
+// the inner loop below mostly walks one contiguous block; blocking literals
+// skip satisfied clauses without loading them at all. internal/bcp's
+// verifier engine uses the same layout, reimplemented independently — the
+// verifier must not share code with the solver it checks.
 func (s *Solver) propagate() *clause {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p became true; watchers of p.Neg() may fire

@@ -251,6 +251,13 @@ type Solver struct {
 	clauses []*clause // problem clauses
 	learnts []*clause
 	watches [][]watcher
+	// arena is the flat literal storage for original clauses: their lits
+	// slices alias one contiguous block in Add order, so propagation over
+	// the problem clauses walks cache-local memory — the same layout
+	// internal/bcp's verifier engine uses (shared layout, deliberately not
+	// shared code). Learned clauses are excluded: they come and go with
+	// database reductions, which would fragment the block.
+	arena []cnf.Lit
 
 	assigns  []int8 // 0 undef, 1 true, -1 false
 	level    []int32
@@ -357,6 +364,11 @@ func NewFromFormula(f *cnf.Formula, opts Options) (*Solver, error) {
 		return nil, errors.New("solver: RecordChains is incompatible with MinimizeLearned")
 	}
 	s := New(f.NumVars, opts)
+	nLits := 0
+	for _, c := range f.Clauses {
+		nLits += len(c)
+	}
+	s.arena = make([]cnf.Lit, 0, nLits)
 	for i, c := range f.Clauses {
 		s.addOriginal(c, i)
 	}
@@ -421,6 +433,7 @@ func (s *Solver) AddClause(lits cnf.Clause) error {
 		}
 		return nil
 	}
+	norm = s.arenaAlloc(norm)
 	c := &clause{lits: norm, id: id}
 	s.clauses = append(s.clauses, c)
 	if len(norm) == 1 {
@@ -460,6 +473,17 @@ func (s *Solver) AddClause(lits cnf.Clause) error {
 	return nil
 }
 
+// arenaAlloc moves a normalized clause's literals into the flat arena and
+// returns the aliasing slice (full-capacity-capped so appends can never
+// bleed into a neighbor). If the arena's backing array grows, previously
+// handed-out slices keep their old storage — still correct, merely no
+// longer contiguous with the new block.
+func (s *Solver) arenaAlloc(norm cnf.Clause) cnf.Clause {
+	off := len(s.arena)
+	s.arena = append(s.arena, norm...)
+	return s.arena[off:len(s.arena):len(s.arena)]
+}
+
 // value returns the literal's current value: 0 undef, 1 true, -1 false.
 func (s *Solver) value(l cnf.Lit) int8 {
 	v := s.assigns[l.Var()]
@@ -486,7 +510,7 @@ func (s *Solver) addOriginal(raw cnf.Clause, id int) {
 		}
 		return
 	}
-	c := &clause{lits: norm, id: id}
+	c := &clause{lits: s.arenaAlloc(norm), id: id}
 	if len(norm) == 1 {
 		// Defer the enqueue to Run's initial propagation so contradictory
 		// units produce a proper final conflicting pair. Store as a
