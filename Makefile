@@ -7,7 +7,10 @@ GO ?= go
 # mutator beyond the seed corpus, short enough for a pre-merge gate.
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race check bench bench-smoke fuzz-smoke crash-smoke clean
+.PHONY: all build vet test race check bench bench-smoke bench-gate trace-smoke fuzz-smoke crash-smoke clean
+
+# Scratch dir for gate artifacts that must not clobber committed baselines.
+SCRATCH ?= .scratch
 
 all: build
 
@@ -42,18 +45,43 @@ crash-smoke:
 	$(GO) test -run '^TestJournalFault' -count=1 ./internal/faults/
 
 # bench-smoke replays small pigeonhole/random proofs through every BCP
-# engine and refreshes BENCH_bcp.json (propagations/sec, watcher-visits per
-# check, and the incremental-vs-scratch ratios). Quick suite, so the numbers
-# are a smoke reading, not the committed full-suite measurement — regenerate
-# that with `go run ./cmd/bcpbench -iters 3 -out BENCH_bcp.json`.
+# engine (propagations/sec, watcher-visits per check, and the
+# incremental-vs-scratch ratios). Quick suite, written to scratch — the
+# committed BENCH_bcp.json baseline is only ever refreshed deliberately,
+# with `go run ./cmd/bcpbench -iters 3 -out BENCH_bcp.json`.
 bench-smoke:
-	$(GO) run ./cmd/bcpbench -quick -iters 2 -out BENCH_bcp.json
+	@mkdir -p $(SCRATCH)
+	$(GO) run ./cmd/bcpbench -quick -iters 2 -out $(SCRATCH)/BENCH_bcp.json
+
+# bench-gate is the perf-regression gate: a fresh quick benchmark run is
+# diffed against the committed full-suite baseline. Deterministic per-check
+# work (watcher visits / check) is gated per instance at 15%; wall-clock
+# throughput (props/sec) only on the suite aggregate, at twice the
+# tolerance and above a wall-time noise floor, so timer noise cannot fail
+# the gate.
+bench-gate:
+	@mkdir -p $(SCRATCH)
+	$(GO) run ./cmd/bcpbench -quick -iters 3 -out $(SCRATCH)/BENCH_fresh.json
+	$(GO) run ./cmd/benchdiff -tol 0.15 BENCH_bcp.json $(SCRATCH)/BENCH_fresh.json
+
+# trace-smoke emits a flight recording from a real verification, parses it
+# back and validates the span tree (see trace_roundtrip_test.go), then
+# measures recorder overhead over the bench suite. The design budget is <3%
+# (per-Refute emission is ~100ns, see BenchmarkCounterPair), but suite
+# wall-clock on a shared machine is ±5% noise even with paired-median
+# sampling — so the gate enforces 10%: loose enough that timer noise cannot
+# fail it, tight enough to catch an accidental per-propagation emission
+# (which measures at +50% or worse).
+trace-smoke:
+	$(GO) test -run '^TestTraceRoundtrip' -count=1 .
+	$(GO) run ./cmd/bcpbench -trace-overhead -iters 5 -overhead-budget 10
 
 # check is the pre-merge gate: vet, a full build, the test suite under the
 # race detector, a short fuzz pass over the untrusted-input parsers, the
-# kill-and-recover crash loop, and the BCP engine smoke benchmark. Run it
-# before every merge; CI and reviewers assume it is green.
-check: vet build race fuzz-smoke crash-smoke bench-smoke
+# kill-and-recover crash loop, the trace roundtrip + overhead smoke, and the
+# benchmark perf-regression gate. Run it before every merge; CI and
+# reviewers assume it is green.
+check: vet build race fuzz-smoke crash-smoke trace-smoke bench-gate
 
 # bench compiles and smoke-runs every benchmark once (not a measurement run).
 bench:

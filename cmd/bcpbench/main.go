@@ -10,6 +10,12 @@
 //	bcpbench                       # full suite, BENCH_bcp.json
 //	bcpbench -quick -iters 2       # smoke run (make bench-smoke)
 //	bcpbench -out path/to/report.json
+//	bcpbench -trace-overhead       # measure flight-recorder overhead instead
+//
+// -trace-overhead runs the watched engine with and without a flight
+// recorder attached and reports the wall-clock overhead percentage; the
+// budget documented in DESIGN.md is <3%. Exit status 1 when the measured
+// overhead exceeds -overhead-budget (default 3%).
 package main
 
 import (
@@ -31,7 +37,24 @@ func run() int {
 	out := flag.String("out", "BENCH_bcp.json", "JSON report path")
 	iters := flag.Int("iters", 3, "repetitions per engine; best wall time wins")
 	quick := flag.Bool("quick", false, "small instances only (smoke run)")
+	overhead := flag.Bool("trace-overhead", false, "measure flight-recorder overhead instead of the engine benchmark")
+	budget := flag.Float64("overhead-budget", 3.0, "with -trace-overhead: fail when overhead exceeds this percentage")
 	flag.Parse()
+
+	if *overhead {
+		orep, err := bench.TraceOverhead(bench.BCPSuite(*quick), *iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bcpbench:", err)
+			return 1
+		}
+		fmt.Printf("trace overhead: plain=%.2fms traced=%.2fms overhead=%+.2f%% (events=%d dropped=%d, budget %.1f%%)\n",
+			orep.PlainMillis, orep.TracedMillis, orep.OverheadPct, orep.Events, orep.Dropped, *budget)
+		if orep.OverheadPct > *budget {
+			fmt.Println("FAIL: flight recorder exceeds its overhead budget")
+			return 1
+		}
+		return 0
+	}
 
 	rep, err := bench.BCPBench(bench.BCPSuite(*quick), *iters)
 	if err != nil {

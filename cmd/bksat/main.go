@@ -65,6 +65,7 @@ func run() int {
 	progress := flag.Bool("progress", false, "report search progress on stderr")
 	progressEvery := flag.Int64("progress-every", 10000, "progress line every N conflicts")
 	metricsAddr := flag.String("metrics", "", "serve live metrics over HTTP on this address")
+	pprofFlag := flag.Bool("pprof", false, "with -metrics: also serve net/http/pprof under /debug/pprof/")
 	simp := flag.Bool("simp", false, "preprocess before solving (NOTE: any proof then refers to the simplified formula)")
 	portfolio := flag.Int("portfolio", 0, "race N diversified solver configurations; the winner's proof is written at the end (streaming and -drat are unavailable in this mode)")
 	flag.Parse()
@@ -92,13 +93,13 @@ func run() int {
 		reg = obs.New()
 	}
 	if *metricsAddr != "" {
-		addr, shutdown, serr := obs.Serve(*metricsAddr, reg)
+		addr, shutdown, serr := obs.Serve(ctx, *metricsAddr, reg, *pprofFlag)
 		if serr != nil {
 			fmt.Fprintln(os.Stderr, "bksat:", serr)
 			return exitcode.Internal
 		}
 		defer shutdown()
-		fmt.Fprintf(os.Stderr, "c metrics: http://%v/debug/vars\n", addr)
+		fmt.Fprintf(os.Stderr, "c metrics: http://%v/debug/vars (Prometheus at /metrics)\n", addr)
 	}
 
 	parseSpan := reg.StartSpan("parse-formula")

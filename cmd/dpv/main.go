@@ -27,7 +27,13 @@
 //	-stats-json FILE  write a JSON snapshot of every metric and the span tree
 //	-progress       report progress on stderr while checking
 //	-progress-every N  progress line every N proof clauses (default 1000)
-//	-metrics ADDR   serve live metrics over HTTP (expvar-style JSON)
+//	-metrics ADDR   serve live metrics over HTTP: expvar-style JSON at
+//	                /debug/vars, Prometheus text format at /metrics
+//	-pprof          with -metrics: serve net/http/pprof at /debug/pprof/
+//	-trace-out FILE   write a Chrome trace-event JSON flight recording
+//	                  (loadable in chrome://tracing or ui.perfetto.dev)
+//	-trace-jsonl FILE write the flight recording as JSONL for machine diffing
+//	-trace-buf N    flight recorder ring capacity per track (default 65536)
 //	-q              quiet: no statistics, exit code only
 //
 // Exit status:
@@ -50,14 +56,17 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/cmd/internal/ckpt"
 	"repro/cmd/internal/exitcode"
+	"repro/cmd/internal/tracedump"
 	"repro/internal/atomicio"
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/proof"
 )
 
@@ -82,6 +91,10 @@ func run() int {
 	progress := flag.Bool("progress", false, "report verification progress on stderr")
 	progressEvery := flag.Int64("progress-every", 1000, "progress line every N proof clauses")
 	metricsAddr := flag.String("metrics", "", "serve live metrics over HTTP on this address")
+	pprofFlag := flag.Bool("pprof", false, "with -metrics: also serve net/http/pprof under /debug/pprof/")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON flight recording to this file")
+	traceJSONL := flag.String("trace-jsonl", "", "write the flight recording as JSONL events to this file")
+	traceBuf := flag.Int("trace-buf", 0, "flight recorder ring capacity in events per track (0 = default 65536)")
 	quiet := flag.Bool("q", false, "quiet")
 	flag.Parse()
 
@@ -102,20 +115,46 @@ func run() int {
 		return exitcode.Usage
 	}
 
+	// Context: an optional deadline, and SIGINT cancels so a ^C mid-run
+	// still reports how far verification got before exiting 130. Built
+	// before the observability surfaces so the metrics listener is tied to
+	// the same lifetime.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt)
+	defer stopSignals()
+
 	// The registry exists whenever any observability surface is requested;
 	// nil otherwise, which turns every instrument call into a nil check.
+	// The flight recorder additionally attaches when a trace dump was
+	// asked for, and is flushed on every exit path — a rejected proof's or
+	// an interrupted run's recording is exactly the one worth reading.
 	var reg *obs.Registry
-	if *statsJSON != "" || *metricsAddr != "" || *progress {
+	if *statsJSON != "" || *metricsAddr != "" || *progress || *traceOut != "" || *traceJSONL != "" {
 		reg = obs.New()
 	}
+	var rec *trace.Recorder
+	if *traceOut != "" || *traceJSONL != "" {
+		rec = trace.New(*traceBuf)
+		reg.SetTracer(rec)
+		defer func() {
+			if err := tracedump.Write("dpv", *traceOut, *traceJSONL, reg, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "dpv:", err)
+			}
+		}()
+	}
 	if *metricsAddr != "" {
-		addr, shutdown, err := obs.Serve(*metricsAddr, reg)
+		addr, shutdown, err := obs.Serve(ctx, *metricsAddr, reg, *pprofFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dpv:", err)
 			return exitcode.Internal
 		}
 		defer shutdown()
-		fmt.Fprintf(os.Stderr, "c metrics: http://%v/debug/vars\n", addr)
+		fmt.Fprintf(os.Stderr, "c metrics: http://%v/debug/vars (Prometheus at /metrics)\n", addr)
 	}
 
 	parseSpan := reg.StartSpan("parse-formula")
@@ -143,17 +182,6 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "dpv:", err)
 		return exitcode.BadInput
 	}
-
-	// Context: an optional deadline, and SIGINT cancels so a ^C mid-run
-	// still reports how far verification got before exiting 130.
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt)
-	defer stopSignals()
 
 	opt := core.Options{
 		Obs: reg,
@@ -242,10 +270,11 @@ func run() int {
 		markedC := reg.Counter("verify.marked")
 		total := tr.Len()
 		opt.Progress = obs.NewProgress(os.Stderr, obs.ProgressConfig{
-			Label: "verify",
-			Unit:  "clauses",
-			Total: int64(total),
-			Every: *progressEvery,
+			Label:    "verify",
+			Unit:     "clauses",
+			Total:    int64(total),
+			Every:    *progressEvery,
+			Interval: 10 * time.Second, // heartbeat even when one check stalls
 			Aux: func() string {
 				if total == 0 {
 					return ""

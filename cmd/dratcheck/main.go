@@ -11,6 +11,11 @@
 // journal's last durable record, falling back to a full run on any
 // mismatch or corruption.
 //
+// Observability: -stats-json FILE writes a JSON snapshot of every metric
+// and the span tree; -trace-out FILE records the run as Chrome trace-event
+// JSON (loadable in ui.perfetto.dev), -trace-jsonl FILE as a JSONL event
+// dump, with -trace-buf N sizing the flight recorder's per-track ring.
+//
 // Exit status: 0 verified, 1 usage errors, 2 rejected, 3 malformed or
 // unreadable formula/proof input, 6 internal errors (failed output writes).
 package main
@@ -23,10 +28,13 @@ import (
 
 	"repro/cmd/internal/ckpt"
 	"repro/cmd/internal/exitcode"
+	"repro/cmd/internal/tracedump"
 	"repro/internal/atomicio"
 	"repro/internal/cnf"
 	"repro/internal/drat"
 	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 func main() {
@@ -41,9 +49,13 @@ func run() int {
 	checkpointPath := flag.String("checkpoint", "", "with -backward: write resumable checkpoints to this journal file")
 	checkpointEvery := flag.Int("checkpoint-every", 1000, "checkpoint interval in proof steps")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint journal when it matches")
+	statsJSON := flag.String("stats-json", "", "write a JSON metrics snapshot to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON flight recording to this file")
+	traceJSONL := flag.String("trace-jsonl", "", "write the flight recording as JSONL to this file")
+	traceBuf := flag.Int("trace-buf", trace.DefaultTrackEvents, "flight recorder ring capacity per track")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: dratcheck [-q] [-backward [-trim out.drat] [-core out.cnf] [-checkpoint j [-resume]]] formula.cnf proof.drat")
+		fmt.Fprintln(os.Stderr, "usage: dratcheck [-q] [-backward [-trim out.drat] [-core out.cnf] [-checkpoint j [-resume]]] [-stats-json f] [-trace-out f] [-trace-jsonl f] formula.cnf proof.drat")
 		return exitcode.Usage
 	}
 	if (*checkpointPath != "" || *resume) && !*backward {
@@ -58,6 +70,25 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "dratcheck: -checkpoint-every must be positive")
 		return exitcode.Usage
 	}
+
+	// The registry exists whenever any observability surface is requested;
+	// nil otherwise, which turns every instrument call into a nil check.
+	// The flight recording is flushed on every exit path — a rejected
+	// proof's recording is exactly the one worth reading.
+	var reg *obs.Registry
+	if *statsJSON != "" || *traceOut != "" || *traceJSONL != "" {
+		reg = obs.New()
+	}
+	if *traceOut != "" || *traceJSONL != "" {
+		rec := trace.New(*traceBuf)
+		reg.SetTracer(rec)
+		defer func() {
+			if terr := tracedump.Write("dratcheck", *traceOut, *traceJSONL, reg, rec); terr != nil {
+				fmt.Fprintln(os.Stderr, "dratcheck:", terr)
+			}
+		}()
+	}
+
 	fin, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dratcheck:", err)
@@ -83,7 +114,7 @@ func run() int {
 
 	var res *drat.Result
 	if *backward {
-		var bopt drat.BackwardOptions
+		bopt := drat.BackwardOptions{Obs: reg}
 		var jw *journal.Writer
 		if *checkpointPath != "" {
 			meta := journal.Meta{
@@ -94,7 +125,7 @@ func run() int {
 			}
 			var resumePayload []byte
 			if *resume {
-				payload, jerr := journal.Open(*checkpointPath, meta, nil)
+				payload, jerr := journal.Open(*checkpointPath, meta, reg)
 				if jerr == nil {
 					cp, derr := drat.DecodeBackwardCheckpoint(payload)
 					if derr == nil {
@@ -108,7 +139,7 @@ func run() int {
 					fmt.Fprintf(os.Stderr, "dratcheck: warning: not resuming (%v); running from scratch\n", jerr)
 				}
 			}
-			w, jerr := journal.Create(*checkpointPath, meta, nil)
+			w, jerr := journal.Create(*checkpointPath, meta, reg)
 			if jerr != nil {
 				fmt.Fprintln(os.Stderr, "dratcheck:", jerr)
 				return exitcode.Internal
@@ -163,6 +194,12 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dratcheck:", err)
 		return exitcode.BadInput
+	}
+	if *statsJSON != "" {
+		if serr := atomicio.WriteFile(*statsJSON, reg.WriteJSON); serr != nil {
+			fmt.Fprintln(os.Stderr, "dratcheck:", serr)
+			return exitcode.Internal
+		}
 	}
 	if !res.OK {
 		fmt.Printf("s PROOF REJECTED\nc step %d: %s\n", res.FailedStep, res.Reason)

@@ -1,0 +1,43 @@
+// Package tracedump flushes a CLI run's flight recording to the requested
+// output files. It is shared by the verifier front-ends (dpv, dratcheck) so
+// the -trace-out/-trace-jsonl flags behave identically everywhere.
+package tracedump
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/atomicio"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+)
+
+// Write flushes the flight recording to the requested files. The registry's
+// root span is ended first so the recording's outermost span is closed (End
+// is idempotent — a root already ended elsewhere stays as it was). Files are
+// written atomically; a ring overflow is reported on stderr under the given
+// tool name.
+func Write(tool, chromePath, jsonlPath string, reg *obs.Registry, rec *trace.Recorder) error {
+	reg.Root().End()
+	if chromePath != "" {
+		err := atomicio.WriteFile(chromePath, func(w io.Writer) error {
+			return trace.WriteChrome(w, rec)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if jsonlPath != "" {
+		err := atomicio.WriteFile(jsonlPath, func(w io.Writer) error {
+			return trace.WriteJSONL(w, rec)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if d := rec.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "c %s trace: ring overflow dropped %d events (raise -trace-buf)\n", tool, d)
+	}
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"errors"
 
 	"repro/internal/cnf"
+	"repro/internal/obs/trace"
 )
 
 // ID identifies a clause inside a Propagator. IDs are assigned densely in
@@ -88,6 +89,13 @@ type Propagator interface {
 	// it ran to completion. Callers that install a stop hook must consult
 	// StopErr before interpreting a Refute result.
 	StopErr() error
+	// SetTrace installs a flight-recorder lane: each Refute then emits its
+	// per-check work deltas (propagations plus watcher visits or occurrence
+	// touches, depending on the engine) as counter events, at one ring
+	// append per counter per Refute — coarse enough to stay off the
+	// propagation hot path. A nil lane (the default) reduces the cost to
+	// one nil check per Refute.
+	SetTrace(t *trace.Track)
 	// Stats returns the cumulative work counters (propagations, conflicts,
 	// clause visits). Counters are plain per-engine integers maintained on
 	// the hot path, so reading them costs nothing and needs no enabling.
@@ -107,16 +115,20 @@ var ErrNotReactivable = errors.New("bcp: Reactivate requires an engine built wit
 // nothing measurable on the hot path.
 const stopPollEvery = 64
 
-// stopState implements the SetStop/StopErr half of Propagator; both engines
-// embed it and poll it from their propagation loops.
+// stopState implements the SetStop/StopErr/SetTrace slice of Propagator;
+// both engines embed it and poll it from their propagation loops.
 type stopState struct {
 	stop      func() error
 	stopErr   error
 	countdown int
+	trace     *trace.Track
 }
 
 // SetStop implements Propagator.
 func (s *stopState) SetStop(f func() error) { s.stop = f; s.countdown = 0 }
+
+// SetTrace implements Propagator.
+func (s *stopState) SetTrace(t *trace.Track) { s.trace = t }
 
 // StopErr implements Propagator.
 func (s *stopState) StopErr() error { return s.stopErr }

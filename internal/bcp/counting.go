@@ -155,6 +155,16 @@ func (e *Counting) enqueue(l cnf.Lit, why ID) bool {
 
 // Refute implements Propagator.
 func (e *Counting) Refute(c cnf.Clause) (ID, bool) {
+	p0, o0 := e.propagations, e.occTouches
+	conflict, selfContra := e.refute(c)
+	if t := e.trace; t != nil {
+		t.CounterPair("bcp.propagations", e.propagations-p0,
+			"bcp.occ_touches", e.occTouches-o0)
+	}
+	return conflict, selfContra
+}
+
+func (e *Counting) refute(c cnf.Clause) (ID, bool) {
 	if mv := c.MaxVar(); int(mv) >= e.nVars {
 		e.growTo(int(mv) + 1)
 	}

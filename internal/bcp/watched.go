@@ -423,9 +423,14 @@ func (e *Engine) rootFix() ID {
 
 // Refute implements Propagator.
 func (e *Engine) Refute(c cnf.Clause) (ID, bool) {
+	p0, v0 := e.propagations, e.watcherVisits
 	conflict, selfContra := e.refute(c)
 	if conflict != NoConflict {
 		e.conflicts++
+	}
+	if t := e.trace; t != nil {
+		t.CounterPair("bcp.propagations", e.propagations-p0,
+			"bcp.watcher_visits", e.watcherVisits-v0)
 	}
 	return conflict, selfContra
 }

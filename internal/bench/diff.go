@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Perf-regression gate: DiffBCP compares a fresh BCP benchmark report
+// against a committed baseline and reports every metric that got worse than
+// the tolerance allows. Two kinds of metric are gated differently:
+//
+//   - visits/check (and occ-touches/check) are deterministic functions of
+//     the instance and the engine — identical on every run of the same
+//     code — so they are compared per (instance, engine) at the given
+//     tolerance; any drift here is a real algorithmic change, not noise.
+//   - props/sec is wall-clock-derived and noisy, so it is gated only on
+//     the suite aggregate (total propagations over total wall time per
+//     engine, summed across the common instances), at twice the
+//     tolerance, and only when both aggregates clear a wall-time noise
+//     floor — a few milliseconds of total wall time cannot distinguish a
+//     regression from scheduler jitter.
+//
+// Only instances present in both reports participate, which lets a quick
+// smoke run be gated against the committed full-suite baseline.
+
+// minWallMillis is the aggregate wall-time floor below which props/sec is
+// not gated: under ~10ms of total wall time per engine, run-to-run timer
+// and scheduler noise routinely exceeds any sane tolerance.
+const minWallMillis = 10.0
+
+// wallTolFactor widens the tolerance for wall-clock-derived metrics
+// relative to the deterministic ones.
+const wallTolFactor = 2.0
+
+// Regression is one gated metric that degraded beyond tolerance.
+type Regression struct {
+	Instance string  // "" for suite-aggregate metrics
+	Engine   string
+	Metric   string  // "visits/check" | "occ-touches/check" | "props/sec"
+	Base     float64
+	Fresh    float64
+	Delta    float64 // fractional change, positive = worse
+}
+
+func (r *Regression) String() string {
+	where := r.Engine
+	if r.Instance != "" {
+		where = r.Instance + "/" + r.Engine
+	}
+	return fmt.Sprintf("%s %s: %.1f -> %.1f (%+.1f%%)",
+		where, r.Metric, r.Base, r.Fresh, 100*r.Delta)
+}
+
+// DiffBCP gates fresh against base at the given fractional tolerance
+// (0.15 = 15%). It returns the regressions found and how many metric
+// comparisons were made; zero comparisons means the reports share no
+// instances and the gate is vacuous — callers should treat that as an
+// error, not a pass.
+func DiffBCP(base, fresh *BCPReport, tol float64) (regs []Regression, compared int) {
+	baseInst := map[string]BCPInstanceReport{}
+	for _, ir := range base.Instances {
+		baseInst[ir.Name] = ir
+	}
+
+	// Suite-aggregate props/sec accumulators, per engine, over common
+	// instances only (row counters are deterministic; wall time is not).
+	type agg struct {
+		props        int64
+		millis       float64
+		freshProps   int64
+		freshMillis  float64
+	}
+	aggs := map[string]*agg{}
+
+	for _, fir := range fresh.Instances {
+		bir, ok := baseInst[fir.Name]
+		if !ok {
+			continue
+		}
+		baseRows := map[string]BCPRow{}
+		for _, r := range bir.Rows {
+			baseRows[r.Engine] = r
+		}
+		for _, fr := range fir.Rows {
+			br, ok := baseRows[fr.Engine]
+			if !ok {
+				continue
+			}
+			a := aggs[fr.Engine]
+			if a == nil {
+				a = &agg{}
+				aggs[fr.Engine] = a
+			}
+			a.props += br.Propagations
+			a.millis += br.VerifyMillis
+			a.freshProps += fr.Propagations
+			a.freshMillis += fr.VerifyMillis
+
+			// Deterministic per-check work, strict per (instance, engine).
+			if br.Checked > 0 && fr.Checked > 0 {
+				if br.WatcherVisits > 0 || fr.WatcherVisits > 0 {
+					bv := float64(br.WatcherVisits) / float64(br.Checked)
+					fv := float64(fr.WatcherVisits) / float64(fr.Checked)
+					compared++
+					if bv > 0 && fv > bv*(1+tol) {
+						regs = append(regs, Regression{Instance: fir.Name, Engine: fr.Engine,
+							Metric: "visits/check", Base: bv, Fresh: fv, Delta: fv/bv - 1})
+					}
+				}
+				if br.OccTouches > 0 || fr.OccTouches > 0 {
+					bv := float64(br.OccTouches) / float64(br.Checked)
+					fv := float64(fr.OccTouches) / float64(fr.Checked)
+					compared++
+					if bv > 0 && fv > bv*(1+tol) {
+						regs = append(regs, Regression{Instance: fir.Name, Engine: fr.Engine,
+							Metric: "occ-touches/check", Base: bv, Fresh: fv, Delta: fv/bv - 1})
+					}
+				}
+			}
+		}
+	}
+
+	engines := make([]string, 0, len(aggs))
+	for e := range aggs {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	for _, e := range engines {
+		a := aggs[e]
+		if a.millis < minWallMillis || a.freshMillis < minWallMillis {
+			continue // too little wall time to separate signal from noise
+		}
+		bp := float64(a.props) / (a.millis / 1e3)
+		fp := float64(a.freshProps) / (a.freshMillis / 1e3)
+		compared++
+		if bp > 0 && fp < bp*(1-wallTolFactor*tol) {
+			regs = append(regs, Regression{Engine: e, Metric: "props/sec",
+				Base: bp, Fresh: fp, Delta: bp/fp - 1})
+		}
+	}
+	return regs, compared
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// gateReport builds a small two-instance report; visits/props are chosen so
+// a test can degrade one copy and watch the gate trip.
+func gateReport() *BCPReport {
+	mk := func(engine string, checked int, props, visits, occ int64, ms float64) BCPRow {
+		return BCPRow{Engine: engine, Checked: checked, Propagations: props,
+			WatcherVisits: visits, OccTouches: occ, VerifyMillis: ms}
+	}
+	return &BCPReport{
+		Instances: []BCPInstanceReport{
+			{
+				Name: "php-5",
+				Rows: []BCPRow{
+					mk("watched", 100, 10000, 2000, 0, 10),
+					mk("counting", 100, 10000, 0, 50000, 40),
+				},
+			},
+			{
+				Name: "rand-9-50",
+				Rows: []BCPRow{
+					mk("watched", 200, 30000, 5000, 0, 20),
+					mk("counting", 200, 30000, 0, 120000, 90),
+				},
+			},
+		},
+	}
+}
+
+func TestDiffBCPPassesOnIdenticalReports(t *testing.T) {
+	regs, compared := DiffBCP(gateReport(), gateReport(), 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("identical reports must pass, got %v", regs)
+	}
+	// 2 instances x (watched visits + counting occ-touches) + 2 aggregate
+	// props/sec comparisons.
+	if compared != 6 {
+		t.Fatalf("compared = %d, want 6", compared)
+	}
+}
+
+func TestDiffBCPToleratesSmallDrift(t *testing.T) {
+	fresh := gateReport()
+	fresh.Instances[0].Rows[0].WatcherVisits = 2200 // +10% < 15% tolerance
+	fresh.Instances[0].Rows[0].VerifyMillis = 11
+	regs, _ := DiffBCP(gateReport(), fresh, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("10%% drift within a 15%% gate must pass, got %v", regs)
+	}
+}
+
+func TestDiffBCPFailsOnDegradedVisits(t *testing.T) {
+	fresh := gateReport()
+	fresh.Instances[1].Rows[0].WatcherVisits = 8000 // +60% visits/check
+	regs, _ := DiffBCP(gateReport(), fresh, 0.15)
+	if len(regs) != 1 {
+		t.Fatalf("regs = %v, want exactly the visits/check regression", regs)
+	}
+	r := regs[0]
+	if r.Instance != "rand-9-50" || r.Engine != "watched" || r.Metric != "visits/check" {
+		t.Fatalf("wrong attribution: %+v", r)
+	}
+	if r.Delta < 0.55 || r.Delta > 0.65 {
+		t.Fatalf("delta = %v, want ~0.6", r.Delta)
+	}
+	if s := r.String(); !strings.Contains(s, "rand-9-50/watched visits/check") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestDiffBCPFailsOnSuiteThroughputCollapse(t *testing.T) {
+	fresh := gateReport()
+	// Halve throughput on every instance: suite-aggregate props/sec trips.
+	for i := range fresh.Instances {
+		for j := range fresh.Instances[i].Rows {
+			fresh.Instances[i].Rows[j].VerifyMillis *= 2
+		}
+	}
+	regs, _ := DiffBCP(gateReport(), fresh, 0.15)
+	var hit int
+	for _, r := range regs {
+		if r.Metric == "props/sec" && r.Instance == "" {
+			hit++
+		}
+	}
+	if hit != 2 { // watched and counting aggregates both collapse
+		t.Fatalf("regs = %v, want 2 suite props/sec regressions", regs)
+	}
+}
+
+func TestDiffBCPSingleSlowInstanceDoesNotTrip(t *testing.T) {
+	// Wall noise on one instance must NOT fail the gate: only the suite
+	// aggregate gates throughput.
+	fresh := gateReport()
+	fresh.Instances[0].Rows[0].VerifyMillis *= 1.3 // php-5 watched 30% slower
+	regs, _ := DiffBCP(gateReport(), fresh, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("one slow instance within aggregate tolerance must pass, got %v", regs)
+	}
+}
+
+func TestDiffBCPSkipsThroughputUnderNoiseFloor(t *testing.T) {
+	// Aggregates under the wall-time floor carry no throughput signal; the
+	// gate must skip them rather than flag scheduler jitter.
+	base, fresh := gateReport(), gateReport()
+	for _, r := range []*BCPReport{base, fresh} {
+		for i := range r.Instances {
+			for j := range r.Instances[i].Rows {
+				r.Instances[i].Rows[j].VerifyMillis /= 100 // sub-millisecond suite
+			}
+		}
+	}
+	for i := range fresh.Instances {
+		for j := range fresh.Instances[i].Rows {
+			fresh.Instances[i].Rows[j].VerifyMillis *= 3 // "collapse", in noise
+		}
+	}
+	regs, compared := DiffBCP(base, fresh, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("sub-floor throughput must not gate, got %v", regs)
+	}
+	if compared != 4 { // only the 4 deterministic per-instance metrics
+		t.Fatalf("compared = %d, want 4", compared)
+	}
+}
+
+func TestDiffBCPIgnoresUnsharedInstances(t *testing.T) {
+	fresh := gateReport()
+	fresh.Instances = fresh.Instances[:1] // quick run: subset of the baseline
+	regs, compared := DiffBCP(gateReport(), fresh, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("subset run must pass, got %v", regs)
+	}
+	if compared != 4 { // 1 instance x 2 metrics + 2 aggregates
+		t.Fatalf("compared = %d, want 4", compared)
+	}
+	// Disjoint reports: the gate is vacuous and says so via compared == 0.
+	fresh.Instances[0].Name = "nonexistent"
+	if _, compared := DiffBCP(gateReport(), fresh, 0.15); compared != 0 {
+		t.Fatalf("disjoint reports compared = %d, want 0", compared)
+	}
+}

@@ -88,17 +88,22 @@ func ctxErr(ctx context.Context) error {
 
 // countStopErr bumps the obs counter matching the reason a run stopped
 // early; unknown reasons (worker panics) land on verify.internal_errors.
+// The same classification lands in the flight recorder as a stop.* instant,
+// so the trace timeline shows exactly when and why a run was cut short.
 func countStopErr(reg *obs.Registry, err error) {
+	var what string
 	switch {
 	case errors.Is(err, ErrDeadline):
-		reg.Counter("verify.deadline_exceeded").Inc()
+		what = "deadline_exceeded"
 	case errors.Is(err, ErrCancelled):
-		reg.Counter("verify.cancelled").Inc()
+		what = "cancelled"
 	case errors.Is(err, ErrBudget):
-		reg.Counter("verify.budget_exceeded").Inc()
+		what = "budget_exceeded"
 	default:
-		reg.Counter("verify.internal_errors").Inc()
+		what = "internal_errors"
 	}
+	reg.Counter("verify." + what).Inc()
+	reg.TraceTrack().Instant("stop."+what, 0)
 }
 
 // verifyStopFunc builds the stop hook shared by a check loop and its BCP

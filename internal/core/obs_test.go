@@ -139,7 +139,7 @@ func TestVerifyParallelObserved(t *testing.T) {
 	if prog.Done() != int64(tr.Len()) {
 		t.Errorf("progress stepped %d of %d", prog.Done(), tr.Len())
 	}
-	if !strings.Contains(buf.String(), "c progress verify: done 5 clauses") {
+	if !strings.Contains(buf.String(), "c progress verify: done 5/5 clauses (100.0%)") {
 		t.Errorf("progress output:\n%s", buf.String())
 	}
 }

@@ -220,7 +220,11 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			wspan := span.Child(fmt.Sprintf("worker-%d [%d,%d)", w, lo, hi))
+			// Each worker gets its own flight-recorder lane, so its spans,
+			// chunk claims and BCP counter deltas render as a separate
+			// timeline row instead of interleaving with the main lane.
+			wtrack := opt.Obs.NewTrack(fmt.Sprintf("worker-%d", w))
+			wspan := span.ChildOn(wtrack, fmt.Sprintf("worker-%d [%d,%d)", w, lo, hi))
 			defer wspan.End()
 
 			// runAttempt checks trace clauses [seed.Next..lo] on a fresh
@@ -249,6 +253,7 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 				if parallelChunkHook != nil {
 					parallelChunkHook(w, lo, hi, attempt)
 				}
+				wtrack.Instant(fmt.Sprintf("chunk.claim [%d,%d)", lo, hi), int64(attempt))
 				startAt := seed.Next
 				if startAt < lo {
 					// The resumed state says this chunk is already done.
@@ -291,6 +296,7 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 						eng = bcp.NewEngine(nVars)
 					}
 					eng.SetStop(stop)
+					eng.SetTrace(wtrack)
 					for _, c := range f.Clauses {
 						eng.Add(c)
 					}
@@ -310,6 +316,7 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 						// top: canonical rebuild, then a durable record of
 						// every worker's slot.
 						buildEngine(i + 1)
+						wtrack.Instant("checkpoint.epoch", int64(i))
 						st := WorkerState{Next: i, Tested: tally.tested,
 							Tautologies: tally.taut, Stats: statsBase}
 						if cerr := commitSlot(w, st); cerr != nil {

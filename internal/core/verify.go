@@ -210,6 +210,7 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 	var statsBase bcp.Stats // work done by engines already folded (rebuilds, resume)
 	span := opt.Obs.StartSpan("verify")
 	defer span.End()
+	track := opt.Obs.TraceTrack()
 	cChecked := opt.Obs.Counter("verify.checked")
 	cSkipped := opt.Obs.Counter("verify.skipped")
 	cTaut := opt.Obs.Counter("verify.tautologies")
@@ -260,6 +261,7 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 			eng = bcp.NewEngine(nVars)
 		}
 		eng.SetStop(stop)
+		eng.SetTrace(track)
 		for _, c := range f.Clauses {
 			eng.Add(c)
 		}
@@ -321,6 +323,7 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 			// so the active prefix is [0, i+1).
 			buildEngine(i + 1)
 			cCkpt.Inc()
+			track.Instant("checkpoint.epoch", int64(i))
 			if ck.Sink != nil {
 				cp := &Checkpoint{
 					NextIndex:   i,
@@ -382,6 +385,7 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 			res.FailedIndex = i
 			res.FailedClause = c.Clone()
 			res.Propagations = totalProps()
+			track.Instant("verify.reject", int64(i))
 			return res, nil
 		}
 		eng.WalkConflict(conflict, func(used bcp.ID) {

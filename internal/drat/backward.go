@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bcp"
 	"repro/internal/cnf"
+	"repro/internal/obs"
 )
 
 // BackwardOptions configures checkpointing for VerifyBackwardOpts. The zero
@@ -28,6 +29,11 @@ type BackwardOptions struct {
 	Sink func(payload []byte) error
 	// Resume restarts the backward pass from a decoded checkpoint.
 	Resume *BackwardCheckpoint
+	// Obs instruments the run: phase spans (structural-scan, forward-replay,
+	// backward-pass), per-step counters and — when a flight recorder is
+	// attached via Registry.SetTracer — checkpoint/rejection instants plus
+	// the engine's per-Refute work deltas. Nil disables all of it.
+	Obs *obs.Registry
 }
 
 // ErrBadCheckpoint wraps resume states that do not fit the proof they are
@@ -151,6 +157,15 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 	res := &Result{OK: true, FailedStep: -1}
 	nf := len(f.Clauses)
 
+	span := opt.Obs.StartSpan("drat-backward")
+	defer span.End()
+	track := opt.Obs.TraceTrack()
+	cChecked := opt.Obs.Counter("drat.checked")
+	cTaut := opt.Obs.Counter("drat.tautologies")
+	cReact := opt.Obs.Counter("drat.reactivations")
+	cCkpt := opt.Obs.Counter("drat.checkpoints")
+
+	scan := span.Child("structural-scan")
 	// Structural scan: assign each step its clause ID and validate
 	// deletions, without touching an engine. IDs are predictable — the
 	// engine hands out sequential IDs, formula clauses first, then each
@@ -171,6 +186,8 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 				res.OK = false
 				res.FailedStep = i
 				res.Reason = fmt.Sprintf("deletion of a clause that is not live: %v", s.C)
+				scan.End()
+				track.Instant("drat.reject", int64(i))
 				return res, nil, nil, nil
 			}
 			stepID[i] = id
@@ -191,6 +208,7 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 		lastStep = refutedAt
 	}
 	nIDs := int(nextID)
+	scan.End()
 
 	if opt.Resume != nil {
 		if opt.Every <= 0 {
@@ -214,6 +232,7 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 			statsProps += eng.Propagations()
 		}
 		eng = bcp.NewEngineReactivable(nVars)
+		eng.SetTrace(track)
 		for _, c := range f.Clauses {
 			eng.Add(c)
 		}
@@ -234,6 +253,7 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 	marked := make([]bool, nIDs)
 	start := lastStep
 	resumedAt := -2 // sentinel: no boundary suppressed
+	replay := span.Child("forward-replay")
 	if rcp := opt.Resume; rcp != nil {
 		start = rcp.NextStep
 		resumedAt = start
@@ -250,15 +270,22 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 			res.FailedStep = lastStep + 1
 			res.Reason = "proof ends without deriving a refutation"
 			res.Propagations = totalProps()
+			replay.End()
+			track.Instant("drat.reject", int64(lastStep+1))
 			return res, nil, nil, nil
 		}
 		eng.WalkConflict(conflict, func(id bcp.ID) { marked[id] = true })
 	}
+	replay.End()
 
 	// Backward pass.
+	bw := span.Child("backward-pass")
+	defer bw.End()
 	for i := start; i >= 0; i-- {
 		if opt.Every > 0 && i != lastStep && i != resumedAt && (lastStep-i)%opt.Every == 0 {
 			buildEngine(i)
+			cCkpt.Inc()
+			track.Instant("checkpoint.epoch", int64(i))
 			if opt.Sink != nil {
 				cp := &BackwardCheckpoint{NextStep: i, Marked: marked,
 					Tautologies: res.Tautologies, Propagations: statsProps}
@@ -278,6 +305,7 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 				// but an internal error beats silently skipping the undo.
 				return nil, nil, nil, fmt.Errorf("drat: undoing deletion step %d: %w", i, err)
 			}
+			cReact.Inc()
 			continue
 		}
 		if len(s.C) == 0 {
@@ -291,13 +319,16 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 		c, selfContra := eng.Refute(s.C)
 		if selfContra {
 			res.Tautologies++
+			cTaut.Inc()
 			continue
 		}
+		cChecked.Inc()
 		if c == bcp.NoConflict {
 			res.OK = false
 			res.FailedStep = i
 			res.Reason = fmt.Sprintf("marked clause is not RUP: %v", s.C)
 			res.Propagations = totalProps()
+			track.Instant("drat.reject", int64(i))
 			return res, nil, nil, nil
 		}
 		eng.WalkConflict(c, func(used bcp.ID) { marked[used] = true })

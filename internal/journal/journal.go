@@ -251,6 +251,9 @@ func (w *Writer) append(marker byte, payload []byte) error {
 	w.records++
 	w.obs.Counter("journal.appends").Inc()
 	w.obs.Counter("journal.bytes").Add(int64(len(frame)))
+	// Flight-recorder instant per durable record (arg = frame bytes): the
+	// trace timeline then shows exactly when the run persisted progress.
+	w.obs.TraceTrack().Instant("journal.append", int64(len(frame)))
 	return nil
 }
 
@@ -334,6 +337,7 @@ func Open(path string, want Meta, reg *obs.Registry) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrEmpty, path)
 	}
 	reg.Counter("journal.opens").Inc()
+	reg.TraceTrack().Instant("journal.resume", int64(len(last)))
 	out := make([]byte, len(last))
 	copy(out, last)
 	return out, nil

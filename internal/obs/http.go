@@ -1,9 +1,12 @@
 package obs
 
 import (
+	"context"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"sync"
 )
 
 // Handler returns an expvar-style HTTP handler that serves the registry's
@@ -18,23 +21,74 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-// Serve starts an HTTP server for the registry on addr (e.g. ":8123" or
-// "localhost:0") in a background goroutine, serving the JSON snapshot at
-// every path (the conventional /debug/vars included). It returns the bound
-// address — useful with port 0 — and a shutdown function. Long verification
-// runs poll this endpoint instead of waiting for the exit snapshot.
-func Serve(addr string, r *Registry) (net.Addr, func() error, error) {
+// PrometheusHandler serves the registry in the Prometheus text exposition
+// format, for scraping by a Prometheus server pointed at /metrics.
+func (r *Registry) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Mux assembles the observability endpoint: the JSON snapshot at
+// /debug/vars (and at /, the historical behaviour), the Prometheus
+// exposition at /metrics, and — only when enablePprof is set — the
+// net/http/pprof profiling handlers under /debug/pprof/. pprof is opt-in
+// because it exposes CPU/heap profiling of a possibly long-privileged
+// process; nothing is mounted on the default mux either way.
+func (r *Registry) Mux(enablePprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", r.Handler())
+	mux.Handle("/debug/vars", r.Handler())
+	mux.Handle("/metrics", r.PrometheusHandler())
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Serve starts the observability HTTP server on addr (e.g. ":8123" or
+// "localhost:0") in a background goroutine, serving the Mux routes. It
+// returns the bound address — useful with port 0 — and a shutdown function.
+// The listener is also closed when ctx is cancelled, so a SIGINT that
+// aborts a verification mid-run tears the endpoint down even if the exit
+// path never reaches the deferred shutdown (a nil ctx disables that
+// coupling). Shutdown is idempotent and safe to race with the ctx path.
+func Serve(ctx context.Context, addr string, r *Registry, enablePprof bool) (net.Addr, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: r.Handler()}
+	srv := &http.Server{Handler: r.Mux(enablePprof)}
+	var closeOnce sync.Once
+	var closeErr error
+	shutdown := func() error {
+		closeOnce.Do(func() { closeErr = srv.Close() })
+		return closeErr
+	}
+	done := make(chan struct{})
 	go func() {
 		// ErrServerClosed after shutdown is the normal exit; any earlier
 		// error just stops the metrics endpoint, never the verification.
 		_ = srv.Serve(ln)
+		close(done)
 	}()
-	return ln.Addr(), srv.Close, nil
+	if ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = shutdown()
+			case <-done:
+			}
+		}()
+	}
+	return ln.Addr(), shutdown, nil
 }
 
 // CountingWriter wraps w, adding every written byte count to c. Used to

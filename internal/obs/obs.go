@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs/trace"
 )
 
 // Counter is a monotonically increasing atomic counter. The zero value is
@@ -173,6 +175,9 @@ type Registry struct {
 	start time.Time
 	root  *Span
 
+	tracer     *trace.Recorder
+	traceTrack *trace.Track // the "main" lane; nil when no recorder attached
+
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -188,6 +193,52 @@ func New() *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 	}
+}
+
+// SetTracer attaches a flight recorder: from now on every span created
+// under the registry emits begin/end events onto a trace lane, starting
+// with a "main" lane holding the root span (whose begin event is
+// back-dated to the span's actual start). Call once, during setup, before
+// any concurrent instrumentation begins. A no-op on a nil registry or a
+// nil recorder.
+func (r *Registry) SetTracer(rec *trace.Recorder) {
+	if r == nil || rec == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracer = rec
+	r.traceTrack = rec.Track("main")
+	r.root.track = r.traceTrack
+	r.root.tid = r.traceTrack.BeginAt(r.root.name, 0, r.root.start)
+}
+
+// Tracer returns the attached flight recorder (nil when none, or on a nil
+// registry).
+func (r *Registry) Tracer() *trace.Recorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
+}
+
+// TraceTrack returns the registry's "main" trace lane — the one the root
+// span lives on. Nil (a valid no-op handle) when no recorder is attached.
+func (r *Registry) TraceTrack() *trace.Track {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traceTrack
+}
+
+// NewTrack creates an additional named trace lane (for a parallel worker's
+// private timeline). Nil when no recorder is attached.
+func (r *Registry) NewTrack(name string) *trace.Track {
+	return r.Tracer().Track(name)
 }
 
 // Counter returns the named counter, creating it on first use. Returns nil

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -195,7 +196,7 @@ func TestProgressReports(t *testing.T) {
 	if !strings.Contains(lines[0], "mark=50.0%") {
 		t.Errorf("aux column missing: %q", lines[0])
 	}
-	if !strings.Contains(lines[4], "done 100 clauses") {
+	if !strings.Contains(lines[4], "done 100/100 clauses (100.0%)") {
 		t.Errorf("final line = %q", lines[4])
 	}
 	if p.Done() != 100 {
@@ -275,7 +276,7 @@ func TestHandlerServesSnapshot(t *testing.T) {
 func TestServeRoundTrip(t *testing.T) {
 	r := New()
 	r.Counter("x").Inc()
-	addr, shutdown, err := Serve("127.0.0.1:0", r)
+	addr, shutdown, err := Serve(context.Background(), "127.0.0.1:0", r, false)
 	if err != nil {
 		t.Fatal(err)
 	}

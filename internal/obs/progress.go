@@ -19,6 +19,11 @@ type ProgressConfig struct {
 	Total int64
 	// Every emits a report each Every steps. Default 1000.
 	Every int64
+	// Interval, when positive, additionally emits a report every Interval
+	// of wall time from a background ticker goroutine — so a run stalled
+	// inside one enormous BCP call still reports. The goroutine is stopped
+	// (and joined) by Finish.
+	Interval time.Duration
 	// Aux, when non-nil, is called at report time and its result appended
 	// to the line — e.g. a mark-rate column read off a Registry.
 	Aux func() string
@@ -36,11 +41,17 @@ type Progress struct {
 	n     atomic.Int64
 	next  atomic.Int64 // step count that triggers the next report
 
+	finished atomic.Bool   // Finish already ran (makes Finish idempotent)
+	stop     chan struct{} // closed by Finish to stop the ticker goroutine
+	done     chan struct{} // closed by the ticker goroutine on exit
+
 	mu sync.Mutex // serializes report lines
 }
 
 // NewProgress creates a reporter writing to w. Pass the result around as
-// *Progress even when nil: all methods are nil-safe.
+// *Progress even when nil: all methods are nil-safe. When cfg.Interval is
+// positive a ticker goroutine runs until Finish is called — callers that
+// set an interval own a Finish call (both CLIs' run paths already do).
 func NewProgress(w io.Writer, cfg ProgressConfig) *Progress {
 	if cfg.Every <= 0 {
 		cfg.Every = 1000
@@ -50,7 +61,27 @@ func NewProgress(w io.Writer, cfg ProgressConfig) *Progress {
 	}
 	p := &Progress{w: w, cfg: cfg, start: time.Now()}
 	p.next.Store(cfg.Every)
+	if cfg.Interval > 0 {
+		p.stop = make(chan struct{})
+		p.done = make(chan struct{})
+		go p.tick()
+	}
 	return p
+}
+
+// tick emits a report every Interval until Finish closes the stop channel.
+func (p *Progress) tick() {
+	defer close(p.done)
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.report(p.n.Load(), false)
+		}
+	}
 }
 
 // Step advances the reporter by d steps, emitting a report line whenever
@@ -81,10 +112,17 @@ func (p *Progress) Done() int64 {
 	return p.n.Load()
 }
 
-// Finish emits a final summary line. Call once when the activity ends.
+// Finish stops the ticker goroutine (joining it, so no goroutine outlives
+// the reporter) and emits a final summary line — including the percentage
+// when a total is known, so a run that completes between ticks still ends
+// with an explicit 100% line. Idempotent; only the first call reports.
 func (p *Progress) Finish() {
-	if p == nil {
+	if p == nil || p.finished.Swap(true) {
 		return
+	}
+	if p.stop != nil {
+		close(p.stop)
+		<-p.done
 	}
 	p.report(p.n.Load(), true)
 }
@@ -100,6 +138,12 @@ func (p *Progress) report(n int64, final bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if final {
+		if p.cfg.Total > 0 {
+			fmt.Fprintf(p.w, "c progress %s: done %d/%d %s (%.1f%%) in %.2fs (%.0f/s)\n",
+				p.cfg.Label, n, p.cfg.Total, p.cfg.Unit,
+				100*float64(n)/float64(p.cfg.Total), secs, rate)
+			return
+		}
 		fmt.Fprintf(p.w, "c progress %s: done %d %s in %.2fs (%.0f/s)\n",
 			p.cfg.Label, n, p.cfg.Unit, secs, rate)
 		return

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) of a registry: every
+// counter and gauge as its metric, every power-of-two histogram as a
+// cumulative-bucket Prometheus histogram. Metric names are the registry
+// names with a "dpv_" prefix and non-identifier characters mapped to '_'
+// ("verify.props_per_check" → "dpv_verify_props_per_check"); output is
+// sorted, so scrapes of an idle process are byte-stable.
+
+// PrometheusContentType is the Content-Type of the exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry metric name into a Prometheus identifier.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("dpv_")
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the registry's current state in the Prometheus
+// text exposition format. A nil registry writes nothing (an empty scrape
+// is valid), keeping the endpoint safe to wire unconditionally.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	if s == nil {
+		return nil
+	}
+	var b strings.Builder
+
+	writeFamily := func(vals map[string]int64, typ string) {
+		names := make([]string, 0, len(vals))
+		for n := range vals {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			pn := promName(n)
+			fmt.Fprintf(&b, "# TYPE %s %s\n%s %d\n", pn, typ, pn, vals[n])
+		}
+	}
+	writeFamily(s.Counters, "counter")
+	writeFamily(s.Gauges, "gauge")
+
+	hnames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := s.Histograms[n]
+		pn := promName(n)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		// Registry buckets are per-bucket counts with power-of-two upper
+		// bounds; Prometheus buckets are cumulative.
+		cum := int64(0)
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", pn, bk.Le, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+
+	fmt.Fprintf(&b, "# TYPE dpv_uptime_seconds gauge\ndpv_uptime_seconds %g\n", s.UptimeMS/1e3)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

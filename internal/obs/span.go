@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs/trace"
 )
 
 // spanRunning is the sentinel duration of a span that has not Ended yet.
@@ -13,10 +15,19 @@ const spanRunning = int64(-1)
 // under the registry's root; any span may be Ended from a different
 // goroutine than created it, and children may be created concurrently.
 // A nil *Span (the disabled state) absorbs all calls.
+//
+// When the registry has a flight recorder attached (SetTracer), every span
+// doubles as a trace event pair: creation emits a span-begin carrying the
+// span's identity and its parent's, End emits the matching span-end, and
+// the lane is inherited from the parent (overridable via ChildOn, which is
+// how parallel workers get their own timeline).
 type Span struct {
 	name     string
 	start    time.Time
 	durNanos atomic.Int64 // spanRunning until End
+
+	track *trace.Track // nil when no recorder is attached
+	tid   uint64       // trace span identity (0 when untraced)
 
 	mu       sync.Mutex
 	children []*Span
@@ -25,6 +36,15 @@ type Span struct {
 func newSpan(name string) *Span {
 	s := &Span{name: name, start: time.Now()}
 	s.durNanos.Store(spanRunning)
+	return s
+}
+
+// newTracedSpan creates a span and emits its begin event on track (a nil
+// track yields an untraced span).
+func newTracedSpan(name string, track *trace.Track, parent uint64) *Span {
+	s := newSpan(name)
+	s.track = track
+	s.tid = track.Begin(name, parent)
 	return s
 }
 
@@ -46,12 +66,31 @@ func (r *Registry) StartSpan(name string) *Span {
 	return r.root.Child(name)
 }
 
-// Child starts a new child span. Safe for concurrent use.
+// Child starts a new child span. Safe for concurrent use. The child
+// inherits the parent's trace lane.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := newSpan(name)
+	c := newTracedSpan(name, s.track, s.tid)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// ChildOn starts a new child span whose trace events land on the given
+// lane instead of the parent's — the parent link is kept, so the span tree
+// stays intact while the timeline shows the child on its own track. A nil
+// track falls back to plain Child.
+func (s *Span) ChildOn(track *trace.Track, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if track == nil {
+		return s.Child(name)
+	}
+	c := newTracedSpan(name, track, s.tid)
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -59,13 +98,15 @@ func (s *Span) Child(name string) *Span {
 }
 
 // End stops the span and returns its duration. End is idempotent: the
-// first call wins, later calls return the recorded duration.
+// first call wins (and emits the span-end trace event), later calls return
+// the recorded duration.
 func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
 	}
 	d := time.Since(s.start)
 	if s.durNanos.CompareAndSwap(spanRunning, int64(d)) {
+		s.track.End(s.tid, s.name)
 		return d
 	}
 	return time.Duration(s.durNanos.Load())

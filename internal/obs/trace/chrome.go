@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format's traceEvents
+// array (the JSON Object Format), as consumed by chrome://tracing and
+// Perfetto. Only the fields the recorder produces are modelled; the same
+// struct round-trips in tests and in cmd tooling that validates emitted
+// traces.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`            // "X" complete, "B" begin, "C" counter, "i" instant, "M" metadata
+	Ts   float64        `json:"ts"`            // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"` // microseconds, "X" only
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the object-format envelope.
+type ChromeTrace struct {
+	TraceEvents []ChromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+// chromePid is the single logical process all events belong to.
+const chromePid = 1
+
+// BuildChrome converts the recorder's events into Chrome trace-event form.
+//
+// Span begin/end pairs become "X" (complete) events — unlike "B"/"E"
+// pairs, complete events carry their own duration and need no per-thread
+// stack discipline, so overlapping spans on one track render correctly.
+// A begin whose end was never recorded (a still-running span, or an end
+// that fell off the ring) is emitted as a lone "B", which viewers
+// auto-close at the end of the trace. Counter deltas are accumulated into
+// running values per (track, name) and emitted as "C" events; instants as
+// thread-scoped "i". Each track gets a thread_name metadata record.
+func BuildChrome(r *Recorder) *ChromeTrace {
+	out := &ChromeTrace{Metadata: map[string]any{}}
+	if r == nil {
+		return out
+	}
+	names := r.TrackNames()
+	events := r.Events()
+	out.Metadata["trace_start"] = r.Start().Format("2006-01-02T15:04:05.000000000Z07:00")
+	if d := r.Dropped(); d > 0 {
+		out.Metadata["dropped_events"] = d
+	}
+
+	out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "dpv"},
+	})
+	for tid, name := range names {
+		out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: int64(tid),
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	// endAt maps span ID -> end timestamp for pairing.
+	endAt := make(map[uint64]int64)
+	for _, e := range events {
+		if e.Kind == KindSpanEnd {
+			endAt[e.ID] = e.T
+		}
+	}
+
+	type counterKey struct {
+		track int32
+		name  string
+	}
+	running := make(map[counterKey]int64)
+
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	for _, e := range events {
+		switch e.Kind {
+		case KindSpanBegin:
+			ce := ChromeEvent{
+				Name: e.Name, Ts: us(e.T), Pid: chromePid, Tid: int64(e.Track),
+				Args: map[string]any{"id": e.ID},
+			}
+			if e.Parent != 0 {
+				ce.Args["parent"] = e.Parent
+			}
+			if end, ok := endAt[e.ID]; ok && end >= e.T {
+				ce.Ph = "X"
+				ce.Dur = us(end - e.T)
+			} else {
+				ce.Ph = "B"
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		case KindSpanEnd:
+			// folded into the paired "X"; lone ends (begin fell off the
+			// ring) carry no renderable interval and are dropped.
+		case KindCounter:
+			k := counterKey{e.Track, e.Name}
+			running[k] += e.Arg
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: e.Name, Ph: "C", Ts: us(e.T), Pid: chromePid, Tid: int64(e.Track),
+				Args: map[string]any{"value": running[k]},
+			})
+		case KindInstant:
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: e.Name, Ph: "i", Ts: us(e.T), Pid: chromePid, Tid: int64(e.Track),
+				S:    "t",
+				Args: map[string]any{"arg": e.Arg},
+			})
+		}
+	}
+	return out
+}
+
+// WriteChrome writes the recorder's events as Chrome trace-event JSON.
+// The output loads directly into chrome://tracing or https://ui.perfetto.dev.
+func WriteChrome(w io.Writer, r *Recorder) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(BuildChrome(r))
+}
+
+// jsonlEvent is the machine-diffable JSONL shape of an Event.
+type jsonlEvent struct {
+	Kind   string `json:"kind"`
+	Track  string `json:"track"`
+	TNanos int64  `json:"t_ns"`
+	ID     uint64 `json:"id,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Arg    int64  `json:"arg,omitempty"`
+}
+
+// WriteJSONL dumps the recorder's events one JSON object per line, in
+// timestamp order — the exchange format for diffing two runs' event
+// streams with line-oriented tools.
+func WriteJSONL(w io.Writer, r *Recorder) error {
+	names := r.TrackNames()
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		track := ""
+		if int(e.Track) < len(names) {
+			track = names[e.Track]
+		}
+		je := jsonlEvent{
+			Kind: e.Kind.String(), Track: track, TNanos: e.T,
+			ID: e.ID, Parent: e.Parent, Name: e.Name, Arg: e.Arg,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return nil
+}

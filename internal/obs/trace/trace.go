@@ -1,0 +1,315 @@
+// Package trace is the verification pipeline's flight recorder: a
+// low-overhead, lock-sharded ring buffer of typed events that the rest of
+// internal/obs writes into while a run is live and the exporters
+// (Chrome trace-event JSON, JSONL) read out afterwards.
+//
+// The paper's backward scan is only trustworthy at scale if a run can
+// explain where its time and work went — which proof clause took 10^6
+// propagations, when a checkpoint epoch rebuilt the engine, which worker
+// claimed which chunk. Counters and wall-clock spans (package obs) answer
+// "how much"; the recorder answers "when, in what order, under which
+// parent".
+//
+// # Design
+//
+// Events land on tracks. A track is one timeline lane — "main" for the
+// sequential pipeline, "worker-3" for a parallel verification worker, and
+// so on — and owns a private mutex plus a fixed-capacity ring of events, so
+// concurrent emitters on different tracks never contend and an emitter only
+// ever contends with a snapshot reader. When a ring fills, the oldest
+// events are overwritten and counted as dropped: a flight recorder keeps
+// the most recent window, it never stalls or grows without bound.
+//
+// Everything is nil-safe in the package-obs idiom: a nil *Recorder hands
+// out nil *Track handles and every method on a nil handle is a no-op, so
+// instrumented code acquires its track once and emits unconditionally for
+// the cost of a nil check when tracing is off.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates event types.
+type Kind uint8
+
+const (
+	// KindSpanBegin opens a span: ID is the span's identity, Parent links
+	// it into the span tree (0 = no parent), Name labels it.
+	KindSpanBegin Kind = iota + 1
+	// KindSpanEnd closes the span identified by ID.
+	KindSpanEnd
+	// KindCounter records a delta of the named counter (Arg = delta).
+	// Exporters accumulate deltas into the running value per track.
+	KindCounter
+	// KindInstant marks a point in time: a checkpoint epoch, a journal
+	// append, a budget/cancellation edge, a worker chunk claim. Arg carries
+	// one event-specific integer (an index, a byte count).
+	KindInstant
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSpanBegin:
+		return "span-begin"
+	case KindSpanEnd:
+		return "span-end"
+	case KindCounter:
+		return "counter"
+	case KindInstant:
+		return "instant"
+	}
+	return "unknown"
+}
+
+// Event is one recorded fact. T is nanoseconds since the recorder was
+// created (monotonic); Track identifies the lane it was emitted on.
+type Event struct {
+	Kind   Kind
+	Track  int32
+	ID     uint64 // span identity for begin/end, 0 otherwise
+	Parent uint64 // parent span identity for begin, 0 otherwise
+	T      int64  // nanos since Recorder start
+	Name   string
+	Arg    int64
+}
+
+// DefaultTrackEvents is the per-track ring capacity used when New is given
+// a non-positive capacity: 64Ki events ≈ 4 MB per track, a few minutes of
+// per-check telemetry on industrial proofs.
+const DefaultTrackEvents = 1 << 16
+
+// Recorder owns the tracks and the span-ID space. Create with New; a nil
+// *Recorder is the disabled state.
+type Recorder struct {
+	start   time.Time
+	perCap  int
+	ids     atomic.Uint64
+	dropped atomic.Int64
+
+	mu     sync.Mutex
+	tracks []*Track
+}
+
+// New creates a recorder whose clock starts now. perTrackEvents is each
+// track's ring capacity; non-positive selects DefaultTrackEvents.
+func New(perTrackEvents int) *Recorder {
+	if perTrackEvents <= 0 {
+		perTrackEvents = DefaultTrackEvents
+	}
+	return &Recorder{start: time.Now(), perCap: perTrackEvents}
+}
+
+// now returns nanos since the recorder's start, read off the monotonic
+// clock. Negative readings (an event stamped with a time captured before
+// the recorder existed) clamp to 0.
+func (r *Recorder) now() int64 {
+	d := int64(time.Since(r.start))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// NextID allocates a process-unique span identity (never 0).
+func (r *Recorder) NextID() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.ids.Add(1)
+}
+
+// Track creates a new named lane. Returns nil (a valid no-op handle) on a
+// nil recorder.
+func (r *Recorder) Track(name string) *Track {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := &Track{rec: r, id: int32(len(r.tracks)), name: name, buf: make([]Event, 0, r.perCap)}
+	r.tracks = append(r.tracks, t)
+	return t
+}
+
+// Dropped returns how many events were overwritten across all tracks.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// TrackNames returns the lane names indexed by Event.Track.
+func (r *Recorder) TrackNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, len(r.tracks))
+	for i, t := range r.tracks {
+		names[i] = t.name
+	}
+	return names
+}
+
+// Start returns the wall-clock instant the recorder's T=0 corresponds to.
+func (r *Recorder) Start() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.start
+}
+
+// Events snapshots every track and returns the merged event list in
+// timestamp order (ties broken by track then arrival order, so the result
+// is deterministic for a given recorded history). Safe to call while
+// emitters are still writing; each track is locked only long enough to
+// copy its ring.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	tracks := append([]*Track(nil), r.tracks...)
+	r.mu.Unlock()
+	var all []Event
+	for _, t := range tracks {
+		all = append(all, t.snapshot()...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].T != all[j].T {
+			return all[i].T < all[j].T
+		}
+		return all[i].Track < all[j].Track
+	})
+	return all
+}
+
+// Track is one timeline lane: a mutex plus a ring of events. All methods
+// are nil-safe no-ops on a nil *Track.
+type Track struct {
+	rec  *Recorder
+	id   int32
+	name string
+
+	mu   sync.Mutex
+	buf  []Event // grows to cap, then becomes a ring
+	head int     // next overwrite position once len(buf) == cap
+}
+
+// ID returns the track's index (matches Event.Track); -1 for nil.
+func (t *Track) ID() int32 {
+	if t == nil {
+		return -1
+	}
+	return t.id
+}
+
+// Name returns the lane name ("" for nil).
+func (t *Track) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+func (t *Track) emit(e Event) {
+	e.Track = t.id
+	t.mu.Lock()
+	t.emitLocked(e)
+	t.mu.Unlock()
+}
+
+func (t *Track) emitLocked(e Event) {
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		// Ring is full: overwrite the oldest event.
+		t.buf[t.head] = e
+		t.head++
+		if t.head == len(t.buf) {
+			t.head = 0
+		}
+		t.rec.dropped.Add(1)
+	}
+}
+
+// snapshot copies the ring out in arrival order (oldest first).
+func (t *Track) snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.head:]...)
+	out = append(out, t.buf[:t.head]...)
+	return out
+}
+
+// Begin opens a span under parent (0 for a root span) and returns its
+// identity. The returned ID is 0 on a nil track, which End and Begin both
+// accept, so disabled-path call sites need no branches.
+func (t *Track) Begin(name string, parent uint64) uint64 {
+	if t == nil {
+		return 0
+	}
+	id := t.rec.NextID()
+	t.emit(Event{Kind: KindSpanBegin, ID: id, Parent: parent, T: t.rec.now(), Name: name})
+	return id
+}
+
+// BeginAt is Begin with an explicit start instant, for spans whose clock
+// started before the recorder was attached (the registry root span).
+func (t *Track) BeginAt(name string, parent uint64, at time.Time) uint64 {
+	if t == nil {
+		return 0
+	}
+	id := t.rec.NextID()
+	ts := int64(at.Sub(t.rec.start))
+	if ts < 0 {
+		ts = 0
+	}
+	t.emit(Event{Kind: KindSpanBegin, ID: id, Parent: parent, T: ts, Name: name})
+	return id
+}
+
+// End closes the span opened as id. A zero id (disabled Begin) is ignored.
+func (t *Track) End(id uint64, name string) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.emit(Event{Kind: KindSpanEnd, ID: id, T: t.rec.now(), Name: name})
+}
+
+// Counter records a delta of the named counter on this track.
+func (t *Track) Counter(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: KindCounter, T: t.rec.now(), Name: name, Arg: delta})
+}
+
+// CounterPair records two counter deltas sharing one timestamp and one
+// lock acquisition — the per-check hot-path form used by the BCP engines,
+// which emit two deltas on every Refute.
+func (t *Track) CounterPair(name1 string, d1 int64, name2 string, d2 int64) {
+	if t == nil {
+		return
+	}
+	ts := t.rec.now()
+	t.mu.Lock()
+	t.emitLocked(Event{Kind: KindCounter, Track: t.id, T: ts, Name: name1, Arg: d1})
+	t.emitLocked(Event{Kind: KindCounter, Track: t.id, T: ts, Name: name2, Arg: d2})
+	t.mu.Unlock()
+}
+
+// Instant marks a point event on this track.
+func (t *Track) Instant(name string, arg int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: KindInstant, T: t.rec.now(), Name: name, Arg: arg})
+}

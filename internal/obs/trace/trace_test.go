@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	tr := r.Track("x")
+	if tr != nil {
+		t.Fatal("nil recorder must hand out nil tracks")
+	}
+	id := tr.Begin("a", 0)
+	if id != 0 {
+		t.Fatalf("nil track Begin = %d, want 0", id)
+	}
+	tr.End(id, "a")
+	tr.Counter("c", 1)
+	tr.Instant("i", 2)
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder Events = %v, want nil", got)
+	}
+	if r.Dropped() != 0 || r.NextID() != 0 || tr.ID() != -1 || tr.Name() != "" {
+		t.Fatal("nil accessors must return zero values")
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, r); err != nil {
+		t.Fatalf("WriteChrome(nil): %v", err)
+	}
+	if err := WriteJSONL(&buf, r); err != nil {
+		t.Fatalf("WriteJSONL(nil): %v", err)
+	}
+}
+
+func TestSpanTreeAndOrder(t *testing.T) {
+	r := New(0)
+	main := r.Track("main")
+	root := main.Begin("total", 0)
+	child := main.Begin("verify", root)
+	grand := main.Begin("check-loop", child)
+	main.Counter("checked", 1)
+	main.Counter("checked", 2)
+	main.Instant("checkpoint.epoch", 7)
+	main.End(grand, "check-loop")
+	main.End(child, "verify")
+	main.End(root, "total")
+
+	ev := r.Events()
+	if len(ev) != 9 {
+		t.Fatalf("got %d events, want 9", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].T < ev[i-1].T {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	parents := map[string]uint64{}
+	ids := map[string]uint64{}
+	for _, e := range ev {
+		if e.Kind == KindSpanBegin {
+			ids[e.Name] = e.ID
+			parents[e.Name] = e.Parent
+		}
+	}
+	if parents["verify"] != ids["total"] || parents["check-loop"] != ids["verify"] {
+		t.Fatalf("parent links wrong: ids=%v parents=%v", ids, parents)
+	}
+}
+
+func TestRingOverflowKeepsNewest(t *testing.T) {
+	r := New(4)
+	tr := r.Track("main")
+	for i := 0; i < 10; i++ {
+		tr.Instant("e", int64(i))
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("got %d events, want ring capacity 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := int64(6 + i); e.Arg != want {
+			t.Fatalf("event %d arg = %d, want %d (newest retained)", i, e.Arg, want)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestCounterPair(t *testing.T) {
+	r := New(0)
+	tr := r.Track("main")
+	tr.CounterPair("bcp.propagations", 12, "bcp.watcher_visits", 34)
+	ev := r.Events()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events, want 2", len(ev))
+	}
+	if ev[0].Kind != KindCounter || ev[1].Kind != KindCounter {
+		t.Fatalf("kinds = %v %v, want counters", ev[0].Kind, ev[1].Kind)
+	}
+	if ev[0].T != ev[1].T {
+		t.Fatalf("paired counters must share a timestamp: %d vs %d", ev[0].T, ev[1].T)
+	}
+	if ev[0].Name != "bcp.propagations" || ev[0].Arg != 12 ||
+		ev[1].Name != "bcp.watcher_visits" || ev[1].Arg != 34 {
+		t.Fatalf("wrong payload: %+v %+v", ev[0], ev[1])
+	}
+	var nilTrack *Track
+	nilTrack.CounterPair("a", 1, "b", 2) // must not panic
+
+	// Overflow accounting matches the single-event path.
+	small := New(2)
+	st := small.Track("main")
+	st.CounterPair("a", 1, "b", 2)
+	st.CounterPair("c", 3, "d", 4)
+	ev = small.Events()
+	if len(ev) != 2 || ev[0].Name != "c" || ev[1].Name != "d" {
+		t.Fatalf("overflowed ring = %+v, want newest pair", ev)
+	}
+	if small.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", small.Dropped())
+	}
+}
+
+// BenchmarkCounterPair is the deterministic cost figure for the BCP
+// engines' per-Refute emission: suite-level wall-clock comparisons are
+// noise-bound on shared machines, so this is where the real per-event
+// price is read.
+func BenchmarkCounterPair(b *testing.B) {
+	r := New(1 << 16)
+	tr := r.Track("main")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.CounterPair("bcp.propagations", 1, "bcp.watcher_visits", 2)
+	}
+}
+
+func TestConcurrentTracksAndSnapshot(t *testing.T) {
+	r := New(1 << 12)
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		tr := r.Track("worker")
+		wg.Add(1)
+		go func(tr *Track) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := tr.Begin("check", 0)
+				tr.Counter("props", 3)
+				tr.End(id, "check")
+			}
+		}(tr)
+	}
+	// Concurrent snapshots must see internally consistent rings.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Events()
+			_ = BuildChrome(r)
+		}
+	}()
+	wg.Wait()
+	<-done
+	ev := r.Events()
+	if want := workers * perWorker * 3; len(ev) != want {
+		t.Fatalf("got %d events, want %d", len(ev), want)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("unexpected drops: %d", r.Dropped())
+	}
+}
+
+func TestChromeExportPairsSpans(t *testing.T) {
+	r := New(0)
+	tr := r.Track("main")
+	a := tr.Begin("outer", 0)
+	b := tr.Begin("inner", a)
+	tr.End(b, "inner")
+	// "outer" never ends: must surface as a lone "B".
+	_ = a
+	tr.Counter("c", 5)
+	tr.Counter("c", -2)
+	tr.Instant("mark", 9)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var ct ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	var sawX, sawB, sawMeta bool
+	var lastCounter float64
+	for _, e := range ct.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.Name == "inner":
+			sawX = true
+			if e.Args["parent"] == nil {
+				t.Error("inner X event lost its parent link")
+			}
+		case e.Ph == "B" && e.Name == "outer":
+			sawB = true
+		case e.Ph == "M" && e.Name == "thread_name":
+			sawMeta = true
+		case e.Ph == "C":
+			lastCounter = e.Args["value"].(float64)
+		case e.Ph == "i" && e.Name == "mark":
+			if e.S != "t" {
+				t.Errorf("instant scope = %q, want t", e.S)
+			}
+		}
+	}
+	if !sawX || !sawB || !sawMeta {
+		t.Fatalf("missing event shapes: X=%v B=%v M=%v", sawX, sawB, sawMeta)
+	}
+	if lastCounter != 3 {
+		t.Fatalf("final counter value = %v, want accumulated 3", lastCounter)
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	r := New(0)
+	tr := r.Track("main")
+	id := tr.Begin("s", 0)
+	tr.End(id, "s")
+	tr.Counter("c", 4)
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		if m["track"] != "main" {
+			t.Fatalf("line %q has track %v, want main", line, m["track"])
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package repro
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/trace"
+)
+
+// Trace roundtrip smoke test (wired into `make check`): run the built dpv
+// with -trace-out on a real verified instance, parse the emitted Chrome
+// trace-event JSON back, and validate that the span tree matches the
+// verifier's phase structure — parse-formula and verify under the root,
+// build-db / check-loop / core-extract under verify — via the id/parent
+// links the exporter embeds in event args.
+
+func loadChromeTrace(t *testing.T, path string) *trace.ChromeTrace {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := &trace.ChromeTrace{}
+	if err := json.Unmarshal(data, ct); err != nil {
+		t.Fatalf("%s is not valid Chrome trace JSON: %v", path, err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Fatalf("%s holds no events", path)
+	}
+	return ct
+}
+
+// spanArg reads a numeric field out of an event's args (JSON numbers decode
+// as float64).
+func spanArg(e trace.ChromeEvent, key string) (uint64, bool) {
+	v, ok := e.Args[key].(float64)
+	return uint64(v), ok
+}
+
+func TestTraceRoundtrip(t *testing.T) {
+	bins := buildCmds(t)
+	unsatCNF, tracePath, _, _, _ := writeFixtures(t)
+	dpv := filepath.Join(bins, "dpv")
+	dir := t.TempDir()
+	chromeOut := filepath.Join(dir, "run.trace.json")
+	jsonlOut := filepath.Join(dir, "run.trace.jsonl")
+
+	code, out := runCmd(t, dpv, "-trace-out", chromeOut, "-trace-jsonl", jsonlOut,
+		unsatCNF, tracePath)
+	if code != 0 {
+		t.Fatalf("dpv exited %d:\n%s", code, out)
+	}
+
+	ct := loadChromeTrace(t, chromeOut)
+
+	// Every event belongs to the single logical process.
+	spans := map[string]trace.ChromeEvent{}
+	threadNames := map[int64]string{}
+	var counters, instants int
+	for _, e := range ct.TraceEvents {
+		if e.Pid != 1 {
+			t.Fatalf("event %q has pid %d, want 1", e.Name, e.Pid)
+		}
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				threadNames[e.Tid] = e.Args["name"].(string)
+			}
+		case "X":
+			if e.Dur < 0 {
+				t.Fatalf("span %q has negative duration %v", e.Name, e.Dur)
+			}
+			spans[e.Name] = e
+		case "B":
+			spans[e.Name] = e
+		case "C":
+			counters++
+		case "i":
+			instants++
+		}
+	}
+	if threadNames[0] != "main" {
+		t.Fatalf("thread 0 = %q, want main (threads: %v)", threadNames[0], threadNames)
+	}
+	if counters == 0 {
+		t.Error("no counter events — BCP per-check deltas missing")
+	}
+
+	// The phase structure: total > {parse-formula, verify}, and
+	// verify > {build-db, check-loop, core-extract}.
+	for _, name := range []string{"total", "parse-formula", "verify",
+		"build-db", "check-loop", "core-extract"} {
+		if _, ok := spans[name]; !ok {
+			t.Fatalf("span %q missing from trace (have %v)", name, spanNames(spans))
+		}
+	}
+	requireParent := func(child, parent string) {
+		t.Helper()
+		cid, ok := spanArg(spans[child], "parent")
+		if !ok {
+			t.Fatalf("span %q carries no parent link", child)
+		}
+		pid, ok := spanArg(spans[parent], "id")
+		if !ok {
+			t.Fatalf("span %q carries no id", parent)
+		}
+		if cid != pid {
+			t.Fatalf("span %q parent=%d, want %q id=%d", child, cid, parent, pid)
+		}
+	}
+	requireParent("parse-formula", "total")
+	requireParent("verify", "total")
+	requireParent("build-db", "verify")
+	requireParent("check-loop", "verify")
+	requireParent("core-extract", "verify")
+
+	// Phases are ordered: parsing completes before the check loop starts.
+	pf, cl := spans["parse-formula"], spans["check-loop"]
+	if pf.Ts+pf.Dur > cl.Ts {
+		t.Errorf("parse-formula [%v,%v] overlaps check-loop start %v", pf.Ts, pf.Ts+pf.Dur, cl.Ts)
+	}
+
+	// JSONL dump: every line is a standalone JSON event.
+	jf, err := os.Open(jsonlOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	var lines int
+	sc := bufio.NewScanner(jf)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("JSONL line %d invalid: %v\n%s", lines+1, err, sc.Text())
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("JSONL dump is empty")
+	}
+}
+
+func TestTraceRoundtripParallelWorkers(t *testing.T) {
+	bins := buildCmds(t)
+	unsatCNF, tracePath, _, _, _ := writeFixtures(t)
+	dpv := filepath.Join(bins, "dpv")
+	chromeOut := filepath.Join(t.TempDir(), "par.trace.json")
+
+	code, out := runCmd(t, dpv, "-par", "2", "-trace-out", chromeOut, unsatCNF, tracePath)
+	if code != 0 {
+		t.Fatalf("dpv -par 2 exited %d:\n%s", code, out)
+	}
+	ct := loadChromeTrace(t, chromeOut)
+
+	// Worker lanes get their own named threads; each worker span keeps its
+	// parent link to verify-parallel despite living on another lane.
+	var workerLanes int
+	var parID uint64
+	workerSpans := map[string]trace.ChromeEvent{}
+	for _, e := range ct.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			if name, _ := e.Args["name"].(string); strings.HasPrefix(name, "worker-") {
+				workerLanes++
+			}
+		}
+		if (e.Ph == "X" || e.Ph == "B") && e.Name == "verify-parallel" {
+			parID, _ = spanArg(e, "id")
+		}
+		if (e.Ph == "X" || e.Ph == "B") && strings.HasPrefix(e.Name, "worker-") {
+			workerSpans[e.Name] = e
+		}
+	}
+	if workerLanes != 2 {
+		t.Fatalf("worker lanes = %d, want 2", workerLanes)
+	}
+	if len(workerSpans) != 2 {
+		t.Fatalf("worker spans = %v, want 2", spanNames(workerSpans))
+	}
+	if parID == 0 {
+		t.Fatal("verify-parallel span missing or without id")
+	}
+	for name, e := range workerSpans {
+		if p, ok := spanArg(e, "parent"); !ok || p != parID {
+			t.Fatalf("worker span %q parent=%d, want verify-parallel id=%d", name, p, parID)
+		}
+		if e.Tid == 0 {
+			t.Fatalf("worker span %q landed on the main lane", name)
+		}
+	}
+}
+
+func spanNames(m map[string]trace.ChromeEvent) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	return names
+}
