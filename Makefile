@@ -7,7 +7,7 @@ GO ?= go
 # mutator beyond the seed corpus, short enough for a pre-merge gate.
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race check bench bench-smoke bench-gate trace-smoke fuzz-smoke crash-smoke clean
+.PHONY: all build vet test race check bench bench-smoke bench-gate trace-smoke fuzz-smoke crash-smoke daemon-smoke clean
 
 # Scratch dir for gate artifacts that must not clobber committed baselines.
 SCRATCH ?= .scratch
@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadTrace$$' -fuzztime $(FUZZTIME) ./internal/proof/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinaryTrace$$' -fuzztime $(FUZZTIME) ./internal/proof/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseCNF$$' -fuzztime $(FUZZTIME) ./internal/cnf/
+	$(GO) test -run '^$$' -fuzz '^FuzzUpload$$' -fuzztime $(FUZZTIME) ./internal/service/
 
 # crash-smoke is the seeded kill-and-recover loop: the built CLIs are
 # SIGKILLed at durable checkpoint appends and resumed until they finish, and
@@ -43,6 +44,16 @@ fuzz-smoke:
 crash-smoke:
 	$(GO) test -run '^TestCrashRecoverMatrix$$|^TestCrashHookFiresAfterDurableAppend$$|^TestExitCodeInterruptedResume$$' -count=1 -v .
 	$(GO) test -run '^TestJournalFault' -count=1 ./internal/faults/
+
+# daemon-smoke is the service arm of the crash gate: dpvd SIGKILLs itself
+# (same DPV_FAULT_CRASH_AFTER_APPENDS hook) with five jobs in flight, is
+# restarted on the same store, and every recovered verdict must be
+# byte-identical to an uninterrupted checkpointed dpv run; SIGTERM must then
+# drain cleanly. The in-process daemon suite (queue/backpressure/tenant
+# quotas/fault matrix) rides along.
+daemon-smoke:
+	$(GO) test -run '^TestDaemonKillAndRecover$$' -count=1 -v .
+	$(GO) test -count=1 ./internal/service/
 
 # bench-smoke replays small pigeonhole/random proofs through every BCP
 # engine (propagations/sec, watcher-visits per check, and the
@@ -77,11 +88,11 @@ trace-smoke:
 	$(GO) run ./cmd/bcpbench -trace-overhead -iters 5 -overhead-budget 10
 
 # check is the pre-merge gate: vet, a full build, the test suite under the
-# race detector, a short fuzz pass over the untrusted-input parsers, the
-# kill-and-recover crash loop, the trace roundtrip + overhead smoke, and the
-# benchmark perf-regression gate. Run it before every merge; CI and
-# reviewers assume it is green.
-check: vet build race fuzz-smoke crash-smoke trace-smoke bench-gate
+# race detector, a short fuzz pass over the untrusted-input parsers and the
+# daemon admission gate, the kill-and-recover crash loops (CLI and daemon),
+# the trace roundtrip + overhead smoke, and the benchmark perf-regression
+# gate. Run it before every merge; CI and reviewers assume it is green.
+check: vet build race fuzz-smoke crash-smoke daemon-smoke trace-smoke bench-gate
 
 # bench compiles and smoke-runs every benchmark once (not a measurement run).
 bench:

@@ -25,8 +25,8 @@
 // Exit status: 10 for SAT (model printed as a "v" line), 20 for UNSAT,
 // 0 for unknown — the conventional SAT-competition codes — plus
 // 1 on usage errors, 3 on malformed/oversized input, 4 when -timeout
-// expires, 6 on internal errors, and 130 on SIGINT (search statistics for
-// the partial run are reported before exiting).
+// expires, 6 on internal errors, and 130 on SIGINT/SIGTERM (search
+// statistics for the partial run are reported before exiting).
 package main
 
 import (
@@ -37,11 +37,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"syscall"
 
-	"repro/cmd/internal/exitcode"
 	"repro/internal/atomicio"
 	"repro/internal/cnf"
 	"repro/internal/drat"
+	"repro/internal/exitcode"
 	"repro/internal/obs"
 	"repro/internal/proof"
 	"repro/internal/simplify"
@@ -75,15 +76,16 @@ func run() int {
 		return exitcode.Usage
 	}
 
-	// Context: an optional deadline, and SIGINT cancels so a ^C mid-search
-	// still reports statistics for the partial run before exiting 130.
+	// Context: an optional deadline, and SIGINT or SIGTERM cancels so a ^C
+	// (or a supervisor's polite kill) mid-search still reports statistics
+	// for the partial run before exiting 130.
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt)
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
 	// The registry exists whenever any observability surface is requested;

@@ -45,7 +45,7 @@
 //	4  -timeout expired
 //	5  resource budget (-max-props, -max-memory) exhausted
 //	6  internal error (worker panic, failed output write)
-//	130  interrupted (SIGINT); partial progress is reported first
+//	130  interrupted (SIGINT/SIGTERM); partial progress is reported first
 package main
 
 import (
@@ -56,18 +56,20 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/cmd/internal/ckpt"
-	"repro/cmd/internal/exitcode"
 	"repro/cmd/internal/tracedump"
 	"repro/internal/atomicio"
 	"repro/internal/cnf"
 	"repro/internal/core"
+	"repro/internal/exitcode"
 	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/proof"
+	"repro/internal/service"
 )
 
 func main() {
@@ -115,17 +117,17 @@ func run() int {
 		return exitcode.Usage
 	}
 
-	// Context: an optional deadline, and SIGINT cancels so a ^C mid-run
-	// still reports how far verification got before exiting 130. Built
-	// before the observability surfaces so the metrics listener is tied to
-	// the same lifetime.
+	// Context: an optional deadline, and SIGINT or SIGTERM cancels so a ^C
+	// — or a supervisor's polite kill — mid-run still reports how far
+	// verification got before exiting 130. Built before the observability
+	// surfaces so the metrics listener is tied to the same lifetime.
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt)
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
 	// The registry exists whenever any observability surface is requested;
@@ -333,7 +335,8 @@ func run() int {
 	}
 
 	if *jsonOut {
-		if err := json.NewEncoder(os.Stdout).Encode(resultJSON(res, opt, *par, f.NumClauses())); err != nil {
+		v := service.BuildVerdict(res, opt.Mode, opt.Engine, *par, f.NumClauses())
+		if err := json.NewEncoder(os.Stdout).Encode(v); err != nil {
 			fmt.Fprintln(os.Stderr, "dpv:", err)
 			return exitcode.Internal
 		}
@@ -380,56 +383,6 @@ func run() int {
 		}
 	}
 	return exitcode.OK
-}
-
-// jsonResult is the machine-readable shape of a core.Result for -json.
-type jsonResult struct {
-	Verdict      string  `json:"verdict"` // "verified" | "rejected"
-	Mode         string  `json:"mode"`
-	Engine       string  `json:"engine"`
-	Workers      int     `json:"workers,omitempty"`
-	Termination  string  `json:"termination"`
-	ProofClauses int     `json:"proof_clauses"`
-	Tested       int     `json:"tested"`
-	TestedPct    float64 `json:"tested_pct"`
-	Skipped      int     `json:"skipped"`
-	Tautologies  int     `json:"tautologies"`
-	MarkedProof  int     `json:"marked_proof"`
-	CoreSize     int     `json:"core_size"`
-	CorePct      float64 `json:"core_pct"`
-	Propagations int64   `json:"propagations"`
-	FailedIndex  int     `json:"failed_index"`            // -1 when verified
-	FailedClause []int   `json:"failed_clause,omitempty"` // DIMACS literals
-}
-
-func resultJSON(res *core.Result, opt core.Options, workers, nOriginal int) jsonResult {
-	out := jsonResult{
-		Verdict:      "verified",
-		Mode:         opt.Mode.String(),
-		Engine:       opt.Engine.String(),
-		Workers:      workers,
-		Termination:  res.Termination.String(),
-		ProofClauses: res.ProofClauses,
-		Tested:       res.Tested,
-		TestedPct:    res.TestedPct(),
-		Skipped:      res.Skipped,
-		Tautologies:  res.Tautologies,
-		MarkedProof:  res.MarkedProof,
-		CoreSize:     len(res.Core),
-		CorePct:      res.CorePct(nOriginal),
-		Propagations: res.Propagations,
-		FailedIndex:  res.FailedIndex,
-	}
-	if workers != 0 {
-		out.Mode = core.ModeCheckAll.String() // parallel always checks everything
-	}
-	if !res.OK {
-		out.Verdict = "rejected"
-		for _, l := range res.FailedClause {
-			out.FailedClause = append(out.FailedClause, l.Dimacs())
-		}
-	}
-	return out
 }
 
 func writeStats(path string, reg *obs.Registry) error {

@@ -17,21 +17,27 @@
 // dump, with -trace-buf N sizing the flight recorder's per-track ring.
 //
 // Exit status: 0 verified, 1 usage errors, 2 rejected, 3 malformed or
-// unreadable formula/proof input, 6 internal errors (failed output writes).
+// unreadable formula/proof input, 4 when -timeout expires, 6 internal
+// errors (failed output writes), 130 on SIGINT/SIGTERM (with -backward the
+// partial progress is reported and, when checkpointing, a final journal
+// record is flushed so -resume can pick up where the run stopped).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/cmd/internal/ckpt"
-	"repro/cmd/internal/exitcode"
 	"repro/cmd/internal/tracedump"
 	"repro/internal/atomicio"
 	"repro/internal/cnf"
 	"repro/internal/drat"
+	"repro/internal/exitcode"
 	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
@@ -49,6 +55,7 @@ func run() int {
 	checkpointPath := flag.String("checkpoint", "", "with -backward: write resumable checkpoints to this journal file")
 	checkpointEvery := flag.Int("checkpoint-every", 1000, "checkpoint interval in proof steps")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint journal when it matches")
+	timeout := flag.Duration("timeout", 0, "with -backward: give up after this long (0 = unlimited)")
 	statsJSON := flag.String("stats-json", "", "write a JSON metrics snapshot to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON flight recording to this file")
 	traceJSONL := flag.String("trace-jsonl", "", "write the flight recording as JSONL to this file")
@@ -112,9 +119,21 @@ func run() int {
 		return exitcode.BadInput
 	}
 
+	// Context: an optional deadline, and SIGINT or SIGTERM cancels so an
+	// interrupted backward pass still reports how far it got (and flushes a
+	// final journal record when checkpointing) before exiting 130.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	var res *drat.Result
 	if *backward {
-		bopt := drat.BackwardOptions{Obs: reg}
+		bopt := drat.BackwardOptions{Obs: reg, Ctx: ctx}
 		var jw *journal.Writer
 		if *checkpointPath != "" {
 			meta := journal.Meta{
@@ -158,6 +177,23 @@ func run() int {
 		var trimmed *drat.Proof
 		var coreIdx []int
 		res, trimmed, coreIdx, err = drat.VerifyBackwardOpts(f, p, bopt)
+		if err != nil && res != nil && res.Incomplete {
+			// The run was cut short (signal or deadline), not broken: dump
+			// the partial progress, flush a final record so the journal
+			// visibly ends with a clean stop, and exit per the contract.
+			if jw != nil {
+				note := fmt.Sprintf("incomplete stopped_at=%d err=%v", res.StoppedAt, err)
+				if ferr := jw.AppendFinal([]byte(note)); ferr != nil {
+					fmt.Fprintln(os.Stderr, "dratcheck:", ferr)
+				}
+			}
+			fmt.Fprintln(os.Stderr, "dratcheck:", err)
+			fmt.Printf("s UNKNOWN\n")
+			fmt.Printf("c incomplete: stopped before a verdict at step %d\n", res.StoppedAt)
+			fmt.Printf("c additions=%d deletions=%d tautologies=%d propagations=%d\n",
+				res.Additions, res.Deletions, res.Tautologies, res.Propagations)
+			return exitcode.FromVerifyError(err)
+		}
 		if err == nil && jw != nil {
 			// A verdict was reached; the journal is stale by definition.
 			if rerr := jw.Remove(); rerr != nil {

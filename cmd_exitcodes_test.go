@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"syscall"
 	"testing"
 	"time"
 
@@ -14,10 +15,10 @@ import (
 	"repro/internal/solver"
 )
 
-// The exit-code contract (cmd/internal/exitcode) is only real if the built
+// The exit-code contract (internal/exitcode) is only real if the built
 // binaries honor it, so this test builds them and drives each outcome class:
 // verified, rejected, malformed input, timeout, budget, usage, SAT/UNSAT,
-// and SIGINT.
+// and SIGINT/SIGTERM.
 
 // buildCmds compiles the CLI binaries once into a shared temp dir.
 func buildCmds(t *testing.T) string {
@@ -255,5 +256,94 @@ func TestExitCodeInterruptedResume(t *testing.T) {
 	}
 	if _, err := os.Stat(j); !os.IsNotExist(err) {
 		t.Errorf("journal still present after the resumed verdict (err=%v)", err)
+	}
+}
+
+// TestExitCodeTerminated drives the SIGTERM half of the signal contract: a
+// supervisor's polite kill must behave exactly like ^C for every
+// long-running CLI — a partial-result dump, a flushed final journal record
+// when checkpointing, and exit 130. dratcheck in particular gained signal
+// handling only together with this test; the checkpointed cases wait for a
+// durable record before signalling so the stop provably lands mid-run.
+func TestExitCodeTerminated(t *testing.T) {
+	bins := buildCmds(t)
+	dir := t.TempDir()
+	cnfPath, tracePath, dratPath := writeChainFixtures(t, dir, 12000)
+	hard := filepath.Join(dir, "php10.cnf")
+	out, err := os.Create(hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cnf.WriteDimacs(out, gen.PHP(10).F); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+
+	dpvJournal := filepath.Join(dir, "dpv-term.dpvj")
+	dratJournal := filepath.Join(dir, "drat-term.dpvj")
+	cases := []struct {
+		name    string
+		bin     string
+		args    []string
+		journal string // wait for a durable checkpoint record before signalling
+	}{
+		// -timeout backstops every case: if SIGTERM handling regresses the
+		// run ends with exit 4 instead of wedging the test.
+		{"bksat", "bksat", []string{"-timeout", "60s", hard}, ""},
+		{"dpv", "dpv", []string{"-timeout", "60s", "-checkpoint", dpvJournal,
+			"-checkpoint-every", "100", cnfPath, tracePath}, dpvJournal},
+		{"dratcheck", "dratcheck", []string{"-backward", "-timeout", "60s", "-checkpoint", dratJournal,
+			"-checkpoint-every", "100", cnfPath, dratPath}, dratJournal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(filepath.Join(bins, tc.bin), tc.args...)
+			var buf bytes.Buffer
+			cmd.Stdout = &buf
+			cmd.Stderr = &buf
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if tc.journal == "" {
+				// Give the process time to install its handler and start.
+				time.Sleep(500 * time.Millisecond)
+			} else {
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					if fi, err := os.Stat(tc.journal); err == nil && fi.Size() > 40+9 {
+						break
+					}
+					if time.Now().After(deadline) {
+						cmd.Process.Kill()
+						t.Fatal("no checkpoint record appeared within 30s")
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+			if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+			werr := cmd.Wait()
+			ee, ok := werr.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("wait: %v — run finished before SIGTERM landed\noutput:\n%s", werr, buf.String())
+			}
+			if code := ee.ExitCode(); code != 130 {
+				t.Fatalf("exit code %d, want 130\noutput:\n%s", code, buf.String())
+			}
+			if !bytes.Contains(buf.Bytes(), []byte("s UNKNOWN")) {
+				t.Fatalf("terminated run did not report a partial-result line:\n%s", buf.String())
+			}
+			if tc.journal != "" {
+				data, err := os.ReadFile(tc.journal)
+				if err != nil {
+					t.Fatal(err)
+				}
+				markers := journalMarkers(t, data)
+				if len(markers) < 2 || markers[len(markers)-1] != 'F' {
+					t.Fatalf("journal records after SIGTERM are %q, want checkpoints then a final record", markers)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,275 @@
+package repro
+
+// Kill-and-recover smoke for the verification daemon: SIGKILL dpvd (via its
+// crash-fault hook) with several jobs in flight, restart it on the same
+// store, and require every job to finish with a verdict byte-identical to
+// an uninterrupted checkpointed dpv run — then drain cleanly on SIGTERM.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildDaemonCmds compiles dpv (the reference) and dpvd into a temp dir.
+func buildDaemonCmds(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir, "./cmd/dpv", "./cmd/dpvd")
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building binaries: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func startDaemon(t *testing.T, bin, addr, store string, crashEnv string) (*exec.Cmd, chan struct{}) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", addr, "-store", store, "-workers", "2", "-checkpoint-every", "100", "-q")
+	cmd.Env = os.Environ()
+	if crashEnv != "" {
+		cmd.Env = append(cmd.Env, "DPV_FAULT_CRASH_AFTER_APPENDS="+crashEnv)
+	}
+	cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { cmd.Wait(); close(done) }()
+	return cmd, done
+}
+
+// waitServing polls /healthz until the daemon answers, it exits, or the
+// deadline passes.
+func waitServing(addr string, done chan struct{}) bool {
+	client := &http.Client{Timeout: 500 * time.Millisecond}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case <-done:
+			return false
+		default:
+		}
+		resp, err := client.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return true
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
+}
+
+func submitJob(addr string, formula, trace []byte) (string, error) {
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, err := mw.CreateFormFile("formula", "chain.cnf")
+	if err != nil {
+		return "", err
+	}
+	fw.Write(formula)
+	pw, err := mw.CreateFormFile("proof", "chain.trace")
+	if err != nil {
+		return "", err
+	}
+	pw.Write(trace)
+	mw.Close()
+
+	resp, err := http.Post("http://"+addr+"/v1/jobs", mw.FormDataContentType(), &buf)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: %d %s", resp.StatusCode, body)
+	}
+	var sr struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return "", err
+	}
+	return sr.ID, nil
+}
+
+// jobStatus fetches one job, returning its state, result status and the raw
+// verdict JSON (for byte comparison against dpv -json output).
+func jobStatus(addr, id string) (state, status string, verdict []byte, err error) {
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+	if err != nil {
+		return "", "", nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", "", nil, fmt.Errorf("status %s: %d %s", id, resp.StatusCode, body)
+	}
+	var sr struct {
+		State  string `json:"state"`
+		Result *struct {
+			Status  string          `json:"status"`
+			Verdict json.RawMessage `json:"verdict"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return "", "", nil, err
+	}
+	if sr.Result == nil {
+		return sr.State, "", nil, nil
+	}
+	return sr.State, sr.Result.Status, sr.Result.Verdict, nil
+}
+
+func TestDaemonKillAndRecover(t *testing.T) {
+	const nJobs = 5
+	bins := buildDaemonCmds(t)
+	dir := t.TempDir()
+	cnfPath, tracePath, _ := writeChainFixtures(t, dir, 2000)
+	formula, err := os.ReadFile(cnfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: an uninterrupted dpv run with the same checkpoint grid the
+	// daemon uses. Resumed runs are byte-identical to checkpointed — not
+	// plain — runs, because checkpointing rebuilds the engine at epoch
+	// boundaries (see internal/core/checkpoint.go).
+	refJournal := filepath.Join(dir, "ref.dpvj")
+	code, refOut := runWithEnv(t, nil, filepath.Join(bins, "dpv"),
+		"-json", "-q", "-checkpoint", refJournal, "-checkpoint-every", "100", cnfPath, tracePath)
+	if code != 0 {
+		t.Fatalf("reference dpv exited %d", code)
+	}
+	refVerdict := strings.TrimSpace(refOut)
+	if !strings.Contains(refVerdict, `"verified"`) {
+		t.Fatalf("reference verdict %q not verified", refVerdict)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	store := filepath.Join(dir, "store")
+	dpvd := filepath.Join(bins, "dpvd")
+
+	// Crash rounds: the fault hook SIGKILLs the daemon after 15 durable
+	// journal appends, and each 2000-clause job needs 20 — so the first
+	// incarnation cannot finish anything before it dies. Keep restarting
+	// (still under the fault) until all jobs are submitted; every round
+	// makes checkpoint progress, so this terminates.
+	var ids []string
+	firstKill := true
+	for round := 0; len(ids) < nJobs; round++ {
+		if round >= 40 {
+			t.Fatalf("submitted only %d/%d jobs after %d crash rounds", len(ids), nJobs, round)
+		}
+		cmd, done := startDaemon(t, dpvd, addr, store, "15")
+		if waitServing(addr, done) {
+			for len(ids) < nJobs {
+				id, err := submitJob(addr, formula, trace)
+				if err != nil {
+					t.Logf("round %d: submit after %d jobs: %v (daemon crashed, restarting)", round, len(ids), err)
+					break
+				}
+				ids = append(ids, id)
+			}
+		}
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			cmd.Process.Kill()
+			t.Fatal("daemon did not crash under fault injection")
+		}
+		if ec := cmd.ProcessState.ExitCode(); ec != -1 {
+			t.Fatalf("round %d: daemon exited %d, want SIGKILL (-1)", round, ec)
+		}
+		if firstKill && len(ids) > 0 {
+			firstKill = false
+			inflight := 0
+			for _, id := range ids {
+				if _, err := os.Stat(filepath.Join(store, "jobs", id, "result.json")); err != nil {
+					inflight++
+				}
+			}
+			if inflight < 4 {
+				t.Fatalf("only %d jobs in flight at first kill, want >= 4", inflight)
+			}
+		}
+	}
+
+	// Clean restart: recovery must finish every job.
+	cmd, done := startDaemon(t, dpvd, addr, store, "")
+	if !waitServing(addr, done) {
+		t.Fatal("recovered daemon never became healthy")
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for _, id := range ids {
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s did not finish after recovery", id)
+			}
+			state, status, verdict, err := jobStatus(addr, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if state == "done" {
+				if status != "verified" {
+					t.Fatalf("job %s recovered as %q, want verified", id, status)
+				}
+				if string(verdict) != refVerdict {
+					t.Fatalf("job %s verdict differs from uninterrupted dpv:\n got %s\nwant %s",
+						id, verdict, refVerdict)
+				}
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	// The unsat core of the chain is the whole formula; the core endpoint
+	// must serve exactly the DIMACS bytes dpv would write.
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + ids[0] + "/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(coreBytes, formula) {
+		t.Fatalf("core endpoint: %d, %d bytes, want 200 with the %d-byte formula",
+			resp.StatusCode, len(coreBytes), len(formula))
+	}
+
+	// Graceful drain: SIGTERM exits 0 after flushing in-flight state.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon did not drain on SIGTERM")
+	}
+	if ec := cmd.ProcessState.ExitCode(); ec != 0 {
+		t.Fatalf("drained daemon exited %d, want 0", ec)
+	}
+}

@@ -34,9 +34,9 @@ const wallTolFactor = 2.0
 
 // Regression is one gated metric that degraded beyond tolerance.
 type Regression struct {
-	Instance string  // "" for suite-aggregate metrics
+	Instance string // "" for suite-aggregate metrics
 	Engine   string
-	Metric   string  // "visits/check" | "occ-touches/check" | "props/sec"
+	Metric   string // "visits/check" | "occ-touches/check" | "props/sec"
 	Base     float64
 	Fresh    float64
 	Delta    float64 // fractional change, positive = worse
@@ -65,10 +65,10 @@ func DiffBCP(base, fresh *BCPReport, tol float64) (regs []Regression, compared i
 	// Suite-aggregate props/sec accumulators, per engine, over common
 	// instances only (row counters are deterministic; wall time is not).
 	type agg struct {
-		props        int64
-		millis       float64
-		freshProps   int64
-		freshMillis  float64
+		props       int64
+		millis      float64
+		freshProps  int64
+		freshMillis float64
 	}
 	aggs := map[string]*agg{}
 

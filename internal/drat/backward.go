@@ -1,6 +1,7 @@
 package drat
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/bcp"
 	"repro/internal/cnf"
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -21,6 +23,13 @@ import (
 // passes through the same engine states as an uninterrupted checkpointed
 // run and produces an identical trimmed proof and core.
 type BackwardOptions struct {
+	// Ctx, when non-nil, bounds the run: cancellation or an expired
+	// deadline stops the backward scan (and propagation inside a single
+	// RUP check) promptly, returning a partial Result together with
+	// core.ErrCancelled or core.ErrDeadline — the same sentinels the
+	// sequential verifier uses, so exit-code mapping is shared. A nil Ctx
+	// never stops.
+	Ctx context.Context
 	// Every is the checkpoint interval in backward steps. Zero disables
 	// checkpointing.
 	Every int
@@ -124,6 +133,26 @@ func (p *Proof) Fingerprint() uint64 {
 	return h.Sum64()
 }
 
+// ctxStop adapts a context into the engines' cooperative stop hook, mapped
+// onto core's sentinel errors so callers (and the shared exit-code contract)
+// classify a stopped backward pass exactly like a stopped forward one. A nil
+// ctx yields a nil hook — the zero-cost path.
+func ctxStop(ctx context.Context) func() error {
+	if ctx == nil {
+		return nil
+	}
+	return func() error {
+		switch err := ctx.Err(); err {
+		case nil:
+			return nil
+		case context.DeadlineExceeded:
+			return core.ErrDeadline
+		default:
+			return core.ErrCancelled
+		}
+	}
+}
+
 // VerifyBackward checks a DRUP proof the way drat-trim does — which is
 // exactly the paper's Proof_verification2 generalized to deletion lines:
 //
@@ -154,7 +183,7 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 			nVars = int(mv) + 1
 		}
 	}
-	res := &Result{OK: true, FailedStep: -1}
+	res := &Result{OK: true, FailedStep: -1, StoppedAt: -1}
 	nf := len(f.Clauses)
 
 	span := opt.Obs.StartSpan("drat-backward")
@@ -225,6 +254,11 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 	// previous engine's propagation count into statsProps. The backward
 	// loop is about to process step upto, whose own effect is still in
 	// place; everything later has been undone.
+	// The stop hook is polled by the engine inside propagation and by the
+	// backward loop once per step, so both a single pathological RUP check
+	// and a long proof stop promptly when the context fires.
+	stop := ctxStop(opt.Ctx)
+
 	var eng *bcp.Engine
 	var statsProps int64
 	buildEngine := func(upto int) {
@@ -232,6 +266,7 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 			statsProps += eng.Propagations()
 		}
 		eng = bcp.NewEngineReactivable(nVars)
+		eng.SetStop(stop)
 		eng.SetTrace(track)
 		for _, c := range f.Clauses {
 			eng.Add(c)
@@ -265,6 +300,13 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 		buildEngine(lastStep)
 		// The final database must be refuted by unit propagation alone.
 		conflict, _ := eng.Refute(nil)
+		if err := eng.StopErr(); err != nil {
+			res.Incomplete = true
+			res.StoppedAt = lastStep
+			res.Propagations = totalProps()
+			replay.End()
+			return res, nil, nil, err
+		}
 		if conflict == bcp.NoConflict {
 			res.OK = false
 			res.FailedStep = lastStep + 1
@@ -294,6 +336,14 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 				}
 			}
 		}
+		if stop != nil {
+			if err := stop(); err != nil {
+				res.Incomplete = true
+				res.StoppedAt = i
+				res.Propagations = totalProps()
+				return res, nil, nil, err
+			}
+		}
 		s := p.Steps[i]
 		if s.Del {
 			// Walking a deletion backwards re-adds the clause. The engine's
@@ -317,6 +367,12 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 			continue
 		}
 		c, selfContra := eng.Refute(s.C)
+		if err := eng.StopErr(); err != nil {
+			res.Incomplete = true
+			res.StoppedAt = i
+			res.Propagations = totalProps()
+			return res, nil, nil, err
+		}
 		if selfContra {
 			res.Tautologies++
 			cTaut.Inc()

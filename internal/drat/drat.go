@@ -160,6 +160,13 @@ type Result struct {
 	RATChecks    int  // additions accepted by the RAT fallback rather than RUP
 	Refuted      bool // an empty clause (or final pair) was established
 	Propagations int64
+
+	// Incomplete is true when a backward run stopped before reaching a
+	// verdict (BackwardOptions.Ctx cancelled or expired); the counters
+	// above then describe the work done so far and OK is meaningless.
+	// StoppedAt is the backward step index the scan had reached, or -1.
+	Incomplete bool
+	StoppedAt  int
 }
 
 // clauseStore tracks live clauses for deletion matching and RAT occurrence
@@ -228,7 +235,7 @@ func Verify(f *cnf.Formula, p *Proof) (*Result, error) {
 		store.add(eng.Add(c), c)
 	}
 
-	res := &Result{OK: true, FailedStep: -1}
+	res := &Result{OK: true, FailedStep: -1, StoppedAt: -1}
 	for i, s := range p.Steps {
 		if s.Del {
 			res.Deletions++

@@ -1,7 +1,8 @@
-// Package exitcode defines the exit-status contract shared by the cmd/
-// binaries, so scripts and CI harnesses can tell outcome classes apart
-// without parsing output. The SAT-competition codes (10/20) keep their
-// conventional meaning; everything else is disjoint from them.
+// Package exitcode defines the outcome-class contract shared by the cmd/
+// binaries and the dpvd service (whose job statuses map onto these codes
+// via internal/service), so scripts and CI harnesses can tell outcome
+// classes apart without parsing output. The SAT-competition codes (10/20)
+// keep their conventional meaning; everything else is disjoint from them.
 package exitcode
 
 import (

@@ -1,0 +1,114 @@
+package faults
+
+// Store/IO fault kinds for the verification-as-a-service daemon: the
+// injectable failures a disk-backed job store meets in production — an I/O
+// error while appending to a checkpoint journal, a full disk while writing
+// a result artifact, an upload whose body is cut off mid-stream. The
+// daemon's robustness contract under all of them is the same as for corrupt
+// proofs: never accept, never panic, never hang, and additionally never
+// lose an admitted job (a failed durable write degrades to recomputation,
+// not to a missing verdict). internal/service's fault-matrix test drives
+// these against a live daemon.
+
+import (
+	"fmt"
+	"io"
+	"syscall"
+)
+
+// IOKind enumerates the store/IO failures the harness can inject.
+type IOKind int
+
+const (
+	// JournalAppendEIO fails a checkpoint-journal append with an I/O
+	// error. Checkpointing must degrade (the run loses durability, not
+	// correctness) and the verdict must still be produced.
+	JournalAppendEIO IOKind = iota
+	// ArtifactWriteDiskFull fails a result/artifact write with ENOSPC.
+	// The verdict must survive in memory and the job must stay incomplete
+	// on disk so a restart recomputes it — never a lost or corrupt result.
+	ArtifactWriteDiskFull
+	// UploadBodyTruncated cuts an upload body off mid-stream, as a dying
+	// client or a dropped connection would. The admission gate must reject
+	// with a typed error; nothing may be enqueued.
+	UploadBodyTruncated
+)
+
+// IOKinds lists every store/IO fault kind, for matrix tests.
+var IOKinds = []IOKind{JournalAppendEIO, ArtifactWriteDiskFull, UploadBodyTruncated}
+
+func (k IOKind) String() string {
+	switch k {
+	case JournalAppendEIO:
+		return "journal-append-eio"
+	case ArtifactWriteDiskFull:
+		return "artifact-write-disk-full"
+	case UploadBodyTruncated:
+		return "upload-body-truncated"
+	default:
+		return "unknown-io-fault"
+	}
+}
+
+// Injected error values. They wrap the real errno values so production code
+// that classifies on syscall errors (errors.Is(err, syscall.ENOSPC)) treats
+// an injected fault exactly like a real one.
+var (
+	// ErrInjectedEIO is the injected journal-append failure.
+	ErrInjectedEIO = fmt.Errorf("faults: injected journal I/O error: %w", syscall.EIO)
+	// ErrInjectedDiskFull is the injected artifact-write failure.
+	ErrInjectedDiskFull = fmt.Errorf("faults: injected disk full: %w", syscall.ENOSPC)
+)
+
+// FailSinkAfter wraps a checkpoint sink so the first n appends succeed and
+// every later one fails with ErrInjectedEIO — the shape of a disk that
+// worked at job start and degraded mid-run.
+func FailSinkAfter(sink func([]byte) error, n int) func([]byte) error {
+	appends := 0
+	return func(p []byte) error {
+		if appends >= n {
+			return ErrInjectedEIO
+		}
+		appends++
+		return sink(p)
+	}
+}
+
+// FailWriterAfter wraps w so writes succeed until n total bytes have been
+// accepted and fail with ErrInjectedDiskFull afterwards, including the
+// partial write that straddles the boundary — matching how a full
+// filesystem fails a buffered artifact write partway through.
+func FailWriterAfter(w io.Writer, n int64) io.Writer {
+	return &failingWriter{w: w, left: n}
+}
+
+type failingWriter struct {
+	w    io.Writer
+	left int64
+}
+
+func (fw *failingWriter) Write(p []byte) (int, error) {
+	if fw.left <= 0 {
+		return 0, ErrInjectedDiskFull
+	}
+	if int64(len(p)) > fw.left {
+		nn, _ := fw.w.Write(p[:fw.left])
+		fw.left = 0
+		return nn, ErrInjectedDiskFull
+	}
+	n, err := fw.w.Write(p)
+	fw.left -= int64(n)
+	return n, err
+}
+
+// TruncateBody returns body cut off at a seeded point strictly inside it —
+// an upload interrupted mid-stream. ok is false when the body is too short
+// to truncate meaningfully (nothing would be cut).
+func (in *Injector) TruncateBody(body []byte) (out []byte, ok bool) {
+	if len(body) < 2 {
+		return nil, false
+	}
+	in.count()
+	cut := 1 + in.rng.Intn(len(body)-1)
+	return append([]byte(nil), body[:cut]...), true
+}

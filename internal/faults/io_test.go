@@ -1,0 +1,74 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"syscall"
+	"testing"
+)
+
+func TestFailSinkAfter(t *testing.T) {
+	var appended [][]byte
+	sink := FailSinkAfter(func(p []byte) error {
+		appended = append(appended, append([]byte(nil), p...))
+		return nil
+	}, 2)
+	for i := 0; i < 2; i++ {
+		if err := sink([]byte{byte(i)}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	err := sink([]byte{9})
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("third append err = %v, want EIO", err)
+	}
+	if len(appended) != 2 {
+		t.Fatalf("%d appends reached the sink, want 2", len(appended))
+	}
+	// The failure is sticky: a degraded disk does not heal between appends.
+	if err := sink([]byte{10}); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("fourth append err = %v, want EIO", err)
+	}
+}
+
+func TestFailWriterAfter(t *testing.T) {
+	var buf bytes.Buffer
+	w := FailWriterAfter(&buf, 5)
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("first write = %d, %v", n, err)
+	}
+	// Straddles the boundary: 2 bytes land, then ENOSPC.
+	n, err := w.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("straddling write = %d, %v; want 2, ENOSPC", n, err)
+	}
+	if buf.String() != "abcde" {
+		t.Fatalf("bytes on disk %q, want %q", buf.String(), "abcde")
+	}
+	if _, err := w.Write([]byte("h")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("post-full write err = %v, want ENOSPC", err)
+	}
+}
+
+func TestTruncateBody(t *testing.T) {
+	in := New(7)
+	body := []byte("--boundary\r\nContent-Disposition: form-data\r\n\r\np cnf 1 1\n1 0\n")
+	cut, ok := in.TruncateBody(body)
+	if !ok {
+		t.Fatal("truncation did not apply")
+	}
+	if len(cut) == 0 || len(cut) >= len(body) {
+		t.Fatalf("cut length %d not strictly inside (0, %d)", len(cut), len(body))
+	}
+	if !bytes.Equal(cut, body[:len(cut)]) {
+		t.Fatal("truncated body is not a prefix of the original")
+	}
+	// Deterministic from the seed.
+	cut2, _ := New(7).TruncateBody(body)
+	if !bytes.Equal(cut, cut2) {
+		t.Fatal("same seed produced different truncation points")
+	}
+	if _, ok := in.TruncateBody([]byte{1}); ok {
+		t.Fatal("1-byte body should not be truncatable")
+	}
+}

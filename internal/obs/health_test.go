@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	return rw.Code, rw.Body.String()
+}
+
+// Without probes both endpoints report healthy — a CLI that only wanted
+// /metrics gets working health endpoints for free.
+func TestHealthDefaultsOK(t *testing.T) {
+	reg := New()
+	mux := reg.Mux(false)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		code, body := getBody(t, mux, path)
+		if code != http.StatusOK || body != "ok\n" {
+			t.Errorf("%s = %d %q, want 200 ok", path, code, body)
+		}
+	}
+}
+
+// A failing readiness probe must flip /readyz to 503 with the reason in the
+// body while /healthz (liveness) stays 200 — the split that lets an
+// orchestrator stop routing traffic without restarting the process.
+func TestHealthReadinessIndependentOfLiveness(t *testing.T) {
+	reg := New()
+	ready := errors.New("queue saturated: 64/64 jobs")
+	mux := reg.Mux(false, Health{Ready: func() error { return ready }})
+
+	code, body := getBody(t, mux, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d, want 503", code)
+	}
+	if !strings.Contains(body, "queue saturated") {
+		t.Fatalf("/readyz body %q does not name the reason", body)
+	}
+	if code, _ := getBody(t, mux, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200 while only readiness fails", code)
+	}
+
+	// Recovered probe → ready again; the handler re-evaluates per request.
+	ready = nil
+	if code, _ := getBody(t, mux, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d after recovery, want 200", code)
+	}
+}
+
+func TestHealthLiveness(t *testing.T) {
+	reg := New()
+	mux := reg.Mux(false, Health{Live: func() error { return errors.New("wedged") }})
+	code, body := getBody(t, mux, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "wedged") {
+		t.Fatalf("/healthz = %d %q, want 503 with reason", code, body)
+	}
+}
+
+// Serve must expose the probes too (it serves the same mux).
+func TestServeHealthEndpoints(t *testing.T) {
+	reg := New()
+	notReady := errors.New("store read-only")
+	addr, shutdown, err := Serve(context.Background(), "localhost:0", reg, false,
+		Health{Ready: func() error { return notReady }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "read-only") {
+		t.Fatalf("/readyz = %d %q, want 503 store read-only", code, body)
+	}
+}

@@ -32,17 +32,57 @@ func (r *Registry) PrometheusHandler() http.Handler {
 	})
 }
 
+// Health bundles the liveness and readiness probes Mux serves at /healthz
+// and /readyz, the split orchestrators expect: liveness answers "should
+// this process be restarted?" (a hung daemon fails it), readiness answers
+// "should this process receive traffic right now?" (a saturated queue or an
+// unwritable job store fails it without being grounds for a restart). The
+// zero value — and a nil probe — always passes, so a plain metrics CLI gets
+// working health endpoints for free.
+type Health struct {
+	// Live, when non-nil, is consulted by /healthz; a non-nil error turns
+	// into 503 with the error text in the body.
+	Live func() error
+	// Ready, when non-nil, is consulted by /readyz the same way.
+	Ready func() error
+}
+
+// healthHandler renders a probe outcome: 200 "ok" or 503 with the reason.
+// The body is plain text — these endpoints are read by load balancers and
+// humans with curl, not JSON consumers.
+func healthHandler(probe func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if probe != nil {
+			if err := probe(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				io.WriteString(w, err.Error()+"\n")
+				return
+			}
+		}
+		io.WriteString(w, "ok\n")
+	})
+}
+
 // Mux assembles the observability endpoint: the JSON snapshot at
 // /debug/vars (and at /, the historical behaviour), the Prometheus
-// exposition at /metrics, and — only when enablePprof is set — the
-// net/http/pprof profiling handlers under /debug/pprof/. pprof is opt-in
-// because it exposes CPU/heap profiling of a possibly long-privileged
-// process; nothing is mounted on the default mux either way.
-func (r *Registry) Mux(enablePprof bool) *http.ServeMux {
+// exposition at /metrics, liveness/readiness probes at /healthz and
+// /readyz (optionally backed by the probes in a Health argument), and —
+// only when enablePprof is set — the net/http/pprof profiling handlers
+// under /debug/pprof/. pprof is opt-in because it exposes CPU/heap
+// profiling of a possibly long-privileged process; nothing is mounted on
+// the default mux either way.
+func (r *Registry) Mux(enablePprof bool, health ...Health) *http.ServeMux {
+	var h Health
+	if len(health) > 0 {
+		h = health[0]
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", r.Handler())
 	mux.Handle("/debug/vars", r.Handler())
 	mux.Handle("/metrics", r.PrometheusHandler())
+	mux.Handle("/healthz", healthHandler(h.Live))
+	mux.Handle("/readyz", healthHandler(h.Ready))
 	if enablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -60,12 +100,13 @@ func (r *Registry) Mux(enablePprof bool) *http.ServeMux {
 // aborts a verification mid-run tears the endpoint down even if the exit
 // path never reaches the deferred shutdown (a nil ctx disables that
 // coupling). Shutdown is idempotent and safe to race with the ctx path.
-func Serve(ctx context.Context, addr string, r *Registry, enablePprof bool) (net.Addr, func() error, error) {
+// An optional Health argument backs the /healthz and /readyz probes.
+func Serve(ctx context.Context, addr string, r *Registry, enablePprof bool, health ...Health) (net.Addr, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: r.Mux(enablePprof)}
+	srv := &http.Server{Handler: r.Mux(enablePprof, health...)}
 	var closeOnce sync.Once
 	var closeErr error
 	shutdown := func() error {

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// failingResultStore fails SetResult like a full disk while leaving every
+// other store operation healthy.
+type failingResultStore struct {
+	Store
+	fail bool
+}
+
+func (s *failingResultStore) SetResult(id string, jr *JobResult) error {
+	if s.fail {
+		return faults.ErrInjectedDiskFull
+	}
+	return s.Store.SetResult(id, jr)
+}
+
+// The daemon's robustness contract under injected store/IO faults: never
+// accept bad input, never panic, never hang, never lose an admitted job.
+// One subtest per fault kind in faults.IOKinds.
+func TestDaemonFaultMatrix(t *testing.T) {
+	for _, kind := range faults.IOKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			switch kind {
+			case faults.JournalAppendEIO:
+				testJournalAppendEIO(t)
+			case faults.ArtifactWriteDiskFull:
+				testArtifactWriteDiskFull(t)
+			case faults.UploadBodyTruncated:
+				testUploadBodyTruncated(t)
+			default:
+				t.Fatalf("fault kind %v has no matrix entry", kind)
+			}
+		})
+	}
+}
+
+// A checkpoint journal that starts failing mid-run costs durability, not
+// the verdict: the job still verifies, with the same result a fault-free
+// daemon produces, and the degradation is visible on a counter.
+func testJournalAppendEIO(t *testing.T) {
+	run := func(wrap func(func([]byte) error) func([]byte) error, reg *obs.Registry) *JobResult {
+		ds, err := NewDiskStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := newTestDaemon(t, Options{Store: ds, CheckpointEvery: 1, SinkWrap: wrap, Obs: reg})
+		f, tr := chainProblem(10)
+		id := submitProblem(t, d.Handler(false), f, tr, "")
+		return waitDone(t, d, id)
+	}
+	reg := obs.New()
+	faulty := run(func(sink func([]byte) error) func([]byte) error {
+		return faults.FailSinkAfter(sink, 1)
+	}, reg)
+	clean := run(nil, obs.New())
+
+	if faulty.Status != StatusVerified {
+		t.Fatalf("verdict under EIO = %+v, want verified", faulty)
+	}
+	if got := reg.Counter("service.journal_degraded").Value(); got == 0 {
+		t.Fatal("journal_degraded counter not incremented")
+	}
+	fj, _ := json.Marshal(faulty)
+	cj, _ := json.Marshal(clean)
+	if !bytes.Equal(fj, cj) {
+		t.Fatalf("degraded run changed the verdict:\nfaulty %s\nclean  %s", fj, cj)
+	}
+}
+
+// A full disk at result-write time must not lose the verdict: it is served
+// from memory for the rest of the process lifetime, the job stays
+// incomplete on disk, and the next incarnation recomputes it durably.
+func testArtifactWriteDiskFull(t *testing.T) {
+	root := t.TempDir()
+	ds, err := NewDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frs := &failingResultStore{Store: ds, fail: true}
+	reg := obs.New()
+	d := newTestDaemon(t, Options{Store: frs, Obs: reg})
+	h := d.Handler(false)
+	f, tr := chainProblem(10)
+
+	id := submitProblem(t, h, f, tr, "")
+	jr := waitDone(t, d, id)
+	if jr.Status != StatusVerified {
+		t.Fatalf("verdict under ENOSPC = %+v, want verified", jr)
+	}
+	if got := reg.Counter("service.store_result_errors").Value(); got == 0 {
+		t.Fatal("store_result_errors counter not incremented")
+	}
+	// Served from memory over HTTP despite the dead disk.
+	rw := doRequest(h, httptest.NewRequest("GET", "/v1/jobs/"+id, nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("GET job under ENOSPC = %d, want 200", rw.Code)
+	}
+	// On disk the job is still incomplete — the restart re-run set.
+	if res, err := ds.Result(id); err != nil || res != nil {
+		t.Fatalf("disk result = %v, %v; want pending", res, err)
+	}
+	inc, err := ds.Incomplete()
+	if err != nil || len(inc) != 1 || inc[0].ID != id {
+		t.Fatalf("Incomplete = %v, %v; want the faulted job", inc, err)
+	}
+
+	// Next incarnation, disk healthy again: recovery recomputes the job
+	// and this time the result lands durably.
+	ds2, err := NewDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := newTestDaemon(t, Options{Store: ds2})
+	jr2 := waitDone(t, d2, id)
+	if jr2.Status != StatusVerified {
+		t.Fatalf("recomputed verdict = %+v, want verified", jr2)
+	}
+	if res, err := ds2.Result(id); err != nil || res == nil {
+		t.Fatalf("durable result after recovery = %v, %v; want stored", res, err)
+	}
+}
+
+// An upload cut off mid-stream is bad input, not a daemon failure: typed
+// 400, nothing enqueued, and the daemon keeps serving.
+func testUploadBodyTruncated(t *testing.T) {
+	d := newTestDaemon(t, Options{})
+	h := d.Handler(false)
+	f, tr := chainProblem(10)
+	fs, ps := encodeProblem(t, f, tr)
+	full, ct := multipartBody(t, map[string]string{"formula": fs, "proof": ps})
+
+	in := faults.New(7)
+	for i := 0; i < 8; i++ {
+		cut, ok := in.TruncateBody(full.Bytes())
+		if !ok {
+			t.Fatal("body too short to truncate")
+		}
+		rw := submitRaw(t, h, bytes.NewBuffer(cut), ct, "")
+		if rw.Code != http.StatusBadRequest {
+			t.Fatalf("truncated upload #%d = %d %s, want 400", i, rw.Code, rw.Body.String())
+		}
+	}
+	if inc, _ := d.opt.Store.Incomplete(); len(inc) != 0 {
+		t.Fatalf("truncated uploads left %d job(s) behind", len(inc))
+	}
+	// Never hang, never die: a well-formed submit still goes through.
+	id := submitProblem(t, h, f, tr, "")
+	if jr := waitDone(t, d, id); jr.Status != StatusVerified {
+		t.Fatalf("post-fault submit = %+v, want verified", jr)
+	}
+}

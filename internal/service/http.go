@@ -1,0 +1,255 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+
+	"repro/internal/cnf"
+	"repro/internal/exitcode"
+	"repro/internal/obs"
+	"repro/internal/proof"
+)
+
+// API shapes. Submission and status responses always carry a "status" (or
+// job state) so clients never have to parse prose; errors reuse the Status
+// taxonomy where one applies.
+type submitResponse struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+}
+
+type statusResponse struct {
+	ID     string     `json:"id"`
+	Tenant string     `json:"tenant,omitempty"`
+	State  State      `json:"state"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+type errorResponse struct {
+	Status Status `json:"status"`
+	Error  string `json:"error"`
+}
+
+// tenantHeader names the submitting tenant; absent means "default".
+const tenantHeader = "X-Dpv-Tenant"
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs           multipart upload (parts "formula", "proof") → 202
+//	GET  /v1/jobs/{id}      job state and, when done, its result
+//	GET  /v1/jobs/{id}/core unsat core as DIMACS (verified jobs)
+//
+// plus the observability surface (/metrics, /debug/vars, /healthz, /readyz,
+// and — when enablePprof — /debug/pprof/) from the daemon's registry.
+// Admission backpressure is expressed in status codes: 400/413 for inputs
+// the gate refuses, 429 with Retry-After when queue or tenant bounds are
+// hit, 503 with Retry-After while draining. Every handler runs under a
+// recovery middleware, so a handler panic costs one 500, never the daemon.
+func (d *Daemon) Handler(enablePprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", d.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", d.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/core", d.handleCore)
+	mux.Handle("/", d.opt.Obs.Mux(enablePprof, obs.Health{Live: d.Live, Ready: d.Ready}))
+	return d.recoverMiddleware(mux)
+}
+
+func (d *Daemon) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				// http.ErrAbortHandler is net/http's own "drop this
+				// connection" sentinel; re-panic so it keeps its meaning.
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				d.opt.Obs.Counter("service.http_panics").Inc()
+				d.opt.Logf("service: http panic on %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				writeError(w, http.StatusInternalServerError, StatusInternal, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := encodeJSON(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	w.Write(b)
+}
+
+func writeError(w http.ResponseWriter, code int, st Status, msg string) {
+	writeJSON(w, code, errorResponse{Status: st, Error: msg})
+}
+
+// handleSubmit is the admission gate. The upload is streamed part by part
+// directly into the limited parsers — the daemon never buffers a body it
+// has not already decided to accept, so a hostile 10 GB upload dies at
+// MaxUploadBytes/parse limits, not in memory.
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	retryAfter := strconv.Itoa(int(d.opt.RetryAfter.Seconds()))
+	if d.Draining() {
+		w.Header().Set("Retry-After", retryAfter)
+		writeError(w, http.StatusServiceUnavailable, StatusInternal, ErrDraining.Error())
+		return
+	}
+	tenant := r.Header.Get(tenantHeader)
+	if tenant == "" {
+		tenant = "default"
+	}
+
+	mt, params, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil || mt != "multipart/form-data" {
+		writeError(w, http.StatusBadRequest, StatusBadInput,
+			"content type must be multipart/form-data with parts \"formula\" and \"proof\"")
+		return
+	}
+	boundary := params["boundary"]
+	if boundary == "" {
+		writeError(w, http.StatusBadRequest, StatusBadInput, "multipart boundary missing")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, d.opt.MaxUploadBytes)
+	mr := multipart.NewReader(r.Body, boundary)
+
+	var f *cnf.Formula
+	var tr *proof.Trace
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Includes truncated bodies (a dying client): io.ErrUnexpectedEOF
+			// or a malformed closing boundary — typed rejection either way.
+			d.writeUploadError(w, fmt.Errorf("multipart body: %w", err))
+			return
+		}
+		switch part.FormName() {
+		case "formula":
+			if f != nil {
+				writeError(w, http.StatusBadRequest, StatusBadInput, "duplicate \"formula\" part")
+				return
+			}
+			f, err = cnf.ParseDimacsLimited(part, d.opt.FormulaLimits)
+		case "proof":
+			if tr != nil {
+				writeError(w, http.StatusBadRequest, StatusBadInput, "duplicate \"proof\" part")
+				return
+			}
+			tr, err = proof.ReadLimited(part, d.opt.ProofLimits)
+		default:
+			writeError(w, http.StatusBadRequest, StatusBadInput,
+				fmt.Sprintf("unknown part %q (want \"formula\", \"proof\")", part.FormName()))
+			return
+		}
+		if err != nil {
+			d.writeUploadError(w, err)
+			return
+		}
+	}
+	if f == nil || tr == nil {
+		writeError(w, http.StatusBadRequest, StatusBadInput, "upload needs both a \"formula\" and a \"proof\" part")
+		return
+	}
+	// The structural check core.Verify would fail with ErrBadTrace is run
+	// here instead, so structurally hopeless proofs are refused at the door
+	// rather than burning a queue slot to be refused later.
+	if tr.Terminates() == proof.TermNone {
+		writeError(w, http.StatusUnprocessableEntity, StatusBadInput,
+			"trace must end in a final conflicting pair or the empty clause")
+		return
+	}
+
+	job, err := d.Submit(tenant, f, tr)
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/v1/jobs/"+job.ID)
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: job.ID, State: StateQueued})
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrTenantBusy):
+		w.Header().Set("Retry-After", retryAfter)
+		writeError(w, http.StatusTooManyRequests, StatusInternal, err.Error())
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", retryAfter)
+		writeError(w, http.StatusServiceUnavailable, StatusInternal, err.Error())
+	default:
+		// Store trouble (e.g. disk full during admission): retryable.
+		w.Header().Set("Retry-After", retryAfter)
+		writeError(w, http.StatusServiceUnavailable, StatusInternal, err.Error())
+	}
+}
+
+// writeUploadError classifies an admission parse failure: limit violations
+// are 413 (the request entity is the problem), everything else malformed or
+// truncated is 400. Both carry status bad_input — the same class a dpv run
+// would exit 3 for.
+func (d *Daemon) writeUploadError(w http.ResponseWriter, err error) {
+	d.opt.Obs.Counter("service.uploads_rejected").Inc()
+	var maxBytes *http.MaxBytesError
+	if errors.As(err, &maxBytes) || errors.Is(err, cnf.ErrLimit) || errors.Is(err, proof.ErrLimit) {
+		writeError(w, http.StatusRequestEntityTooLarge, StatusBadInput, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, StatusBadInput, err.Error())
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, jr, err := d.Status(id)
+	if errors.Is(err, ErrUnknownJob) {
+		writeError(w, http.StatusNotFound, StatusBadInput, "unknown job")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, StatusInternal, err.Error())
+		return
+	}
+	resp := statusResponse{ID: id, State: st, Result: jr}
+	if job, jerr := d.opt.Store.Job(id); jerr == nil {
+		resp.Tenant = job.Tenant
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCore serves a verified job's unsat core as DIMACS — the paper's
+// by-product, delivered over the wire instead of via dpv -core FILE.
+func (d *Daemon) handleCore(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, jr, err := d.Status(id)
+	if errors.Is(err, ErrUnknownJob) {
+		writeError(w, http.StatusNotFound, StatusBadInput, "unknown job")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, StatusInternal, err.Error())
+		return
+	}
+	if st != StateDone {
+		writeError(w, http.StatusConflict, StatusBadInput, "job has no verdict yet")
+		return
+	}
+	if jr == nil || jr.Status != StatusVerified || jr.Code != exitcode.OK {
+		writeError(w, http.StatusConflict, StatusBadInput, "core exists only for verified jobs")
+		return
+	}
+	f, _, err := d.opt.Store.Artifacts(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, StatusInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := cnf.WriteDimacs(w, f.Restrict(jr.Core)); err != nil {
+		d.opt.Logf("service: job %s: core write: %v", id, err)
+	}
+}

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Admission failures, mapped by the HTTP layer onto 429 (with Retry-After)
+// and 503. They are the backpressure contract: the daemon never buffers
+// beyond its configured bounds — it tells the client to come back later.
+var (
+	// ErrQueueFull: the global job queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrTenantBusy: the submitting tenant's queued-job quota is exhausted
+	// (the global queue may still have room for other tenants).
+	ErrTenantBusy = errors.New("service: tenant queue quota exhausted")
+	// ErrDraining: the daemon is shutting down and admits nothing new.
+	ErrDraining = errors.New("service: daemon is draining")
+	// ErrUnknownJob: no job with that ID exists.
+	ErrUnknownJob = errors.New("service: unknown job")
+)
+
+// TenantQuota bounds one tenant's share of the daemon. Zero fields inherit
+// the daemon's defaults (Options.DefaultQuota, itself defaulted to "the
+// whole queue, all the workers" for the single-tenant case).
+type TenantQuota struct {
+	// MaxQueued bounds how many of the tenant's jobs may wait in the queue
+	// at once; admission beyond it fails with ErrTenantBusy.
+	MaxQueued int
+	// MaxRunning bounds how many of the tenant's jobs may run concurrently.
+	// Jobs over the bound stay queued (other tenants' jobs pass them — the
+	// queue is FIFO per tenant, not globally blocking).
+	MaxRunning int
+	// Budget overrides the daemon's per-job resource budget for this
+	// tenant. Zero fields inherit the daemon default field-by-field.
+	Budget core.Budget
+}
+
+// withDefaults fills zero fields from def.
+func (q TenantQuota) withDefaults(def TenantQuota) TenantQuota {
+	if q.MaxQueued <= 0 {
+		q.MaxQueued = def.MaxQueued
+	}
+	if q.MaxRunning <= 0 {
+		q.MaxRunning = def.MaxRunning
+	}
+	if q.Budget.MaxPropagations == 0 {
+		q.Budget.MaxPropagations = def.Budget.MaxPropagations
+	}
+	if q.Budget.MaxTraceClauses == 0 {
+		q.Budget.MaxTraceClauses = def.Budget.MaxTraceClauses
+	}
+	if q.Budget.MaxMemoryBytes == 0 {
+		q.Budget.MaxMemoryBytes = def.Budget.MaxMemoryBytes
+	}
+	return q
+}
+
+// queue is the daemon's bounded admission queue. Admission is two-phase —
+// Admit reserves a slot under the capacity and tenant bounds, Enqueue
+// commits a job into it (or Release returns the slot after a failed store
+// write) — so a job is only ever queued after it is durable, and a slot is
+// never leaked when durability fails. Dequeue hands out jobs FIFO, skipping
+// over tenants whose running quota is exhausted.
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	cap      int
+	reserved int    // Admit-ed slots not yet Enqueue-d or Release-d
+	items    []*Job // FIFO admission order
+
+	queued  map[string]int // per-tenant: reserved + waiting
+	running map[string]int // per-tenant: currently on a worker
+
+	quota  func(tenant string) TenantQuota
+	closed bool
+}
+
+func newQueue(capacity int, quota func(string) TenantQuota) *queue {
+	q := &queue{
+		cap:     capacity,
+		queued:  make(map[string]int),
+		running: make(map[string]int),
+		quota:   quota,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Admit reserves a queue slot for tenant, or reports why it cannot.
+func (q *queue) Admit(tenant string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if len(q.items)+q.reserved >= q.cap {
+		return ErrQueueFull
+	}
+	if q.queued[tenant] >= q.quota(tenant).MaxQueued {
+		return ErrTenantBusy
+	}
+	q.reserved++
+	q.queued[tenant]++
+	return nil
+}
+
+// Release undoes an Admit whose job never made it into the store.
+func (q *queue) Release(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reserved--
+	q.queued[tenant]--
+	q.cond.Broadcast()
+}
+
+// Enqueue commits an admitted job into the queue.
+func (q *queue) Enqueue(job *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reserved--
+	q.items = append(q.items, job)
+	q.cond.Broadcast()
+}
+
+// Requeue inserts recovered jobs ahead of quota accounting. Recovered jobs
+// were admitted before the crash — bouncing them on a full queue would lose
+// work the daemon already accepted, so capacity is deliberately not
+// re-checked (the queue may transiently exceed cap by the recovered count;
+// readiness reports saturated until it drains).
+func (q *queue) Requeue(jobs []*Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, j := range jobs {
+		q.items = append(q.items, j)
+		q.queued[j.Tenant]++
+	}
+	q.cond.Broadcast()
+}
+
+// Dequeue blocks until a job whose tenant has running headroom is available
+// and claims it, or returns false when the queue is closed. Jobs of a
+// saturated tenant are skipped, not head-of-line blocking.
+func (q *queue) Dequeue() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil, false
+		}
+		for i, j := range q.items {
+			if q.running[j.Tenant] < q.quota(j.Tenant).MaxRunning {
+				q.items = append(q.items[:i], q.items[i+1:]...)
+				q.queued[j.Tenant]--
+				q.running[j.Tenant]++
+				return j, true
+			}
+		}
+		q.cond.Wait()
+	}
+}
+
+// Done releases a tenant's running slot after a job finishes (or is
+// abandoned by drain), waking waiters whose tenant was saturated.
+func (q *queue) Done(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.running[tenant]--
+	q.cond.Broadcast()
+}
+
+// Close stops admission and wakes every Dequeue waiter. Jobs still queued
+// are abandoned in place: with a disk-backed store they are incomplete
+// records that the next start recovers; workers must not start new work
+// during drain.
+func (q *queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Depth returns the number of waiting (not running) jobs.
+func (q *queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) + q.reserved
+}
+
+// Saturated reports whether a new Admit would fail on global capacity.
+func (q *queue) Saturated() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed || len(q.items)+q.reserved >= q.cap
+}

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func testQuota(def TenantQuota) func(string) TenantQuota {
+	return func(string) TenantQuota { return def }
+}
+
+func TestQueueCapacityBound(t *testing.T) {
+	q := newQueue(2, testQuota(TenantQuota{MaxQueued: 10, MaxRunning: 1}))
+	if err := q.Admit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Admit("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Reservations count against capacity even before Enqueue: admission
+	// can never overshoot in the window between Admit and the store write.
+	if err := q.Admit("a"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third admit = %v, want ErrQueueFull", err)
+	}
+	q.Release("a")
+	if err := q.Admit("a"); err != nil {
+		t.Fatalf("admit after release = %v, want nil", err)
+	}
+}
+
+func TestQueueTenantQuota(t *testing.T) {
+	q := newQueue(10, testQuota(TenantQuota{MaxQueued: 1, MaxRunning: 1}))
+	if err := q.Admit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Admit("a"); !errors.Is(err, ErrTenantBusy) {
+		t.Fatalf("tenant over quota = %v, want ErrTenantBusy", err)
+	}
+	// Another tenant is unaffected — the global queue has room.
+	if err := q.Admit("b"); err != nil {
+		t.Fatalf("other tenant = %v, want nil", err)
+	}
+}
+
+// A tenant at its running quota must not block other tenants' jobs queued
+// behind it (no head-of-line blocking across tenants).
+func TestQueueSkipsSaturatedTenant(t *testing.T) {
+	q := newQueue(10, testQuota(TenantQuota{MaxQueued: 10, MaxRunning: 1}))
+	for _, j := range []*Job{{ID: "a1", Tenant: "a"}, {ID: "a2", Tenant: "a"}, {ID: "b1", Tenant: "b"}} {
+		if err := q.Admit(j.Tenant); err != nil {
+			t.Fatal(err)
+		}
+		q.Enqueue(j)
+	}
+	j1, _ := q.Dequeue()
+	if j1.ID != "a1" {
+		t.Fatalf("first dequeue = %s, want a1", j1.ID)
+	}
+	// a is now at MaxRunning=1, so a2 must be passed over for b1.
+	j2, _ := q.Dequeue()
+	if j2.ID != "b1" {
+		t.Fatalf("second dequeue = %s, want b1 (a is saturated)", j2.ID)
+	}
+	// Finishing a1 releases the slot; a2 becomes eligible.
+	q.Done("a")
+	j3, _ := q.Dequeue()
+	if j3.ID != "a2" {
+		t.Fatalf("third dequeue = %s, want a2", j3.ID)
+	}
+}
+
+func TestQueueCloseWakesWaiters(t *testing.T) {
+	q := newQueue(4, testQuota(TenantQuota{MaxQueued: 4, MaxRunning: 1}))
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Dequeue()
+		done <- ok
+	}()
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Dequeue returned a job from a closed empty queue")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Dequeue did not wake on Close")
+	}
+	if err := q.Admit("a"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("admit after close = %v, want ErrDraining", err)
+	}
+}
+
+// Requeue bypasses capacity: recovered jobs were admitted before the crash
+// and must never be bounced.
+func TestQueueRequeueBypassesCapacity(t *testing.T) {
+	q := newQueue(1, testQuota(TenantQuota{MaxQueued: 10, MaxRunning: 10}))
+	q.Requeue([]*Job{{ID: "r1", Tenant: "a"}, {ID: "r2", Tenant: "a"}})
+	if !q.Saturated() {
+		t.Fatal("queue over capacity should report saturated")
+	}
+	if err := q.Admit("a"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("admit while over capacity = %v, want ErrQueueFull", err)
+	}
+	if j, ok := q.Dequeue(); !ok || j.ID != "r1" {
+		t.Fatalf("dequeue = %v %v, want r1", j, ok)
+	}
+	if j, ok := q.Dequeue(); !ok || j.ID != "r2" {
+		t.Fatalf("dequeue = %v %v, want r2", j, ok)
+	}
+}

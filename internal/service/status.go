@@ -1,0 +1,78 @@
+package service
+
+import (
+	"repro/internal/core"
+	"repro/internal/exitcode"
+)
+
+// Status is the API's outcome classification. It is the exit-code contract
+// with names: every Status corresponds to exactly one dpv exit code, so the
+// daemon and the CLI report the same taxonomy through different transports.
+type Status string
+
+const (
+	// StatusVerified: the proof is a correct proof of unsatisfiability.
+	StatusVerified Status = "verified"
+	// StatusRejected: well-formed input, but a proof clause failed its
+	// reverse-unit-propagation check.
+	StatusRejected Status = "rejected"
+	// StatusBadInput: the formula or proof was malformed, over the parser
+	// limits, or structurally broken (e.g. no terminating clause).
+	StatusBadInput Status = "bad_input"
+	// StatusTimeout: the per-job deadline expired before a verdict.
+	StatusTimeout Status = "timeout"
+	// StatusBudget: a resource budget (propagations, memory estimate) was
+	// exhausted before a verdict.
+	StatusBudget Status = "budget_exhausted"
+	// StatusInterrupted: the run was cancelled (daemon drain reached its
+	// own deadline with the job still on a worker).
+	StatusInterrupted Status = "interrupted"
+	// StatusInternal: a defect in the verifier itself — a worker panic that
+	// survived the fallback retry, or a failed artifact write.
+	StatusInternal Status = "internal_error"
+)
+
+// ExitCode returns the dpv exit code this status maps to.
+func (s Status) ExitCode() int {
+	switch s {
+	case StatusVerified:
+		return exitcode.OK
+	case StatusRejected:
+		return exitcode.VerifyFailed
+	case StatusBadInput:
+		return exitcode.BadInput
+	case StatusTimeout:
+		return exitcode.Timeout
+	case StatusBudget:
+		return exitcode.Budget
+	case StatusInterrupted:
+		return exitcode.Interrupted
+	default:
+		return exitcode.Internal
+	}
+}
+
+// statusOf classifies a core.Verify outcome. A nil error is a verdict —
+// verified or rejected by Result.OK; everything else routes through the
+// same typed-error mapping the CLI exit path uses, so the two surfaces can
+// never drift apart.
+func statusOf(res *core.Result, err error) Status {
+	if err == nil {
+		if res != nil && res.OK {
+			return StatusVerified
+		}
+		return StatusRejected
+	}
+	switch exitcode.FromVerifyError(err) {
+	case exitcode.Timeout:
+		return StatusTimeout
+	case exitcode.Budget:
+		return StatusBudget
+	case exitcode.BadInput:
+		return StatusBadInput
+	case exitcode.Interrupted:
+		return StatusInterrupted
+	default:
+		return StatusInternal
+	}
+}
