@@ -7,7 +7,7 @@ GO ?= go
 # mutator beyond the seed corpus, short enough for a pre-merge gate.
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race check bench bench-smoke bench-gate trace-smoke fuzz-smoke crash-smoke daemon-smoke clean
+.PHONY: all build vet test race check bench bench-smoke bench-gate trace-smoke fuzz-smoke crash-smoke daemon-smoke lrat-smoke clean
 
 # Scratch dir for gate artifacts that must not clobber committed baselines.
 SCRATCH ?= .scratch
@@ -34,6 +34,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadTrace$$' -fuzztime $(FUZZTIME) ./internal/proof/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinaryTrace$$' -fuzztime $(FUZZTIME) ./internal/proof/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseCNF$$' -fuzztime $(FUZZTIME) ./internal/cnf/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseLRAT$$' -fuzztime $(FUZZTIME) ./internal/lrat/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseLRATBinary$$' -fuzztime $(FUZZTIME) ./internal/lrat/
 	$(GO) test -run '^$$' -fuzz '^FuzzUpload$$' -fuzztime $(FUZZTIME) ./internal/service/
 
 # crash-smoke is the seeded kill-and-recover loop: the built CLIs are
@@ -55,6 +57,17 @@ daemon-smoke:
 	$(GO) test -run '^TestDaemonKillAndRecover$$' -count=1 -v .
 	$(GO) test -count=1 ./internal/service/
 
+# lrat-smoke is the hinted-proof gate: the LRAT parser/checker unit suite,
+# hint emission from both backward checkers (including byte-identical
+# emission across checkpoint resume), and the adversarial hint-corruption +
+# RUP-differential matrices. The emit -> lratcheck CLI round trip rides in
+# crash-smoke; the service surface (proof.lrat persistence, GET /lrat,
+# POST /recheck) rides in daemon-smoke.
+lrat-smoke:
+	$(GO) test -count=1 ./internal/lrat/
+	$(GO) test -run 'LRAT' -count=1 ./internal/core/ ./internal/drat/
+	$(GO) test -run '^TestLRAT|^TestApplyHints' -count=1 ./internal/faults/
+
 # bench-smoke replays small pigeonhole/random proofs through every BCP
 # engine (propagations/sec, watcher-visits per check, and the
 # incremental-vs-scratch ratios). Quick suite, written to scratch — the
@@ -74,6 +87,8 @@ bench-gate:
 	@mkdir -p $(SCRATCH)
 	$(GO) run ./cmd/bcpbench -quick -iters 3 -out $(SCRATCH)/BENCH_fresh.json
 	$(GO) run ./cmd/benchdiff -tol 0.15 BENCH_bcp.json $(SCRATCH)/BENCH_fresh.json
+	$(GO) run ./cmd/bcpbench -lrat -quick -iters 3 -out $(SCRATCH)/BENCH_lrat_fresh.json
+	$(GO) run ./cmd/benchdiff -lrat -tol 0.15 BENCH_lrat.json $(SCRATCH)/BENCH_lrat_fresh.json
 
 # trace-smoke emits a flight recording from a real verification, parses it
 # back and validates the span tree (see trace_roundtrip_test.go), then
@@ -90,9 +105,11 @@ trace-smoke:
 # check is the pre-merge gate: vet, a full build, the test suite under the
 # race detector, a short fuzz pass over the untrusted-input parsers and the
 # daemon admission gate, the kill-and-recover crash loops (CLI and daemon),
-# the trace roundtrip + overhead smoke, and the benchmark perf-regression
-# gate. Run it before every merge; CI and reviewers assume it is green.
-check: vet build race fuzz-smoke crash-smoke daemon-smoke trace-smoke bench-gate
+# the hinted-proof (LRAT) gate, the trace roundtrip + overhead smoke, and
+# the benchmark perf-regression gate (BCP engines and hinted re-check
+# throughput). Run it before every merge; CI and reviewers assume it is
+# green.
+check: vet build race fuzz-smoke crash-smoke daemon-smoke lrat-smoke trace-smoke bench-gate
 
 # bench compiles and smoke-runs every benchmark once (not a measurement run).
 bench:

@@ -10,7 +10,14 @@
 //	bcpbench                       # full suite, BENCH_bcp.json
 //	bcpbench -quick -iters 2       # smoke run (make bench-smoke)
 //	bcpbench -out path/to/report.json
+//	bcpbench -lrat                 # hinted-proof benchmark, BENCH_lrat.json
 //	bcpbench -trace-overhead       # measure flight-recorder overhead instead
+//
+// -lrat runs the hinted-proof benchmark instead: each instance is verified
+// once with the LRAT recorder attached, then full RUP re-verification is
+// raced against the propagation-free hinted replay (lrat.Check). The
+// report's headline speedup must stay above the 5x floor documented in
+// DESIGN.md.
 //
 // -trace-overhead runs the watched engine with and without a flight
 // recorder attached and reports the wall-clock overhead percentage; the
@@ -34,12 +41,20 @@ func main() {
 }
 
 func run() int {
-	out := flag.String("out", "BENCH_bcp.json", "JSON report path")
+	out := flag.String("out", "", "JSON report path (default BENCH_bcp.json, or BENCH_lrat.json with -lrat)")
 	iters := flag.Int("iters", 3, "repetitions per engine; best wall time wins")
 	quick := flag.Bool("quick", false, "small instances only (smoke run)")
+	lratMode := flag.Bool("lrat", false, "run the hinted-proof benchmark (RUP re-verification vs lrat.Check)")
 	overhead := flag.Bool("trace-overhead", false, "measure flight-recorder overhead instead of the engine benchmark")
 	budget := flag.Float64("overhead-budget", 3.0, "with -trace-overhead: fail when overhead exceeds this percentage")
 	flag.Parse()
+	if *out == "" {
+		if *lratMode {
+			*out = "BENCH_lrat.json"
+		} else {
+			*out = "BENCH_bcp.json"
+		}
+	}
 
 	if *overhead {
 		orep, err := bench.TraceOverhead(bench.BCPSuite(*quick), *iters)
@@ -54,6 +69,10 @@ func run() int {
 			return 1
 		}
 		return 0
+	}
+
+	if *lratMode {
+		return runLRAT(*quick, *iters, *out)
 	}
 
 	rep, err := bench.BCPBench(bench.BCPSuite(*quick), *iters)
@@ -84,5 +103,34 @@ func run() int {
 		return 1
 	}
 	fmt.Println("wrote", *out)
+	return 0
+}
+
+func runLRAT(quick bool, iters int, out string) int {
+	rep, err := bench.LRATBench(bench.BCPSuite(quick), iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcpbench:", err)
+		return 1
+	}
+	for _, ir := range rep.Instances {
+		fmt.Printf("%s (vars=%d clauses=%d trace=%d)\n",
+			ir.Name, ir.Vars, ir.Clauses, ir.TraceLen)
+		fmt.Printf("  rup    %9.2fms\n", ir.RUPMillis)
+		fmt.Printf("  hinted %9.2fms  additions=%-6d hints=%-8d hints/step=%5.1f  speedup=%.1fx\n",
+			ir.HintedMillis, ir.Additions, ir.Hints, ir.HintsPerStep, ir.Speedup)
+	}
+	fmt.Printf("suite totals: rup %.2fms, hinted %.2fms, speedup %.1fx\n",
+		rep.TotalRUPMillis, rep.TotalHintedMillis, rep.Speedup)
+
+	err = atomicio.WriteFile(out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcpbench:", err)
+		return 1
+	}
+	fmt.Println("wrote", out)
 	return 0
 }

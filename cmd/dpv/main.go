@@ -16,6 +16,9 @@
 //	                mode always checks every clause and extracts no core)
 //	-core FILE      write the unsatisfiable core as DIMACS
 //	-trim FILE      write the trimmed proof (used clauses only)
+//	-emit-lrat FILE write an LRAT hinted proof of the verification
+//	                (sequential only; lratcheck re-validates it without BCP)
+//	-lrat-binary    write -emit-lrat output in the compact binary format
 //	-timeout D      give up after this long (e.g. 30s, 5m; 0 = unlimited)
 //	-max-props N    give up after N unit propagations (0 = unlimited)
 //	-max-memory N   refuse runs whose estimated footprint exceeds N bytes
@@ -66,6 +69,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exitcode"
 	"repro/internal/journal"
+	"repro/internal/lrat"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/proof"
@@ -82,6 +86,8 @@ func run() int {
 	par := flag.Int("par", 0, "parallel workers (0 = sequential; implies -all, no core)")
 	corePath := flag.String("core", "", "write the unsatisfiable core (DIMACS) to this file")
 	trimPath := flag.String("trim", "", "write the trimmed proof to this file")
+	lratPath := flag.String("emit-lrat", "", "write an LRAT hinted proof to this file")
+	lratBinary := flag.Bool("lrat-binary", false, "write -emit-lrat output in the binary format")
 	timeout := flag.Duration("timeout", 0, "give up after this long (0 = unlimited)")
 	maxProps := flag.Int64("max-props", 0, "give up after N unit propagations (0 = unlimited)")
 	maxMemory := flag.Int64("max-memory", 0, "refuse runs whose estimated footprint exceeds N bytes (0 = unlimited)")
@@ -106,6 +112,14 @@ func run() int {
 	}
 	if *par != 0 && (*corePath != "" || *trimPath != "") {
 		fmt.Fprintln(os.Stderr, "dpv: -par checks every clause without marking; -core/-trim need the sequential checker")
+		return exitcode.Usage
+	}
+	if *par != 0 && *lratPath != "" {
+		fmt.Fprintln(os.Stderr, "dpv: -emit-lrat records one engine's propagation order; it needs the sequential checker")
+		return exitcode.Usage
+	}
+	if *lratBinary && *lratPath == "" {
+		fmt.Fprintln(os.Stderr, "dpv: -lrat-binary requires -emit-lrat")
 		return exitcode.Usage
 	}
 	if *resume && *checkpointPath == "" {
@@ -207,6 +221,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "dpv: unknown engine %q\n", *engine)
 		return exitcode.Usage
 	}
+	var hints *lrat.Recorder
+	if *lratPath != "" {
+		hints = new(lrat.Recorder)
+		opt.Hints = hints
+	}
 
 	// Checkpoint journal: open a matching journal first when resuming, then
 	// start a fresh one for this run. The resumed record is re-appended as
@@ -236,6 +255,11 @@ func run() int {
 				cp, derr := core.DecodeCheckpoint(payload)
 				if derr == nil {
 					derr = cp.ValidateFor(f.NumClauses(), tr.Len(), int(meta.Workers))
+				}
+				if derr == nil && hints != nil && cp.Hints == nil {
+					// The steps recorded before the crash live only in the
+					// checkpoint; a hint-free journal cannot seed -emit-lrat.
+					derr = fmt.Errorf("journal predates -emit-lrat, hints unrecoverable")
 				}
 				if derr == nil {
 					resumeCp = cp
@@ -382,7 +406,27 @@ func run() int {
 			return exitcode.Internal
 		}
 	}
+	if hints != nil && res.OK {
+		if err := writeLRAT(*lratPath, hints, *lratBinary); err != nil {
+			fmt.Fprintln(os.Stderr, "dpv:", err)
+			return exitcode.Internal
+		}
+	}
 	return exitcode.OK
+}
+
+// writeLRAT renders a recorder's proof to path (text or binary) atomically.
+func writeLRAT(path string, rec *lrat.Recorder, binary bool) error {
+	lp, err := rec.Proof()
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		if binary {
+			return lrat.WriteBinary(w, lp)
+		}
+		return lrat.Write(w, lp)
+	})
 }
 
 func writeStats(path string, reg *obs.Registry) error {

@@ -11,6 +11,11 @@
 // journal's last durable record, falling back to a full run on any
 // mismatch or corruption.
 //
+// With -backward -emit-lrat FILE a verified proof is also written out in
+// LRAT form — each kept step annotated with the resolution hints that make
+// it checkable by unit replay alone (see cmd/lratcheck). -lrat-binary
+// selects the compact binary encoding.
+//
 // Observability: -stats-json FILE writes a JSON snapshot of every metric
 // and the span tree; -trace-out FILE records the run as Chrome trace-event
 // JSON (loadable in ui.perfetto.dev), -trace-jsonl FILE as a JSONL event
@@ -39,6 +44,7 @@ import (
 	"repro/internal/drat"
 	"repro/internal/exitcode"
 	"repro/internal/journal"
+	"repro/internal/lrat"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 )
@@ -56,6 +62,8 @@ func run() int {
 	checkpointEvery := flag.Int("checkpoint-every", 1000, "checkpoint interval in proof steps")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint journal when it matches")
 	timeout := flag.Duration("timeout", 0, "with -backward: give up after this long (0 = unlimited)")
+	lratPath := flag.String("emit-lrat", "", "with -backward: write an LRAT proof with resolution hints to this file")
+	lratBinary := flag.Bool("lrat-binary", false, "with -emit-lrat: write the compact binary LRAT encoding")
 	statsJSON := flag.String("stats-json", "", "write a JSON metrics snapshot to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON flight recording to this file")
 	traceJSONL := flag.String("trace-jsonl", "", "write the flight recording as JSONL to this file")
@@ -75,6 +83,14 @@ func run() int {
 	}
 	if *checkpointPath != "" && *checkpointEvery <= 0 {
 		fmt.Fprintln(os.Stderr, "dratcheck: -checkpoint-every must be positive")
+		return exitcode.Usage
+	}
+	if *lratPath != "" && !*backward {
+		fmt.Fprintln(os.Stderr, "dratcheck: -emit-lrat requires -backward (hints come from the backward pass)")
+		return exitcode.Usage
+	}
+	if *lratBinary && *lratPath == "" {
+		fmt.Fprintln(os.Stderr, "dratcheck: -lrat-binary requires -emit-lrat")
 		return exitcode.Usage
 	}
 
@@ -134,6 +150,11 @@ func run() int {
 	var res *drat.Result
 	if *backward {
 		bopt := drat.BackwardOptions{Obs: reg, Ctx: ctx}
+		var hints *lrat.Recorder
+		if *lratPath != "" {
+			hints = new(lrat.Recorder)
+			bopt.Hints = hints
+		}
 		var jw *journal.Writer
 		if *checkpointPath != "" {
 			meta := journal.Meta{
@@ -147,6 +168,11 @@ func run() int {
 				payload, jerr := journal.Open(*checkpointPath, meta, reg)
 				if jerr == nil {
 					cp, derr := drat.DecodeBackwardCheckpoint(payload)
+					if derr == nil && hints != nil && cp.Hints == nil {
+						// The journal was written without -emit-lrat, so the
+						// already-verified steps' hints are unrecoverable.
+						derr = fmt.Errorf("journal predates -emit-lrat, hints unrecoverable")
+					}
 					if derr == nil {
 						bopt.Resume = cp
 						resumePayload = payload
@@ -219,6 +245,13 @@ func run() int {
 					return exitcode.Internal
 				}
 			}
+			if hints != nil {
+				werr := writeLRAT(*lratPath, hints, *lratBinary)
+				if werr != nil {
+					fmt.Fprintln(os.Stderr, "dratcheck:", werr)
+					return exitcode.Internal
+				}
+			}
 			if !*quiet {
 				fmt.Printf("c trimmed: %d of %d additions kept; core: %d of %d clauses\n",
 					trimmed.Additions(), res.Additions, len(coreIdx), f.NumClauses())
@@ -247,4 +280,18 @@ func run() int {
 			res.Additions, res.Deletions, res.Tautologies, res.RATChecks, res.Propagations)
 	}
 	return exitcode.OK
+}
+
+// writeLRAT atomically writes the recorded hinted proof.
+func writeLRAT(path string, rec *lrat.Recorder, binary bool) error {
+	lp, err := rec.Proof()
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		if binary {
+			return lrat.WriteBinary(w, lp)
+		}
+		return lrat.Write(w, lp)
+	})
 }

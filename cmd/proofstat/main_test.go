@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lrat"
+)
+
+func TestPow2Bucket(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1023: 9, 1024: 10}
+	for n, want := range cases {
+		if got := pow2Bucket(n); got != want {
+			t.Errorf("pow2Bucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLRATStats(t *testing.T) {
+	p, err := lrat.Read(strings.NewReader("4 1 0 1 2 0\n4 d 2 0\n5 0 3 4 1 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := lratStats(p)
+	for _, want := range []string{
+		"steps: 3 (2 additions, 1 deletions)",
+		"refutation step: true",
+		"hints: 5 total, 2.5 mean/step, 3 max",
+		"hinted/trimmed size: 10/3 tokens = 3.33x",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"bufio"
 	"bytes"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -10,7 +12,9 @@ import (
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/lrat"
 	"repro/internal/proof"
 	"repro/internal/solver"
 )
@@ -24,7 +28,7 @@ import (
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	cmd := exec.Command("go", "build", "-o", dir, "./cmd/dpv", "./cmd/bksat", "./cmd/dratcheck")
+	cmd := exec.Command("go", "build", "-o", dir, "./cmd/dpv", "./cmd/bksat", "./cmd/dratcheck", "./cmd/lratcheck")
 	cmd.Dir = "."
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("building binaries: %v\n%s", err, out)
@@ -32,10 +36,10 @@ func buildCmds(t *testing.T) string {
 	return dir
 }
 
-// writeFixtures produces a verified formula/proof pair, a satisfiable
-// formula, a weakened (satisfiable) variant of the UNSAT formula, and a
-// garbage file, returning their paths.
-func writeFixtures(t *testing.T) (unsatCNF, trace, satCNF, weakCNF, garbage string) {
+// writeFixtures produces a verified formula/proof pair (in trace and hinted
+// LRAT form), a satisfiable formula, a weakened (satisfiable) variant of the
+// UNSAT formula, and a garbage file, returning their paths.
+func writeFixtures(t *testing.T) (unsatCNF, trace, lratPath, satCNF, weakCNF, garbage string) {
 	t.Helper()
 	dir := t.TempDir()
 
@@ -62,6 +66,17 @@ func writeFixtures(t *testing.T) (unsatCNF, trace, satCNF, weakCNF, garbage stri
 
 	unsatCNF = write("php5.cnf", func(o *os.File) error { return cnf.WriteDimacs(o, inst.F) })
 	trace = write("php5.trace", func(o *os.File) error { return proof.Write(o, tr) })
+	var rec lrat.Recorder
+	if res, err := core.Verify(inst.F, tr, core.Options{Hints: &rec}); err != nil || !res.OK {
+		t.Fatalf("hinted verify of php_5: err=%v res=%+v", err, res)
+	}
+	lratPath = write("php5.lrat", func(o *os.File) error {
+		lp, err := rec.Proof()
+		if err != nil {
+			return err
+		}
+		return lrat.Write(o, lp)
+	})
 	satCNF = write("sat.cnf", func(o *os.File) error {
 		return cnf.WriteDimacs(o, cnf.NewFormula(2).Add(1, 2).Add(-1, 2))
 	})
@@ -74,6 +89,36 @@ func writeFixtures(t *testing.T) (unsatCNF, trace, satCNF, weakCNF, garbage stri
 		_, err := o.WriteString("p cnf x y\nnot a formula\n")
 		return err
 	})
+	return
+}
+
+// writeBigLRAT emits a hinted proof with n repeated derivations of (x2) from
+// the three-clause chain (x1)(¬x1 x2)(¬x2), closed by the empty clause. Every
+// step replays, so the only way the run ends early is the signal under test;
+// n in the millions keeps the checker busy long enough to land one.
+func writeBigLRAT(t *testing.T, dir string, n int) (cnfPath, lratPath string) {
+	t.Helper()
+	cnfPath = filepath.Join(dir, "chain2.cnf")
+	if err := os.WriteFile(cnfPath, []byte("p cnf 2 3\n1 0\n-1 2 0\n-2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lratPath = filepath.Join(dir, "big.lrat")
+	out, err := os.Create(lratPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriterSize(out, 1<<20)
+	for i := 0; i < n; i++ {
+		// id C=(x2) 0 hints=(x1),(¬x1 x2) 0 — unit then falsified.
+		fmt.Fprintf(w, "%d 2 0 1 2 0\n", 4+i)
+	}
+	fmt.Fprintf(w, "%d 0 1 2 3 0\n", 4+n)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
 	return
 }
 
@@ -96,10 +141,11 @@ func runCmd(t *testing.T, bin string, args ...string) (int, string) {
 
 func TestExitCodes(t *testing.T) {
 	bins := buildCmds(t)
-	unsatCNF, trace, satCNF, weakCNF, garbage := writeFixtures(t)
+	unsatCNF, trace, lratProof, satCNF, weakCNF, garbage := writeFixtures(t)
 	dpv := filepath.Join(bins, "dpv")
 	bksat := filepath.Join(bins, "bksat")
 	dratcheck := filepath.Join(bins, "dratcheck")
+	lratcheck := filepath.Join(bins, "lratcheck")
 
 	cases := []struct {
 		name string
@@ -125,6 +171,15 @@ func TestExitCodes(t *testing.T) {
 		{"bksat usage", bksat, []string{}, 1},
 		{"dratcheck malformed", dratcheck, []string{garbage, trace}, 3},
 		{"dratcheck usage", dratcheck, []string{unsatCNF}, 1},
+		{"lratcheck verified", lratcheck, []string{"-q", unsatCNF, lratProof}, 0},
+		{"lratcheck verified parallel", lratcheck, []string{"-q", "-par", "4", unsatCNF, lratProof}, 0},
+		// The hints were recorded against the full formula; dropping a clause
+		// shifts every formula ID, so the replays no longer go through.
+		{"lratcheck rejected", lratcheck, []string{"-q", weakCNF, lratProof}, 2},
+		{"lratcheck malformed formula", lratcheck, []string{garbage, lratProof}, 3},
+		{"lratcheck malformed proof", lratcheck, []string{unsatCNF, garbage}, 3},
+		{"lratcheck timeout", lratcheck, []string{"-timeout", "1ns", unsatCNF, lratProof}, 4},
+		{"lratcheck usage", lratcheck, []string{unsatCNF}, 1},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -279,21 +334,28 @@ func TestExitCodeTerminated(t *testing.T) {
 	}
 	out.Close()
 
+	lratCNF, lratBig := writeBigLRAT(t, dir, 3_000_000)
+
 	dpvJournal := filepath.Join(dir, "dpv-term.dpvj")
 	dratJournal := filepath.Join(dir, "drat-term.dpvj")
 	cases := []struct {
 		name    string
 		bin     string
 		args    []string
-		journal string // wait for a durable checkpoint record before signalling
+		journal string        // wait for a durable checkpoint record before signalling
+		sleep   time.Duration // journal-less cases: delay before signalling
 	}{
 		// -timeout backstops every case: if SIGTERM handling regresses the
 		// run ends with exit 4 instead of wedging the test.
-		{"bksat", "bksat", []string{"-timeout", "60s", hard}, ""},
+		{"bksat", "bksat", []string{"-timeout", "60s", hard}, "", 500 * time.Millisecond},
 		{"dpv", "dpv", []string{"-timeout", "60s", "-checkpoint", dpvJournal,
-			"-checkpoint-every", "100", cnfPath, tracePath}, dpvJournal},
+			"-checkpoint-every", "100", cnfPath, tracePath}, dpvJournal, 0},
 		{"dratcheck", "dratcheck", []string{"-backward", "-timeout", "60s", "-checkpoint", dratJournal,
-			"-checkpoint-every", "100", cnfPath, dratPath}, dratJournal},
+			"-checkpoint-every", "100", cnfPath, dratPath}, dratJournal, 0},
+		// lratcheck installs its handler before reading inputs, so a short
+		// delay suffices; the multi-million-step proof keeps it parsing and
+		// replaying well past the signal.
+		{"lratcheck", "lratcheck", []string{"-timeout", "60s", lratCNF, lratBig}, "", 150 * time.Millisecond},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -306,7 +368,7 @@ func TestExitCodeTerminated(t *testing.T) {
 			}
 			if tc.journal == "" {
 				// Give the process time to install its handler and start.
-				time.Sleep(500 * time.Millisecond)
+				time.Sleep(tc.sleep)
 			} else {
 				deadline := time.Now().Add(30 * time.Second)
 				for {

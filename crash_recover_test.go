@@ -126,11 +126,12 @@ func TestCrashRecoverMatrix(t *testing.T) {
 	every := strconv.Itoa(n / 8)
 	dpv := filepath.Join(bins, "dpv")
 	dratcheck := filepath.Join(bins, "dratcheck")
+	lratcheck := filepath.Join(bins, "lratcheck")
 
 	type config struct {
 		name string
 		args []string // verifier configuration flags
-		core bool     // sequential configs also compare the core artifact
+		core bool     // sequential configs also compare the core and LRAT artifacts
 	}
 	var cfgs []config
 	for _, eng := range []string{"watched", "counting"} {
@@ -153,7 +154,8 @@ func TestCrashRecoverMatrix(t *testing.T) {
 					args = append(args, "-resume")
 				}
 				if tc.core {
-					args = append(args, "-core", filepath.Join(dir, tag+".core"))
+					args = append(args, "-core", filepath.Join(dir, tag+".core"),
+						"-emit-lrat", filepath.Join(dir, tag+".lrat"))
 				}
 				return append(args, cnfPath, tracePath)
 			}
@@ -170,16 +172,22 @@ func TestCrashRecoverMatrix(t *testing.T) {
 				t.Errorf("recovered stdout diverged after %d crashes:\n got %q\nwant %q", crashes, out, baseOut)
 			}
 			if tc.core {
-				base, err := os.ReadFile(filepath.Join(dir, "base.core"))
-				if err != nil {
-					t.Fatal(err)
+				for _, ext := range []string{".core", ".lrat"} {
+					base, err := os.ReadFile(filepath.Join(dir, "base"+ext))
+					if err != nil {
+						t.Fatal(err)
+					}
+					rec, err := os.ReadFile(filepath.Join(dir, "crash"+ext))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(base, rec) {
+						t.Errorf("recovered %s artifact is not byte-identical to the baseline", ext)
+					}
 				}
-				rec, err := os.ReadFile(filepath.Join(dir, "crash.core"))
-				if err != nil {
-					t.Fatal(err)
-				}
-				if !bytes.Equal(base, rec) {
-					t.Error("recovered core is not byte-identical to the baseline core")
+				// The emitted hinted proof must round-trip through lratcheck.
+				if code, out := runWithEnv(t, nil, lratcheck, "-q", cnfPath, filepath.Join(dir, "base.lrat")); code != 0 {
+					t.Errorf("lratcheck rejected the emitted proof (exit %d):\n%s", code, out)
 				}
 			}
 			// A verdict was reached, so both journals must be gone.
@@ -198,7 +206,8 @@ func TestCrashRecoverMatrix(t *testing.T) {
 		mkArgs := func(tag string, resume bool) []string {
 			args := []string{"-backward",
 				"-checkpoint", filepath.Join(dir, tag+".dpvj"), "-checkpoint-every", every,
-				"-trim", filepath.Join(dir, tag+".drat"), "-core", filepath.Join(dir, tag+".core")}
+				"-trim", filepath.Join(dir, tag+".drat"), "-core", filepath.Join(dir, tag+".core"),
+				"-emit-lrat", filepath.Join(dir, tag+".lrat")}
 			if resume {
 				args = append(args, "-resume")
 			}
@@ -215,7 +224,7 @@ func TestCrashRecoverMatrix(t *testing.T) {
 		if out != baseOut {
 			t.Errorf("recovered stdout diverged after %d crashes:\n got %q\nwant %q", crashes, out, baseOut)
 		}
-		for _, ext := range []string{".drat", ".core"} {
+		for _, ext := range []string{".drat", ".core", ".lrat"} {
 			base, err := os.ReadFile(filepath.Join(dir, "base"+ext))
 			if err != nil {
 				t.Fatal(err)
@@ -230,6 +239,9 @@ func TestCrashRecoverMatrix(t *testing.T) {
 		}
 		if _, err := os.Stat(filepath.Join(dir, "crash.dpvj")); !os.IsNotExist(err) {
 			t.Errorf("journal still present after a verdict (err=%v)", err)
+		}
+		if code, lout := runWithEnv(t, nil, lratcheck, "-q", cnfPath, filepath.Join(dir, "base.lrat")); code != 0 {
+			t.Errorf("lratcheck rejected the emitted proof (exit %d):\n%s", code, lout)
 		}
 		t.Logf("recovered across %d crashes", crashes)
 	})

@@ -76,6 +76,15 @@ type Propagator interface {
 	// reason and terminate the walk, matching the paper's Conflict_analysis.
 	// Valid only until the next Refute/Add/Deactivate call.
 	WalkConflict(conflict ID, visit func(ID))
+	// ConflictHints returns the clauses WalkConflict would visit, ordered so
+	// the conflict is re-derivable by unit replay alone: each propagated
+	// variable's reason clause at its trail position, ascending, with the
+	// falsified clause last and replay-satisfied reasons dropped (see
+	// hints.go). refuted must be the clause passed to the preceding Refute
+	// (nil for a root refutation). The hints are appended to dst and the
+	// extended slice returned; like WalkConflict, the result is valid only
+	// until the next Refute/Add/Deactivate call.
+	ConflictHints(conflict ID, refuted cnf.Clause, dst []ID) []ID
 	// Propagations returns the cumulative number of implied assignments.
 	Propagations() int64
 	// SetStop installs a cooperative stop hook, polled about every

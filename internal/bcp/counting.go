@@ -25,6 +25,9 @@ type Counting struct {
 	seen      []bool
 	seenReset []cnf.Var
 
+	litMark      []bool    // per-literal scratch for ConflictHints' replay
+	hintLitReset []cnf.Lit // its undo list
+
 	stopState
 
 	propagations int64

@@ -87,6 +87,8 @@ type Engine struct {
 	seenReset []cnf.Var
 	walkStack []cnf.Lit // scratch stack reused across WalkConflict calls
 
+	hintLitReset []cnf.Lit // litMark undo list for ConflictHints' replay
+
 	stopState
 
 	propagations  int64

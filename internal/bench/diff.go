@@ -140,3 +140,59 @@ func DiffBCP(base, fresh *BCPReport, tol float64) (regs []Regression, compared i
 	}
 	return regs, compared
 }
+
+// DiffLRAT gates a fresh hinted-proof benchmark report against the
+// committed BENCH_lrat.json baseline, with the same split as DiffBCP:
+//
+//   - hints scanned and addition steps are deterministic functions of the
+//     instance and the emission code, gated per instance at tol; growth
+//     here means the recorder started emitting fatter hint lists.
+//   - hinted-check throughput (hints/sec) is wall-clock-derived, gated on
+//     the suite aggregate over common instances at twice tol and only
+//     above the wall-time noise floor.
+//
+// Zero comparisons means the reports share no instances; callers should
+// treat that as an error, not a pass.
+func DiffLRAT(base, fresh *LRATReport, tol float64) (regs []Regression, compared int) {
+	baseInst := map[string]LRATInstanceReport{}
+	for _, ir := range base.Instances {
+		baseInst[ir.Name] = ir
+	}
+
+	var baseHints, freshHints int64
+	var baseMillis, freshMillis float64
+	for _, fir := range fresh.Instances {
+		bir, ok := baseInst[fir.Name]
+		if !ok {
+			continue
+		}
+		baseHints += bir.Hints
+		baseMillis += bir.HintedMillis
+		freshHints += fir.Hints
+		freshMillis += fir.HintedMillis
+
+		compared++
+		if bir.Hints > 0 && float64(fir.Hints) > float64(bir.Hints)*(1+tol) {
+			regs = append(regs, Regression{Instance: fir.Name, Engine: "hinted",
+				Metric: "hints-scanned", Base: float64(bir.Hints),
+				Fresh: float64(fir.Hints), Delta: float64(fir.Hints)/float64(bir.Hints) - 1})
+		}
+		compared++
+		if bir.Additions > 0 && float64(fir.Additions) > float64(bir.Additions)*(1+tol) {
+			regs = append(regs, Regression{Instance: fir.Name, Engine: "hinted",
+				Metric: "additions", Base: float64(bir.Additions),
+				Fresh: float64(fir.Additions), Delta: float64(fir.Additions)/float64(bir.Additions) - 1})
+		}
+	}
+
+	if compared > 0 && baseMillis >= minWallMillis && freshMillis >= minWallMillis {
+		bh := float64(baseHints) / (baseMillis / 1e3)
+		fh := float64(freshHints) / (freshMillis / 1e3)
+		compared++
+		if bh > 0 && fh < bh*(1-wallTolFactor*tol) {
+			regs = append(regs, Regression{Engine: "hinted", Metric: "hints/sec",
+				Base: bh, Fresh: fh, Delta: bh/fh - 1})
+		}
+	}
+	return regs, compared
+}

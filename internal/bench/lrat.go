@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/lrat"
+	"repro/internal/solver"
+)
+
+// LRAT benchmark: measures what the hint pipeline buys on re-verification.
+// Each instance is verified once with the hint recorder attached (the
+// producing run, not timed), then the same verdict is re-derived two ways:
+//
+//   - rup    — full backward RUP re-verification (ModeCheckMarked, watched
+//     engine): every check re-runs unit propagation
+//   - hinted — lrat.Check over the recorded proof: no propagation at all,
+//     each step replays its named antecedents in order
+//
+// The headline Speedup is total RUP wall time over total hinted wall time
+// across the suite; the acceptance floor documented in DESIGN.md is 5x.
+
+// LRATInstanceReport is one instance's measurements.
+type LRATInstanceReport struct {
+	Name     string `json:"name"`
+	Vars     int    `json:"vars"`
+	Clauses  int    `json:"clauses"`
+	TraceLen int    `json:"trace_len"`
+
+	// Additions/Deletions/Hints describe the recorded proof. They are
+	// deterministic functions of the instance and the emission code, so the
+	// regression gate compares them strictly.
+	Additions int   `json:"additions"`
+	Deletions int   `json:"deletions"`
+	Hints     int64 `json:"hints_scanned"`
+
+	RUPMillis    float64 `json:"rup_ms"`    // best of iters
+	HintedMillis float64 `json:"hinted_ms"` // best of iters
+
+	// HintsPerStep is mean antecedents replayed per addition step.
+	HintsPerStep float64 `json:"hints_per_step"`
+	// Speedup is RUP wall time over hinted wall time.
+	Speedup float64 `json:"speedup"`
+}
+
+// LRATReport is the whole benchmark, serialised to BENCH_lrat.json.
+type LRATReport struct {
+	Iters     int                  `json:"iters"`
+	Instances []LRATInstanceReport `json:"instances"`
+
+	TotalRUPMillis    float64 `json:"total_rup_ms"`
+	TotalHintedMillis float64 `json:"total_hinted_ms"`
+	TotalHints        int64   `json:"total_hints_scanned"`
+
+	// Speedup is suite-total RUP wall time over suite-total hinted wall
+	// time: how much cheaper re-verification from stored hints is.
+	Speedup float64 `json:"speedup"`
+}
+
+// lratMeasure times one full hinted check, best of iters, and sanity-checks
+// the verdict on every repetition.
+func lratMeasure(inst gen.Instance, p *lrat.Proof, iters int) (float64, *lrat.Result, error) {
+	var last *lrat.Result
+	best := time.Duration(-1)
+	for it := 0; it < iters; it++ {
+		t0 := time.Now()
+		res, err := lrat.Check(inst.F, p, lrat.Options{})
+		d := time.Since(t0)
+		if err != nil {
+			return 0, nil, fmt.Errorf("bench: %s: hinted check: %w", inst.Name, err)
+		}
+		if !res.OK {
+			return 0, nil, fmt.Errorf("bench: %s: hinted check rejected at step %d: %s",
+				inst.Name, res.FailedStep, res.Reason)
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+		last = res
+	}
+	return float64(best.Nanoseconds()) / 1e6, last, nil
+}
+
+// LRATBench solves each instance once, records hints during one producing
+// verification, then races full RUP re-verification against the hinted
+// replay.
+func LRATBench(insts []gen.Instance, iters int) (*LRATReport, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	rep := &LRATReport{Iters: iters}
+	for _, inst := range insts {
+		st, tr, _, _, err := solver.Solve(inst.F, DefaultSolverOptions())
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", inst.Name, err)
+		}
+		if st != solver.Unsat {
+			return nil, fmt.Errorf("bench: %s: solver returned %v", inst.Name, st)
+		}
+
+		// The producing run: verify once with the recorder attached. Not
+		// timed — emission overhead is covered by the core tests; here the
+		// question is what the recorded hints buy afterwards.
+		var rec lrat.Recorder
+		res, err := core.Verify(inst.F, tr, core.Options{
+			Mode:   core.ModeCheckMarked,
+			Engine: core.EngineWatched,
+			Hints:  &rec,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: producing run: %w", inst.Name, err)
+		}
+		if !res.OK {
+			return nil, fmt.Errorf("bench: %s: proof rejected at %d", inst.Name, res.FailedIndex)
+		}
+		lp, err := rec.Proof()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: recorded proof: %w", inst.Name, err)
+		}
+
+		rupRow, err := bcpMeasure(inst, tr, core.EngineWatched, iters)
+		if err != nil {
+			return nil, err
+		}
+		hintedMillis, cres, err := lratMeasure(inst, lp, iters)
+		if err != nil {
+			return nil, err
+		}
+
+		ir := LRATInstanceReport{
+			Name:         inst.Name,
+			Vars:         inst.F.NumVars,
+			Clauses:      inst.F.NumClauses(),
+			TraceLen:     tr.Len(),
+			Additions:    cres.Additions,
+			Deletions:    cres.Deletions,
+			Hints:        cres.HintsScanned,
+			RUPMillis:    rupRow.VerifyMillis,
+			HintedMillis: hintedMillis,
+			Speedup:      ratio(rupRow.VerifyMillis, hintedMillis),
+		}
+		if cres.Additions > 0 {
+			ir.HintsPerStep = float64(cres.HintsScanned) / float64(cres.Additions)
+		}
+		rep.Instances = append(rep.Instances, ir)
+		rep.TotalRUPMillis += ir.RUPMillis
+		rep.TotalHintedMillis += ir.HintedMillis
+		rep.TotalHints += ir.Hints
+	}
+	rep.Speedup = ratio(rep.TotalRUPMillis, rep.TotalHintedMillis)
+	return rep, nil
+}

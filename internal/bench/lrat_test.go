@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// lratGateReport builds a small two-instance hinted-proof report; the
+// numbers are chosen so a test can degrade one copy and watch the gate trip.
+func lratGateReport() *LRATReport {
+	return &LRATReport{
+		Instances: []LRATInstanceReport{
+			{Name: "php-5", Additions: 140, Hints: 1500, RUPMillis: 50, HintedMillis: 8},
+			{Name: "rand-9-50", Additions: 25, Hints: 270, RUPMillis: 20, HintedMillis: 4},
+		},
+	}
+}
+
+func TestDiffLRATPassesOnIdenticalReports(t *testing.T) {
+	regs, compared := DiffLRAT(lratGateReport(), lratGateReport(), 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("identical reports must pass, got %v", regs)
+	}
+	// 2 instances x (hints + additions) + 1 aggregate hints/sec.
+	if compared != 5 {
+		t.Fatalf("compared = %d, want 5", compared)
+	}
+}
+
+func TestDiffLRATFailsOnFatterHints(t *testing.T) {
+	fresh := lratGateReport()
+	fresh.Instances[0].Hints = 2400 // +60% hints on php-5
+	regs, _ := DiffLRAT(lratGateReport(), fresh, 0.15)
+	if len(regs) != 1 {
+		t.Fatalf("regs = %v, want exactly the hints-scanned regression", regs)
+	}
+	r := regs[0]
+	if r.Instance != "php-5" || r.Metric != "hints-scanned" {
+		t.Fatalf("wrong attribution: %+v", r)
+	}
+}
+
+func TestDiffLRATFailsOnThroughputCollapse(t *testing.T) {
+	fresh := lratGateReport()
+	for i := range fresh.Instances {
+		fresh.Instances[i].HintedMillis *= 2
+	}
+	regs, _ := DiffLRAT(lratGateReport(), fresh, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "hints/sec" || regs[0].Instance != "" {
+		t.Fatalf("regs = %v, want the aggregate hints/sec regression", regs)
+	}
+}
+
+func TestDiffLRATSkipsThroughputUnderNoiseFloor(t *testing.T) {
+	base, fresh := lratGateReport(), lratGateReport()
+	for _, r := range []*LRATReport{base, fresh} {
+		for i := range r.Instances {
+			r.Instances[i].HintedMillis /= 100 // sub-millisecond suite
+		}
+	}
+	for i := range fresh.Instances {
+		fresh.Instances[i].HintedMillis *= 3 // "collapse", in noise
+	}
+	regs, compared := DiffLRAT(base, fresh, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("sub-floor throughput must not gate, got %v", regs)
+	}
+	if compared != 4 { // only the deterministic per-instance metrics
+		t.Fatalf("compared = %d, want 4", compared)
+	}
+}
+
+func TestDiffLRATIgnoresUnsharedInstances(t *testing.T) {
+	fresh := lratGateReport()
+	fresh.Instances = fresh.Instances[:1]
+	regs, compared := DiffLRAT(lratGateReport(), fresh, 0.15)
+	// 2 deterministic metrics; the 8ms single-instance aggregate is under
+	// the wall floor, so hints/sec is skipped.
+	if len(regs) != 0 || compared != 2 {
+		t.Fatalf("subset run: regs=%v compared=%d, want none/2", regs, compared)
+	}
+	fresh.Instances[0].Name = "nonexistent"
+	if _, compared := DiffLRAT(lratGateReport(), fresh, 0.15); compared != 0 {
+		t.Fatalf("disjoint reports compared = %d, want 0", compared)
+	}
+}
+
+// TestLRATBenchEndToEnd runs the real harness on one small instance and
+// checks the report is self-consistent: the hinted check accepted the
+// recorded proof (LRATBench errors otherwise) and the counters line up.
+func TestLRATBenchEndToEnd(t *testing.T) {
+	rep, err := LRATBench([]gen.Instance{gen.PHP(4)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Instances) != 1 {
+		t.Fatalf("instances = %d, want 1", len(rep.Instances))
+	}
+	ir := rep.Instances[0]
+	if ir.Additions <= 0 || ir.Hints <= 0 {
+		t.Fatalf("empty recorded proof: %+v", ir)
+	}
+	if ir.HintsPerStep <= 0 {
+		t.Fatalf("hints/step = %v, want positive", ir.HintsPerStep)
+	}
+	if rep.TotalHints != ir.Hints {
+		t.Fatalf("totals disagree: %d vs %d", rep.TotalHints, ir.Hints)
+	}
+}

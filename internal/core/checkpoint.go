@@ -97,9 +97,19 @@ type Checkpoint struct {
 
 	// Parallel state: one entry per worker.
 	Workers []WorkerState
+
+	// Hints is the serialized lrat.Recorder state at the boundary (nil when
+	// the run is not recording hints). Sequential checkpoints only.
+	Hints []byte
 }
 
-const checkpointVersion = 1
+const (
+	checkpointVersion = 1
+	// checkpointVersionHints appends the hint-recorder blob after the marked
+	// bitmap. Emitted only when a recorder is attached, so non-recording runs
+	// keep producing byte-identical version-1 payloads.
+	checkpointVersionHints = 2
+)
 
 func appendStats(b []byte, s bcp.Stats) []byte {
 	for _, v := range []int64{s.Propagations, s.Refutations, s.Conflicts, s.WatcherVisits, s.OccTouches} {
@@ -140,7 +150,11 @@ func subStats(a, b bcp.Stats) bcp.Stats {
 // Encode serializes the checkpoint (version byte, fixed-width
 // little-endian integers, packed bitmap).
 func (cp *Checkpoint) Encode() []byte {
-	b := []byte{checkpointVersion}
+	ver := byte(checkpointVersion)
+	if cp.Hints != nil && !cp.Par {
+		ver = checkpointVersionHints
+	}
+	b := []byte{ver}
 	if cp.Par {
 		b = append(b, 1)
 		b = binary.LittleEndian.AppendUint64(b, uint64(len(cp.Workers)))
@@ -164,7 +178,11 @@ func (cp *Checkpoint) Encode() []byte {
 			bm[i/8] |= 1 << (i % 8)
 		}
 	}
-	return append(b, bm...)
+	b = append(b, bm...)
+	if ver == checkpointVersionHints {
+		b = append(b, cp.Hints...)
+	}
+	return b
 }
 
 // DecodeCheckpoint parses an encoded checkpoint payload. It validates only
@@ -177,10 +195,14 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	if len(b) < 2 {
 		return fail("payload too short")
 	}
-	if b[0] != checkpointVersion {
-		return fail(fmt.Sprintf("payload version %d, want %d", b[0], checkpointVersion))
+	ver := b[0]
+	if ver != checkpointVersion && ver != checkpointVersionHints {
+		return fail(fmt.Sprintf("payload version %d, want %d or %d", ver, checkpointVersion, checkpointVersionHints))
 	}
 	par := b[1] == 1
+	if par && ver == checkpointVersionHints {
+		return fail("hint-recorder payload with parallel flag")
+	}
 	b = b[2:]
 	cp := &Checkpoint{Par: par}
 	need := func(n int) bool { return len(b) >= n }
@@ -212,12 +234,25 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	cp.Stats, b = readStats(b[32:])
 	nBits := int(binary.LittleEndian.Uint64(b))
 	b = b[8:]
-	if nBits < 0 || nBits > 1<<34 || len(b) != (nBits+7)/8 {
+	nbm := (nBits + 7) / 8
+	if nBits < 0 || nBits > 1<<34 {
+		return fail("bitmap length mismatch")
+	}
+	if ver == checkpointVersionHints {
+		if len(b) < nbm {
+			return fail("bitmap length mismatch")
+		}
+	} else if len(b) != nbm {
 		return fail("bitmap length mismatch")
 	}
 	cp.Marked = make([]bool, nBits)
 	for i := range cp.Marked {
 		cp.Marked[i] = b[i/8]&(1<<(i%8)) != 0
+	}
+	if ver == checkpointVersionHints {
+		// Everything after the bitmap is the serialized hint recorder; the
+		// blob self-delimits (binary LRAT), so trailing length needs no frame.
+		cp.Hints = append([]byte(nil), b[nbm:]...)
 	}
 	return cp, nil
 }

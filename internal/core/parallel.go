@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -86,6 +87,11 @@ func VerifyParallelOpts(f *cnf.Formula, t *proof.Trace, opt Options, workers int
 		seq := opt
 		seq.Mode = ModeCheckAll
 		return Verify(f, t, seq)
+	}
+	if opt.Hints != nil {
+		// Hint order follows one engine's propagation; chunked workers each
+		// have their own, so there is no canonical recording to merge.
+		return nil, errors.New("core: LRAT hint recording requires sequential verification")
 	}
 	if err := checkBudgetUpfront(f, t, opt.Budget, workers); err != nil {
 		countStopErr(opt.Obs, err)

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/bcp"
 	"repro/internal/cnf"
+	"repro/internal/lrat"
 	"repro/internal/obs"
 	"repro/internal/proof"
 )
@@ -110,6 +111,16 @@ type Options struct {
 	// value disables both and leaves the check loop byte-for-byte
 	// unchanged. See checkpoint.go for the determinism contract.
 	Checkpoint CheckpointConfig
+
+	// Hints, when non-nil, records an LRAT hint step for every successfully
+	// checked clause — plus a synthetic final empty-clause step when the
+	// trace terminates in a conflicting pair — using engine clause ID + 1 as
+	// the LRAT ID. Sequential Verify only; VerifyParallelOpts rejects it
+	// (hints follow one engine's propagation order). When checkpointing, the
+	// recorder state rides in every checkpoint so a resumed run emits
+	// byte-identical LRAT; resuming with Hints set from a checkpoint
+	// recorded without them fails with ErrBadCheckpoint.
+	Hints *lrat.Recorder
 }
 
 // Result reports the outcome of a verification run.
@@ -204,6 +215,19 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 		if err := ck.Resume.ValidateFor(nf, m, 0); err != nil {
 			return nil, err
 		}
+		if opt.Hints != nil {
+			// Byte-identical emission needs the steps recorded before the
+			// crash; a checkpoint written without a recorder cannot provide
+			// them, so refuse rather than emit a silently truncated proof.
+			if ck.Resume.Hints == nil {
+				return nil, fmt.Errorf("%w: checkpoint carries no hint recorder", ErrBadCheckpoint)
+			}
+			restored, err := lrat.DecodeRecorder(ck.Resume.Hints)
+			if err != nil {
+				return nil, fmt.Errorf("%w: hint recorder: %v", ErrBadCheckpoint, err)
+			}
+			*opt.Hints = *restored
+		}
 	}
 
 	var eng bcp.Propagator
@@ -241,6 +265,20 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 	// and a long proof stop promptly. The propagation budget covers the
 	// whole run, including work resumed from a checkpoint.
 	stop := verifyStopFunc(opt.Ctx, opt.Budget.MaxPropagations, totalProps)
+
+	// record captures one hinted step from the engine's still-hot conflict
+	// state (must run before the next Refute/Deactivate). Engine clause IDs
+	// shift by +1 into LRAT ID space, where the formula owns 1..nf.
+	var hintIDs []bcp.ID
+	var hints64 []int64
+	record := func(id int64, c cnf.Clause, conflict bcp.ID, refuted cnf.Clause) {
+		hintIDs = eng.ConflictHints(conflict, refuted, hintIDs[:0])
+		hints64 = hints64[:0]
+		for _, h := range hintIDs {
+			hints64 = append(hints64, int64(h)+1)
+		}
+		opt.Hints.Record(id, c, hints64)
+	}
 
 	// buildEngine (re)creates the engine with the formula and the trace
 	// prefix [0, upto) active, folding the previous engine's statistics
@@ -333,6 +371,12 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 					Tautologies: res.Tautologies,
 					Stats:       statsBase,
 				}
+				if opt.Hints != nil {
+					// Clause i is not processed yet, so the blob holds
+					// exactly the steps for indices above i — the resumed
+					// loop re-records i..0 with no duplicates.
+					cp.Hints = opt.Hints.Encode()
+				}
 				if err := ck.Sink(cp.Encode()); err != nil {
 					res.Incomplete = true
 					res.StoppedAt = i
@@ -398,8 +442,19 @@ func Verify(f *cnf.Formula, t *proof.Trace, opt Options) (*Result, error) {
 				}
 			}
 		})
+		if opt.Hints != nil {
+			record(int64(id)+1, c, conflict, c)
+		}
 	}
 	check.End()
+
+	if opt.Hints != nil && term == proof.TermFinalPair {
+		// The trace ends in complementary units rather than an explicit empty
+		// clause; LRAT wants the refutation spelled out. Replaying the empty
+		// clause assigns nothing, the first hint is unit and assigns its
+		// literal, the second is then falsified — a conflict, as required.
+		opt.Hints.Record(int64(nf+m)+1, nil, []int64{int64(nf+m) - 1, int64(nf + m)})
+	}
 
 	extract := span.Child("core-extract")
 	defer extract.End()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/bcp"
 	"repro/internal/cnf"
 	"repro/internal/core"
+	"repro/internal/lrat"
 	"repro/internal/obs"
 )
 
@@ -43,6 +44,13 @@ type BackwardOptions struct {
 	// attached via Registry.SetTracer — checkpoint/rejection instants plus
 	// the engine's per-Refute work deltas. Nil disables all of it.
 	Obs *obs.Registry
+	// Hints, when non-nil, records an LRAT hint step for every successfully
+	// checked marked clause (plus the final refutation), using engine clause
+	// ID + 1 as the LRAT ID. When checkpointing, the recorder state rides in
+	// every checkpoint so a resumed run emits byte-identical LRAT; resuming
+	// with Hints set from a checkpoint recorded without them fails with
+	// ErrBadCheckpoint (the pre-checkpoint hints are unrecoverable).
+	Hints *lrat.Recorder
 }
 
 // ErrBadCheckpoint wraps resume states that do not fit the proof they are
@@ -59,14 +67,26 @@ type BackwardCheckpoint struct {
 	Marked       []bool
 	Tautologies  int
 	Propagations int64
+	// Hints is the encoded lrat.Recorder state at the boundary (nil when the
+	// run records no hints). Only version-2 payloads carry it, so journals
+	// from hint-free runs stay byte-identical to version 1.
+	Hints []byte
 }
 
-const backwardCheckpointVersion = 1
+const (
+	backwardCheckpointVersion      = 1
+	backwardCheckpointVersionHints = 2
+)
 
 // Encode serializes the checkpoint (version byte, little-endian integers,
-// packed bitmap).
+// packed bitmap, and — version 2, only when hints are recorded — the
+// recorder blob).
 func (cp *BackwardCheckpoint) Encode() []byte {
-	b := []byte{backwardCheckpointVersion}
+	version := byte(backwardCheckpointVersion)
+	if cp.Hints != nil {
+		version = backwardCheckpointVersionHints
+	}
+	b := []byte{version}
 	for _, v := range []int64{int64(cp.NextStep), int64(cp.Tautologies), cp.Propagations} {
 		b = binary.LittleEndian.AppendUint64(b, uint64(v))
 	}
@@ -77,7 +97,11 @@ func (cp *BackwardCheckpoint) Encode() []byte {
 			bm[i/8] |= 1 << (i % 8)
 		}
 	}
-	return append(b, bm...)
+	b = append(b, bm...)
+	if cp.Hints != nil {
+		b = append(b, cp.Hints...)
+	}
+	return b
 }
 
 // DecodeBackwardCheckpoint parses an encoded checkpoint payload.
@@ -88,8 +112,10 @@ func DecodeBackwardCheckpoint(b []byte) (*BackwardCheckpoint, error) {
 	if len(b) < 1+4*8 {
 		return fail("payload too short")
 	}
-	if b[0] != backwardCheckpointVersion {
-		return fail(fmt.Sprintf("payload version %d, want %d", b[0], backwardCheckpointVersion))
+	version := b[0]
+	if version != backwardCheckpointVersion && version != backwardCheckpointVersionHints {
+		return fail(fmt.Sprintf("payload version %d, want %d or %d",
+			version, backwardCheckpointVersion, backwardCheckpointVersionHints))
 	}
 	b = b[1:]
 	cp := &BackwardCheckpoint{
@@ -99,12 +125,19 @@ func DecodeBackwardCheckpoint(b []byte) (*BackwardCheckpoint, error) {
 	}
 	nBits := int(binary.LittleEndian.Uint64(b[24:]))
 	b = b[32:]
-	if nBits < 0 || nBits > 1<<34 || len(b) != (nBits+7)/8 {
+	nBytes := (nBits + 7) / 8
+	if nBits < 0 || nBits > 1<<34 || len(b) < nBytes {
+		return fail("bitmap length mismatch")
+	}
+	if version == backwardCheckpointVersion && len(b) != nBytes {
 		return fail("bitmap length mismatch")
 	}
 	cp.Marked = make([]bool, nBits)
 	for i := range cp.Marked {
 		cp.Marked[i] = b[i/8]&(1<<(i%8)) != 0
+	}
+	if version == backwardCheckpointVersionHints {
+		cp.Hints = append([]byte(nil), b[nBytes:]...)
 	}
 	return cp, nil
 }
@@ -247,6 +280,18 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 			return nil, nil, nil, fmt.Errorf("%w: next step %d / bitmap %d bits against %d steps / %d ids",
 				ErrBadCheckpoint, opt.Resume.NextStep, len(opt.Resume.Marked), lastStep+1, nIDs)
 		}
+		if opt.Hints != nil {
+			// The steps recorded before the boundary exist only inside the
+			// checkpoint; without them the emitted LRAT would be incomplete.
+			if opt.Resume.Hints == nil {
+				return nil, nil, nil, fmt.Errorf("%w: checkpoint carries no hint recorder", ErrBadCheckpoint)
+			}
+			restored, err := lrat.DecodeRecorder(opt.Resume.Hints)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("%w: hint recorder: %v", ErrBadCheckpoint, err)
+			}
+			*opt.Hints = *restored
+		}
 	}
 
 	// buildEngine (re)creates the engine in the canonical state holding the
@@ -285,6 +330,21 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 	}
 	totalProps := func() int64 { return statsProps + eng.Propagations() }
 
+	// Hint recording: ConflictHints re-walks the cone the marking walk just
+	// visited, in replay order (see bcp/hints.go), so the hints reference
+	// only marked clauses. LRAT IDs are engine IDs shifted to 1-based; the
+	// refutation step gets the first ID past every clause the engine knows.
+	var hintIDs []bcp.ID
+	var hints64 []int64
+	record := func(id int64, c cnf.Clause, conflict bcp.ID, refuted cnf.Clause) {
+		hintIDs = eng.ConflictHints(conflict, refuted, hintIDs[:0])
+		hints64 = hints64[:0]
+		for _, h := range hintIDs {
+			hints64 = append(hints64, int64(h)+1)
+		}
+		opt.Hints.Record(id, c, hints64)
+	}
+
 	marked := make([]bool, nIDs)
 	start := lastStep
 	resumedAt := -2 // sentinel: no boundary suppressed
@@ -317,6 +377,9 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 			return res, nil, nil, nil
 		}
 		eng.WalkConflict(conflict, func(id bcp.ID) { marked[id] = true })
+		if opt.Hints != nil {
+			record(int64(nIDs)+1, nil, conflict, nil)
+		}
 	}
 	replay.End()
 
@@ -331,6 +394,9 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 			if opt.Sink != nil {
 				cp := &BackwardCheckpoint{NextStep: i, Marked: marked,
 					Tautologies: res.Tautologies, Propagations: statsProps}
+				if opt.Hints != nil {
+					cp.Hints = opt.Hints.Encode()
+				}
 				if err := opt.Sink(cp.Encode()); err != nil {
 					return nil, nil, nil, fmt.Errorf("drat: checkpoint append: %w", err)
 				}
@@ -388,6 +454,9 @@ func VerifyBackwardOpts(f *cnf.Formula, p *Proof, opt BackwardOptions) (*Result,
 			return res, nil, nil, nil
 		}
 		eng.WalkConflict(c, func(used bcp.ID) { marked[used] = true })
+		if opt.Hints != nil {
+			record(int64(id)+1, s.C, c, s.C)
+		}
 	}
 	res.Refuted = true
 	res.Propagations = totalProps()

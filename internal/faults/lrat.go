@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"repro/internal/lrat"
+)
+
+// HintKind enumerates corruption modes for hinted (LRAT) proofs: the ways a
+// buggy emitter or a damaged store would break a hint list while leaving
+// the proof syntactically well-formed. The hinted checker trusts hints to
+// name antecedents that become unit in order, so each of these attacks a
+// distinct part of that contract.
+type HintKind int
+
+const (
+	// WrongAntecedent replaces one hint with a different clause ID that is
+	// live at that step — the named clause exists but does not participate
+	// in the derivation.
+	WrongAntecedent HintKind = iota
+	// ReorderHints swaps two hints on one step, breaking the strict
+	// replay-order requirement (each hint must be unit when reached).
+	ReorderHints
+	// DropHint removes one hint from a step, leaving a propagation gap.
+	DropHint
+	// DanglingHintID points one hint at an ID that no formula clause or
+	// proof step ever introduces.
+	DanglingHintID
+)
+
+// HintKinds lists every hinted-proof corruption mode, for matrix tests.
+var HintKinds = []HintKind{WrongAntecedent, ReorderHints, DropHint, DanglingHintID}
+
+func (k HintKind) String() string {
+	switch k {
+	case WrongAntecedent:
+		return "wrong-antecedent"
+	case ReorderHints:
+		return "reorder-hints"
+	case DropHint:
+		return "drop-hint"
+	case DanglingHintID:
+		return "dangling-hint-id"
+	default:
+		return "unknown-hint-fault"
+	}
+}
+
+// cloneProof deep-copies an LRAT proof so mutations never alias the input.
+func cloneProof(p *lrat.Proof) *lrat.Proof {
+	out := &lrat.Proof{Steps: make([]lrat.Step, len(p.Steps))}
+	for i, s := range p.Steps {
+		out.Steps[i] = lrat.Step{
+			ID:      s.ID,
+			Del:     s.Del,
+			Deleted: append([]int64(nil), s.Deleted...),
+			C:       append(s.C[:0:0], s.C...),
+			Hints:   append([]int64(nil), s.Hints...),
+		}
+	}
+	return out
+}
+
+// ApplyHints returns a corrupted copy of p. The input is never mutated.
+// ok is false when the kind does not apply (e.g. no step carries two hints
+// to reorder); nothing is counted in that case.
+func (in *Injector) ApplyHints(k HintKind, p *lrat.Proof) (*lrat.Proof, bool) {
+	mp := cloneProof(p)
+	// Candidate steps: additions whose hint list is long enough for the
+	// chosen mutation.
+	minHints := 1
+	if k == ReorderHints {
+		minHints = 2
+	}
+	var candidates []int
+	for i, s := range mp.Steps {
+		if !s.Del && len(s.Hints) >= minHints {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, false
+	}
+	si := candidates[in.rng.Intn(len(candidates))]
+	hints := mp.Steps[si].Hints
+
+	switch k {
+	case WrongAntecedent:
+		// Replace one hint with another ID live at this step: an earlier
+		// step's ID, or a different hint of the same step. Falling back to
+		// ID 1 (a formula clause — every step's antecedents include formula
+		// clauses transitively, but rarely clause 1 specifically).
+		hi := in.rng.Intn(len(hints))
+		repl := int64(1)
+		if si > 0 {
+			repl = mp.Steps[in.rng.Intn(si)].ID
+		}
+		if repl == hints[hi] {
+			repl = 1
+		}
+		if repl == hints[hi] {
+			return nil, false
+		}
+		hints[hi] = repl
+	case ReorderHints:
+		i := in.rng.Intn(len(hints) - 1)
+		j := i + 1 + in.rng.Intn(len(hints)-i-1)
+		if hints[i] == hints[j] {
+			return nil, false
+		}
+		hints[i], hints[j] = hints[j], hints[i]
+	case DropHint:
+		hi := in.rng.Intn(len(hints))
+		mp.Steps[si].Hints = append(hints[:hi], hints[hi+1:]...)
+	case DanglingHintID:
+		// One past the largest ID in the proof: never introduced.
+		max := int64(0)
+		for _, s := range mp.Steps {
+			if s.ID > max {
+				max = s.ID
+			}
+		}
+		hints[in.rng.Intn(len(hints))] = max + 1
+	default:
+		return nil, false
+	}
+	in.count()
+	return mp, true
+}

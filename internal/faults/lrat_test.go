@@ -1,0 +1,196 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/lrat"
+	"repro/internal/proof"
+)
+
+// recordedProof verifies PHP(n) with the hint recorder attached and
+// returns the instance with its emission-ready LRAT proof.
+func recordedProof(t *testing.T, n int) (*cnf.Formula, *proof.Trace, *lrat.Proof) {
+	t.Helper()
+	f, tr := goodInstance(t, n)
+	var rec lrat.Recorder
+	res, err := core.Verify(f, tr, core.Options{
+		Mode:   core.ModeCheckMarked,
+		Engine: core.EngineWatched,
+		Hints:  &rec,
+	})
+	if err != nil || !res.OK {
+		t.Fatalf("recording run failed: err=%v res=%+v", err, res)
+	}
+	p, err := rec.Proof()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres, err := lrat.Check(f, p, lrat.Options{}); err != nil || !cres.OK {
+		t.Fatalf("baseline hinted proof rejected: err=%v res=%+v", err, cres)
+	}
+	return f, tr, p
+}
+
+// TestLRATHintFaultMatrix attacks the hinted checker with syntactically
+// well-formed proofs whose hint lists lie: wrong antecedents, reordered
+// units, dropped hints, dangling IDs. Sequential and parallel checks must
+// agree on every mutant, never panic, and each kind must bite (produce at
+// least one rejection) across the seeds.
+func TestLRATHintFaultMatrix(t *testing.T) {
+	f, _, p := recordedProof(t, 5)
+
+	rejectionSeen := make(map[HintKind]bool)
+	for _, kind := range HintKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			applied := 0
+			for seed := int64(0); seed < 8; seed++ {
+				inj := New(seed)
+				mp, ok := inj.ApplyHints(kind, p)
+				if !ok {
+					continue
+				}
+				applied++
+				seq, err := lrat.Check(f, mp, lrat.Options{})
+				if err != nil {
+					t.Fatalf("seed %d: sequential check errored: %v", seed, err)
+				}
+				par, err := lrat.Check(f, mp, lrat.Options{Workers: 4})
+				if err != nil {
+					t.Fatalf("seed %d: parallel check errored: %v", seed, err)
+				}
+				if seq.OK != par.OK {
+					t.Errorf("seed %d: verdict split: seq=%v par=%v", seed, seq.OK, par.OK)
+				}
+				if !seq.OK {
+					rejectionSeen[kind] = true
+					if seq.Reason == "" {
+						t.Errorf("seed %d: rejection without a reason", seed)
+					}
+				}
+			}
+			if applied == 0 {
+				t.Fatalf("%v never applied across seeds", kind)
+			}
+		})
+	}
+	for _, kind := range HintKinds {
+		if !rejectionSeen[kind] {
+			t.Errorf("%v: no seed produced a rejection — mutation is not biting", kind)
+		}
+	}
+}
+
+// TestLRATDifferentialMatrix is the cross-checker contract: corrupt the
+// underlying instance with every structural fault kind and require the
+// hinted pipeline to be no more permissive than the RUP checker it derives
+// from. When RUP accepts a mutant, the hints recorded during that run must
+// pass the hinted check; when RUP rejects, whatever partial recording
+// exists must be rejected too — a hinted proof must never outlive the RUP
+// verdict it was recorded from.
+func TestLRATDifferentialMatrix(t *testing.T) {
+	f, tr, clean := recordedProof(t, 5)
+
+	for _, kind := range Kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 5; seed++ {
+				inj := New(seed)
+				mf, mt, ok := inj.Apply(kind, f, tr)
+				if !ok {
+					t.Fatalf("seed %d: %v inapplicable", seed, kind)
+				}
+				var rec lrat.Recorder
+				res, err := core.Verify(mf, mt, core.Options{
+					Mode:   core.ModeCheckMarked,
+					Engine: core.EngineWatched,
+					Hints:  &rec,
+				})
+				rupOK := err == nil && res != nil && res.OK
+				mp, perr := rec.Proof()
+				if perr != nil {
+					t.Fatalf("seed %d: recorder state corrupt: %v", seed, perr)
+				}
+				cres, cerr := lrat.Check(mf, mp, lrat.Options{})
+				if cerr != nil {
+					t.Fatalf("seed %d: hinted check errored: %v", seed, cerr)
+				}
+				if rupOK && !cres.OK {
+					t.Errorf("seed %d: RUP accepted but hinted check rejected at %d: %s",
+						seed, cres.FailedStep, cres.Reason)
+				}
+				if !rupOK && cres.OK {
+					t.Errorf("seed %d: RUP rejected but the partial hinted proof passed", seed)
+				}
+			}
+		})
+	}
+
+	// The stored-proof threat: a hinted proof recorded against yesterday's
+	// formula must not verify against a formula whose clauses shifted.
+	// Dropping any formula clause renumbers every formula ID the hints
+	// reference.
+	t.Run("stale-proof-vs-mutated-formula", func(t *testing.T) {
+		for seed := int64(0); seed < 5; seed++ {
+			mf, _, ok := New(seed).Apply(DropFormulaClause, f, tr)
+			if !ok {
+				t.Fatalf("seed %d: drop-formula-clause inapplicable", seed)
+			}
+			cres, err := lrat.Check(mf, clean, lrat.Options{})
+			if err != nil {
+				t.Fatalf("seed %d: check errored: %v", seed, err)
+			}
+			if cres.OK {
+				t.Errorf("seed %d: stale hinted proof accepted against a mutated (satisfiable) formula", seed)
+			}
+		}
+	})
+}
+
+// TestApplyHintsDeterminism pins reproduce-from-seed for the hint kinds.
+func TestApplyHintsDeterminism(t *testing.T) {
+	_, _, p := recordedProof(t, 4)
+	for _, kind := range HintKinds {
+		a, ok1 := New(7).ApplyHints(kind, p)
+		b, ok2 := New(7).ApplyHints(kind, p)
+		if ok1 != ok2 {
+			t.Fatalf("%v: applicability diverged", kind)
+		}
+		if !ok1 {
+			continue
+		}
+		var x, y bytes.Buffer
+		if err := lrat.Write(&x, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := lrat.Write(&y, b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(x.Bytes(), y.Bytes()) {
+			t.Fatalf("%v: same seed produced different mutations", kind)
+		}
+	}
+}
+
+// TestApplyHintsDoesNotAliasInput guards the clone discipline.
+func TestApplyHintsDoesNotAliasInput(t *testing.T) {
+	_, _, p := recordedProof(t, 4)
+	var before bytes.Buffer
+	if err := lrat.Write(&before, p); err != nil {
+		t.Fatal(err)
+	}
+	inj := New(3)
+	for _, kind := range HintKinds {
+		inj.ApplyHints(kind, p)
+	}
+	var after bytes.Buffer
+	if err := lrat.Write(&after, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("ApplyHints mutated its input")
+	}
+}

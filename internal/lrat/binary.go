@@ -1,0 +1,272 @@
+package lrat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cnf"
+)
+
+// Binary LRAT format — the compact counterpart of the text format, following
+// the binary trace idiom (magic + version + flags header, uvarint payloads
+// with a 0 terminator that no mapped value can collide with).
+//
+// Layout:
+//
+//	magic "CLRT" | version byte (1) | flags byte (0)
+//	addition: 'a' uvarint id | mapped literals..., 0 | mapped hints..., 0
+//	deletion: 'd' uvarint id | uvarint deleted ids..., 0
+//
+// A literal with DIMACS value v maps to (|v| << 1) | (v < 0); a hint h maps
+// to (|h| << 1) | (h < 0). Both are always >= 2, and deleted IDs are >= 1,
+// so the 0 terminators are unambiguous.
+
+const binaryMagic = "CLRT"
+
+const binaryVersion = 1
+
+// DetectBinary reports whether the buffer's first bytes look like the
+// binary format; text proofs start with a digit or comment, never 'C'.
+func DetectBinary(prefix []byte) bool {
+	return len(prefix) >= len(binaryMagic) && string(prefix[:len(binaryMagic)]) == binaryMagic
+}
+
+func mapLit(l cnf.Lit) uint64 {
+	d := l.Dimacs()
+	if d < 0 {
+		return uint64(-d)<<1 | 1
+	}
+	return uint64(d) << 1
+}
+
+func mapHint(h int64) uint64 {
+	if h < 0 {
+		return uint64(-h)<<1 | 1
+	}
+	return uint64(h) << 1
+}
+
+// unmapLit decodes a mapped literal, refusing magnitudes beyond maxVar on
+// the uint64 before narrowing — a 2^40 "variable" must not wrap the int32
+// literal encoding.
+func unmapLit(u uint64, maxVar int) (cnf.Lit, error) {
+	mag := u >> 1
+	if mag == 0 {
+		return cnf.LitUndef, fmt.Errorf("%w: binary literal 0 outside terminator position", ErrMalformed)
+	}
+	if mag > uint64(maxVar) {
+		return cnf.LitUndef, &LimitError{What: "variable", Limit: int64(maxVar)}
+	}
+	if u&1 == 1 {
+		return cnf.FromDimacs(-int(mag)), nil
+	}
+	return cnf.FromDimacs(int(mag)), nil
+}
+
+func unmapHint(u uint64, maxID int64) (int64, error) {
+	mag := u >> 1
+	if mag == 0 {
+		return 0, fmt.Errorf("%w: binary hint 0 outside terminator position", ErrMalformed)
+	}
+	if mag > uint64(maxID) {
+		return 0, &LimitError{What: "id", Limit: maxID}
+	}
+	if u&1 == 1 {
+		return -int64(mag), nil
+	}
+	return int64(mag), nil
+}
+
+// WriteBinary writes the proof in the binary format.
+func WriteBinary(w io.Writer, p *Proof) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(0); err != nil { // flags
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(u uint64) error {
+		n := binary.PutUvarint(buf[:], u)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	for i := range p.Steps {
+		s := &p.Steps[i]
+		if s.Del {
+			if err := bw.WriteByte('d'); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(s.ID)); err != nil {
+				return err
+			}
+			for _, id := range s.Deleted {
+				if err := putUvarint(uint64(id)); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := bw.WriteByte('a'); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(s.ID)); err != nil {
+				return err
+			}
+			for _, l := range s.C {
+				if err := putUvarint(mapLit(l)); err != nil {
+					return err
+				}
+			}
+			if err := bw.WriteByte(0); err != nil {
+				return err
+			}
+			for _, h := range s.Hints {
+				if err := putUvarint(mapHint(h)); err != nil {
+					return err
+				}
+			}
+		}
+		if err := bw.WriteByte(0); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a binary proof under DefaultLimits.
+func ReadBinary(r io.Reader) (*Proof, error) {
+	return ReadBinaryLimited(r, DefaultLimits())
+}
+
+// ReadBinaryLimited is ReadBinary with explicit Limits. Truncation and
+// encoding garbage wrap ErrMalformed; limit violations wrap ErrLimit.
+func ReadBinaryLimited(r io.Reader, lim Limits) (*Proof, error) {
+	lim = lim.withDefaults()
+	br := bufio.NewReader(newCappedReader(r, lim.MaxBytes))
+	head := make([]byte, len(binaryMagic)+2)
+	if _, err := io.ReadFull(br, head); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: truncated binary header", ErrMalformed)
+		}
+		return nil, limitOr(err, fmt.Errorf("lrat: binary header: %w", err))
+	}
+	if string(head[:len(binaryMagic)]) != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrMalformed, head[:len(binaryMagic)])
+	}
+	if head[4] != binaryVersion {
+		return nil, fmt.Errorf("%w: unsupported binary version %d", ErrMalformed, head[4])
+	}
+	if head[5] != 0 {
+		return nil, fmt.Errorf("%w: unsupported flags %#x", ErrMalformed, head[5])
+	}
+
+	p := &Proof{}
+	readUvarint := func(what string) (uint64, error) {
+		u, err := binary.ReadUvarint(br)
+		if err != nil {
+			if err == io.EOF {
+				return 0, fmt.Errorf("%w: truncated %s", ErrMalformed, what)
+			}
+			return 0, limitOr(err, fmt.Errorf("%w: %s: %v", ErrMalformed, what, err))
+		}
+		return u, nil
+	}
+	for {
+		tag, err := br.ReadByte()
+		if err == io.EOF {
+			return p, nil
+		}
+		if err != nil {
+			return nil, limitOr(err, fmt.Errorf("%w: step tag: %v", ErrMalformed, err))
+		}
+		if tag != 'a' && tag != 'd' {
+			return nil, fmt.Errorf("%w: bad step tag %#x", ErrMalformed, tag)
+		}
+		if len(p.Steps) >= lim.MaxSteps {
+			return nil, &LimitError{What: "steps", Limit: int64(lim.MaxSteps)}
+		}
+		id, err := readUvarint("step id")
+		if err != nil {
+			return nil, err
+		}
+		if id == 0 || id > uint64(lim.MaxID) {
+			if id == 0 {
+				return nil, fmt.Errorf("%w: step %d: id 0", ErrMalformed, len(p.Steps))
+			}
+			return nil, &LimitError{What: "id", Limit: lim.MaxID}
+		}
+		s := Step{ID: int64(id), Del: tag == 'd'}
+		if s.Del {
+			for {
+				u, err := readUvarint("deletion")
+				if err != nil {
+					return nil, err
+				}
+				if u == 0 {
+					break
+				}
+				if u > uint64(lim.MaxID) {
+					return nil, &LimitError{What: "id", Limit: lim.MaxID}
+				}
+				if len(s.Deleted) >= lim.MaxHints {
+					return nil, &LimitError{What: "hints", Limit: int64(lim.MaxHints)}
+				}
+				s.Deleted = append(s.Deleted, int64(u))
+			}
+			p.Steps = append(p.Steps, s)
+			continue
+		}
+		for {
+			u, err := readUvarint("clause")
+			if err != nil {
+				return nil, err
+			}
+			if u == 0 {
+				break
+			}
+			if len(s.C) >= lim.MaxClauseLen {
+				return nil, &LimitError{What: "clause length", Limit: int64(lim.MaxClauseLen)}
+			}
+			l, err := unmapLit(u, lim.MaxVar)
+			if err != nil {
+				return nil, err
+			}
+			s.C = append(s.C, l)
+		}
+		for {
+			u, err := readUvarint("hints")
+			if err != nil {
+				return nil, err
+			}
+			if u == 0 {
+				break
+			}
+			if len(s.Hints) >= lim.MaxHints {
+				return nil, &LimitError{What: "hints", Limit: int64(lim.MaxHints)}
+			}
+			h, err := unmapHint(u, lim.MaxID)
+			if err != nil {
+				return nil, err
+			}
+			s.Hints = append(s.Hints, h)
+		}
+		p.Steps = append(p.Steps, s)
+	}
+}
+
+// limitOr unwraps a *LimitError riding inside err (the capped reader's
+// byte-budget violation surfaces through bufio), else returns alt.
+func limitOr(err, alt error) error {
+	var le *LimitError
+	if errors.As(err, &le) {
+		return le
+	}
+	return alt
+}

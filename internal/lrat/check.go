@@ -1,0 +1,412 @@
+package lrat
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cnf"
+	"repro/internal/obs"
+)
+
+// The hint-driven checker. Where RUP verification falsifies a clause and
+// *searches* for a conflict with watch lists and a trail, the hinted check
+// only replays the named antecedents: under the negated clause, each hint in
+// order must be unit (its one unassigned literal is then assigned) and the
+// final hint falsified. No watch lists, no trail search, no propagation
+// queue — each step touches exactly the clauses its hints name.
+//
+// Trust argument: if the replay succeeds, the assignment ¬C extended by the
+// forced unit literals falsifies the last hint clause, i.e. unit propagation
+// restricted to the hint clauses alone derives a conflict from ¬C. Unit
+// propagation over MORE clauses derives at least as much, so C is a reverse-
+// unit-propagation consequence of the live clause set — acceptance by this
+// checker implies acceptance by the RUP checker. The converse does not hold
+// (a wrong, reordered, dropped or dangling hint makes the replay fail even
+// though the clause may still be RUP-derivable); the checker is deliberately
+// strict, and the recorder's trail-ordered emission satisfies it by
+// construction.
+//
+// Because a step's replay depends only on the immutable id→clause table and
+// its own hint list, steps verify independently: the parallel mode chunks
+// the proof across workers after one cheap sequential structural pass (id
+// resolution + liveness intervals), with no shared propagation state at all.
+
+// Options configures Check.
+type Options struct {
+	// Workers > 1 enables the chunked parallel mode.
+	Workers int
+	// Ctx, when non-nil, cancels the run; Check then returns ctx.Err()
+	// alongside a partial Result with Incomplete set.
+	Ctx context.Context
+	// Obs, when non-nil, receives counters ("lrat.steps_checked",
+	// "lrat.hints_scanned") and a "lrat-check" span.
+	Obs *obs.Registry
+}
+
+// Result reports the outcome of a hinted check.
+type Result struct {
+	// OK means every step replayed and an empty clause was derived.
+	OK bool
+	// FailedStep is the index into Proof.Steps of the first failing step,
+	// or -1 (structural problems before any replay also land here when they
+	// are attributable to a step).
+	FailedStep int
+	// Reason is a human-readable rejection cause when !OK.
+	Reason string
+	// Additions and Deletions count the proof's steps by kind.
+	Additions, Deletions int
+	// HintsScanned is the total number of hint clauses replayed.
+	HintsScanned int64
+	// Refuted reports whether an empty clause was derived.
+	Refuted bool
+	// Incomplete is true when the run stopped (context) before a verdict;
+	// StoppedAt is the step index it reached.
+	Incomplete bool
+	StoppedAt  int
+}
+
+// slotRef locates one clause in the checker's dense table.
+type slotRef struct {
+	addAt int32 // step index that added it; -1 for formula clauses
+	delAt int32 // step index that deleted it; math.MaxInt32 while live
+}
+
+// checker is the immutable state shared by all workers after the structural
+// pass.
+type checker struct {
+	clauses [][]cnf.Lit // dense slot -> literals
+	refs    []slotRef
+	// hintSlots is the flat arena of resolved hint slot indices; step k's
+	// hints live at hintSlots[hintOff[k]:hintOff[k+1]] (deletions: empty).
+	hintSlots []int32
+	hintOff   []int32
+	nVars     int
+}
+
+const ctxPollEvery = 1024
+
+// Check validates the proof against the formula. Structural problems
+// (dangling or non-increasing IDs, deleted antecedents) and failed replays
+// both reject via Result; the error return is reserved for cancellation.
+func Check(f *cnf.Formula, p *Proof, opt Options) (*Result, error) {
+	ctx := opt.Ctx
+	span := opt.Obs.StartSpan("lrat-check")
+	defer span.End()
+
+	res := &Result{FailedStep: -1}
+	for i := range p.Steps {
+		if p.Steps[i].Del {
+			res.Deletions++
+		} else {
+			res.Additions++
+		}
+	}
+
+	ck, rej := buildChecker(f, p)
+	if rej != nil {
+		res.FailedStep = rej.step
+		res.Reason = rej.reason
+		return res, nil
+	}
+
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(p.Steps) {
+		workers = len(p.Steps)
+	}
+	cSteps := opt.Obs.Counter("lrat.steps_checked")
+	cHints := opt.Obs.Counter("lrat.hints_scanned")
+
+	var (
+		failStep   int64 = math.MaxInt64 // atomic min over failing step indices
+		reasonMu   sync.Mutex
+		reasons    = map[int]string{}
+		hintsTotal int64
+		refuted    atomic.Bool
+		stoppedAt  int64 = -1 // >= 0: context fired; lowest step index seen
+	)
+	runRange := func(lo, hi int) {
+		st := newStepChecker(ck)
+		scanned := int64(0)
+		for k := lo; k < hi; k++ {
+			if int64(k) > atomic.LoadInt64(&failStep) {
+				break // a strictly earlier failure already decides the verdict
+			}
+			if ctx != nil && k%ctxPollEvery == 0 && ctx.Err() != nil {
+				for {
+					cur := atomic.LoadInt64(&stoppedAt)
+					if cur >= 0 && cur <= int64(k) {
+						break
+					}
+					if atomic.CompareAndSwapInt64(&stoppedAt, cur, int64(k)) {
+						break
+					}
+				}
+				break
+			}
+			s := &p.Steps[k]
+			if s.Del {
+				continue
+			}
+			n, why := st.check(s, ck.hintSlots[ck.hintOff[k]:ck.hintOff[k+1]])
+			scanned += n
+			if why != "" {
+				for {
+					cur := atomic.LoadInt64(&failStep)
+					if int64(k) >= cur {
+						break
+					}
+					if atomic.CompareAndSwapInt64(&failStep, cur, int64(k)) {
+						reasonMu.Lock()
+						reasons[k] = why
+						reasonMu.Unlock()
+						break
+					}
+				}
+				break
+			}
+			if len(s.C) == 0 {
+				refuted.Store(true)
+			}
+		}
+		atomic.AddInt64(&hintsTotal, scanned)
+	}
+
+	if workers <= 1 {
+		runRange(0, len(p.Steps))
+	} else {
+		chunk := (len(p.Steps) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(p.Steps) {
+				hi = len(p.Steps)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				runRange(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	res.HintsScanned = hintsTotal
+	cHints.Add(hintsTotal)
+	cSteps.Add(int64(res.Additions))
+	if sa := atomic.LoadInt64(&stoppedAt); sa >= 0 && ctx != nil && ctx.Err() != nil {
+		res.Incomplete = true
+		res.StoppedAt = int(sa)
+		return res, ctx.Err()
+	}
+	if fs := atomic.LoadInt64(&failStep); fs != math.MaxInt64 {
+		res.FailedStep = int(fs)
+		reasonMu.Lock()
+		res.Reason = reasons[int(fs)]
+		reasonMu.Unlock()
+		return res, nil
+	}
+	res.Refuted = refuted.Load()
+	if !res.Refuted {
+		res.Reason = "no empty clause derived"
+		return res, nil
+	}
+	res.OK = true
+	return res, nil
+}
+
+// rejection attributes a structural problem to a step.
+type rejection struct {
+	step   int
+	reason string
+}
+
+// buildChecker runs the sequential structural pass: id→slot resolution,
+// liveness intervals, per-step hint resolution into a flat arena. It does no
+// replay work, so it is cheap relative to the per-step checks it unlocks.
+func buildChecker(f *cnf.Formula, p *Proof) (*checker, *rejection) {
+	nf := f.NumClauses()
+	ck := &checker{
+		clauses: make([][]cnf.Lit, nf, nf+p.Additions()),
+		refs:    make([]slotRef, nf, nf+p.Additions()),
+		hintOff: make([]int32, 1, len(p.Steps)+1),
+		nVars:   f.NumVars,
+	}
+	for i, c := range f.Clauses {
+		ck.clauses[i] = c
+		ck.refs[i] = slotRef{addAt: -1, delAt: math.MaxInt32}
+		// Defend the replay arrays against a formula whose header undercounts
+		// its variables; the BCP engines grow the same way.
+		if mv := c.MaxVar(); int(mv) >= ck.nVars {
+			ck.nVars = int(mv) + 1
+		}
+	}
+	// Formula clauses are implicitly 1..nf; additions are dense enough in
+	// practice (engine ID + 1) that a sorted lookup is wasted work — but
+	// foreign proofs may skip IDs, so additions resolve through a map built
+	// exactly once here.
+	idSlot := make(map[int64]int32, p.Additions())
+	resolve := func(id int64) (int32, bool) {
+		if id >= 1 && id <= int64(nf) {
+			return int32(id - 1), true
+		}
+		s, ok := idSlot[id]
+		return s, ok
+	}
+	lastID := int64(nf)
+	for k := range p.Steps {
+		s := &p.Steps[k]
+		if s.Del {
+			for _, id := range s.Deleted {
+				slot, ok := resolve(id)
+				if !ok {
+					return nil, &rejection{k, fmt.Sprintf("deletion of unknown id %d", id)}
+				}
+				if ck.refs[slot].delAt != math.MaxInt32 {
+					return nil, &rejection{k, fmt.Sprintf("double deletion of id %d", id)}
+				}
+				ck.refs[slot].delAt = int32(k)
+			}
+			ck.hintOff = append(ck.hintOff, int32(len(ck.hintSlots)))
+			continue
+		}
+		if s.ID <= lastID {
+			return nil, &rejection{k, fmt.Sprintf("id %d not above previous id %d", s.ID, lastID)}
+		}
+		lastID = s.ID
+		for _, h := range s.Hints {
+			if h < 0 {
+				return nil, &rejection{k, fmt.Sprintf("RAT hint %d unsupported", h)}
+			}
+			slot, ok := resolve(h)
+			if !ok {
+				return nil, &rejection{k, fmt.Sprintf("dangling hint id %d", h)}
+			}
+			r := ck.refs[slot]
+			if r.addAt >= int32(k) {
+				return nil, &rejection{k, fmt.Sprintf("hint id %d not yet derived", h)}
+			}
+			if r.delAt <= int32(k) {
+				return nil, &rejection{k, fmt.Sprintf("hint id %d already deleted", h)}
+			}
+			ck.hintSlots = append(ck.hintSlots, slot)
+		}
+		slot := int32(len(ck.clauses))
+		ck.clauses = append(ck.clauses, s.C)
+		ck.refs = append(ck.refs, slotRef{addAt: int32(k), delAt: math.MaxInt32})
+		idSlot[s.ID] = slot
+		ck.hintOff = append(ck.hintOff, int32(len(ck.hintSlots)))
+		if mv := s.C.MaxVar(); int(mv) >= ck.nVars {
+			ck.nVars = int(mv) + 1
+		}
+	}
+	return ck, nil
+}
+
+// stepChecker is one worker's mutable replay state: an assignment array and
+// its undo list. Values: 0 unassigned, +1 true, -1 false.
+type stepChecker struct {
+	ck     *checker
+	assign []int8
+	undo   []cnf.Var
+}
+
+func newStepChecker(ck *checker) *stepChecker {
+	return &stepChecker{ck: ck, assign: make([]int8, ck.nVars)}
+}
+
+func (st *stepChecker) set(l cnf.Lit) {
+	v := l.Var()
+	if l.IsNeg() {
+		st.assign[v] = -1
+	} else {
+		st.assign[v] = 1
+	}
+	st.undo = append(st.undo, v)
+}
+
+func (st *stepChecker) val(l cnf.Lit) int8 {
+	v := st.assign[l.Var()]
+	if l.IsNeg() {
+		return -v
+	}
+	return v
+}
+
+func (st *stepChecker) reset() {
+	for _, v := range st.undo {
+		st.assign[v] = 0
+	}
+	st.undo = st.undo[:0]
+}
+
+// check replays one addition step. It returns the number of hint clauses
+// scanned and a non-empty reason on failure.
+func (st *stepChecker) check(s *Step, hints []int32) (int64, string) {
+	defer st.reset()
+	// Assume the negation of the derived clause. A complementary pair means
+	// the clause is a tautology — trivially implied, no hints needed.
+	for _, l := range s.C {
+		switch st.val(l) {
+		case 1:
+			return 0, "" // tautology
+		case 0:
+			st.set(l.Neg())
+		}
+	}
+	if len(hints) == 0 {
+		return 0, "no hints"
+	}
+	for i, slot := range hints {
+		cl := st.ck.clauses[slot]
+		var unit cnf.Lit = cnf.LitUndef
+		unassigned := 0
+		for _, l := range cl {
+			switch st.val(l) {
+			case 1:
+				return int64(i + 1), fmt.Sprintf("hint %d (clause %s) satisfied, not unit", i, fmtClause(cl))
+			case 0:
+				// A repeated literal is still one candidate unit.
+				if l != unit {
+					unassigned++
+					unit = l
+				}
+			}
+		}
+		last := i == len(hints)-1
+		switch {
+		case unassigned == 0:
+			if !last {
+				return int64(i + 1), fmt.Sprintf("hint %d conflicts before the final hint", i)
+			}
+			return int64(len(hints)), "" // falsified final hint: step derived
+		case unassigned == 1:
+			if last {
+				return int64(len(hints)), fmt.Sprintf("final hint unit on %d, not conflicting", unit.Dimacs())
+			}
+			st.set(unit)
+		default:
+			return int64(i + 1), fmt.Sprintf("hint %d has %d unassigned literals, not unit", i, unassigned)
+		}
+	}
+	return int64(len(hints)), "unreachable"
+}
+
+func fmtClause(ls []cnf.Lit) string {
+	ds := make([]int, len(ls))
+	for i, l := range ls {
+		ds[i] = l.Dimacs()
+	}
+	sort.Ints(ds)
+	return fmt.Sprint(ds)
+}

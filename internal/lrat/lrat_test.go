@@ -1,0 +1,259 @@
+package lrat
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func mkClause(dimacs ...int) cnf.Clause {
+	c := make(cnf.Clause, 0, len(dimacs))
+	for _, d := range dimacs {
+		c = append(c, cnf.FromDimacs(d))
+	}
+	return c
+}
+
+func sampleProof() *Proof {
+	return &Proof{Steps: []Step{
+		{ID: 4, C: mkClause(2), Hints: []int64{1, 2}},
+		{ID: 5, Del: true, Deleted: []int64{2}},
+		{ID: 6, C: nil, Hints: []int64{4, 3}},
+	}}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	p := sampleProof()
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(p), normalize(got)) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", p.Steps, got.Steps)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	p := sampleProof()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if !DetectBinary(buf.Bytes()) {
+		t.Fatal("binary output not detected as binary")
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(p), normalize(got)) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", p.Steps, got.Steps)
+	}
+}
+
+// normalize maps nil and empty slices to a comparable shape.
+func normalize(p *Proof) []Step {
+	out := make([]Step, len(p.Steps))
+	for i, s := range p.Steps {
+		if len(s.C) == 0 {
+			s.C = nil
+		}
+		if len(s.Hints) == 0 {
+			s.Hints = nil
+		}
+		if len(s.Deleted) == 0 {
+			s.Deleted = nil
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestTextComments(t *testing.T) {
+	in := "c a comment line\n4 2 0 1 2 0\nc another\n5 0 4 3 0\n"
+	p, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 2 || p.Steps[0].ID != 4 || p.Steps[1].ID != 5 {
+		t.Fatalf("got %+v", p.Steps)
+	}
+}
+
+func TestTextNegativeHintsAccepted(t *testing.T) {
+	// RAT hints are negative; parsers keep them so foreign proofs round-trip.
+	p, err := Read(strings.NewReader("4 1 0 -2 3 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Steps[0].Hints, []int64{-2, 3}) {
+		t.Fatalf("hints %v", p.Steps[0].Hints)
+	}
+}
+
+func TestTextMalformed(t *testing.T) {
+	for _, in := range []string{
+		"x 1 0 1 0\n",  // bad id
+		"-4 1 0 1 0\n", // negative id
+		"0 1 0 1 0\n",  // zero id
+		"4 1 0 1\n",    // unterminated hints
+		"4 1\n",        // unterminated clause
+		"4\n",          // truncated after id
+		"4 d 1\n",      // unterminated deletion
+		"4 d -1 0\n",   // negative deleted id
+		"4 y 0\n",      // bad literal token
+	} {
+		if _, err := Read(strings.NewReader(in)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%q: got %v, want ErrMalformed", in, err)
+		}
+	}
+}
+
+func TestTextLimits(t *testing.T) {
+	cases := []struct {
+		in   string
+		lim  Limits
+		what string
+	}{
+		{"4 1 0 1 0\n5 2 0 1 0\n", Limits{MaxSteps: 1}, "steps"},
+		{"4 1 2 3 0 1 0\n", Limits{MaxClauseLen: 2}, "clause length"},
+		{"4 1 0 1 2 3 0\n", Limits{MaxHints: 2}, "hints"},
+		{"4 99 0 1 0\n", Limits{MaxVar: 10}, "variable"},
+		{"400 1 0 1 0\n", Limits{MaxID: 100}, "id"},
+		{"4 1 0 900 0\n", Limits{MaxID: 100}, "id"},
+		{"4 d 900 0\n", Limits{MaxID: 100}, "id"},
+		{"4 1 0 1 0\n5 2 0 1 0\n", Limits{MaxBytes: 12}, "bytes"},
+	}
+	for _, tc := range cases {
+		_, err := ReadLimited(strings.NewReader(tc.in), tc.lim)
+		if !errors.Is(err, ErrLimit) {
+			t.Errorf("%q lim %+v: got %v, want ErrLimit", tc.in, tc.lim, err)
+			continue
+		}
+		var le *LimitError
+		if !errors.As(err, &le) || le.What != tc.what {
+			t.Errorf("%q: got %v, want %s limit", tc.in, err, tc.what)
+		}
+	}
+}
+
+func TestBinaryMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleProof()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"bad magic":    append([]byte("XLRT"), good[4:]...),
+		"bad version":  append(append([]byte(nil), good[0:4]...), append([]byte{99}, good[5:]...)...),
+		"bad flags":    append(append([]byte(nil), good[0:5]...), append([]byte{1}, good[6:]...)...),
+		"truncated":    good[:len(good)-1],
+		"bad step tag": append(append([]byte(nil), good...), 'x'),
+		"empty":        nil,
+	}
+	for name, in := range cases {
+		if _, err := ReadBinary(bytes.NewReader(in)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: got %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestBinaryLimits(t *testing.T) {
+	big := &Proof{Steps: []Step{
+		{ID: 4, C: mkClause(1, 2, 3), Hints: []int64{1}},
+		{ID: 5, C: mkClause(1), Hints: []int64{1, 2, 3, 4}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		lim  Limits
+		what string
+	}{
+		{Limits{MaxSteps: 1}, "steps"},
+		{Limits{MaxClauseLen: 2}, "clause length"},
+		{Limits{MaxHints: 2}, "hints"},
+		{Limits{MaxVar: 2}, "variable"},
+		{Limits{MaxID: 4}, "id"},
+		{Limits{MaxBytes: 8}, "bytes"},
+	} {
+		_, err := ReadBinaryLimited(bytes.NewReader(buf.Bytes()), tc.lim)
+		var le *LimitError
+		if !errors.Is(err, ErrLimit) || !errors.As(err, &le) || le.What != tc.what {
+			t.Errorf("lim %+v: got %v, want %s limit", tc.lim, err, tc.what)
+		}
+	}
+}
+
+func TestDetectBinary(t *testing.T) {
+	if DetectBinary([]byte("4 2 0 1 2 0\n")) {
+		t.Error("text misdetected as binary")
+	}
+	if DetectBinary([]byte("CLR")) {
+		t.Error("short prefix misdetected")
+	}
+}
+
+func TestRecorderSortsAndRoundTrips(t *testing.T) {
+	var r Recorder
+	// Backward checkers record in descending ID order.
+	r.Record(6, nil, []int64{4, 3})
+	r.Record(4, mkClause(2), []int64{1, 2})
+	if r.Len() != 2 {
+		t.Fatalf("Len %d", r.Len())
+	}
+	p, err := r.Proof()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].ID != 4 || p.Steps[1].ID != 6 {
+		t.Fatalf("not sorted: %+v", p.Steps)
+	}
+
+	restored, err := DecodeRecorder(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := restored.Proof()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(p), normalize(p2)) {
+		t.Fatalf("recorder round trip mismatch:\n%+v\n%+v", p.Steps, p2.Steps)
+	}
+}
+
+func TestRecorderDuplicateID(t *testing.T) {
+	var r Recorder
+	r.Record(4, mkClause(1), []int64{1})
+	r.Record(4, mkClause(2), []int64{2})
+	if _, err := r.Proof(); err == nil {
+		t.Fatal("duplicate id not reported")
+	}
+}
+
+func TestRecorderIsolatesCallerBuffers(t *testing.T) {
+	var r Recorder
+	c := mkClause(1, 2)
+	h := []int64{1, 2}
+	r.Record(4, c, h)
+	c[0] = cnf.FromDimacs(9)
+	h[0] = 99
+	p, err := r.Proof()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].C[0] != cnf.FromDimacs(1) || p.Steps[0].Hints[0] != 1 {
+		t.Fatal("recorder aliased caller buffers")
+	}
+}

@@ -1,0 +1,224 @@
+package lrat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/cnf"
+)
+
+// Text LRAT format, one step per line (the parser tolerates line breaks
+// anywhere, like the DIMACS readers):
+//
+//	<id> <lits...> 0 <hints...> 0      addition
+//	<id> d <ids...> 0                  deletion
+//
+// Lines starting with 'c' are comments and skipped.
+
+// Write streams the proof in the text format.
+func Write(w io.Writer, p *Proof) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for i := range p.Steps {
+		s := &p.Steps[i]
+		buf = strconv.AppendInt(buf[:0], s.ID, 10)
+		if s.Del {
+			buf = append(buf, " d"...)
+			for _, id := range s.Deleted {
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, id, 10)
+			}
+		} else {
+			for _, l := range s.C {
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, int64(l.Dimacs()), 10)
+			}
+			buf = append(buf, " 0"...)
+			for _, h := range s.Hints {
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, h, 10)
+			}
+		}
+		buf = append(buf, " 0\n"...)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a text proof under DefaultLimits.
+func Read(r io.Reader) (*Proof, error) { return ReadLimited(r, DefaultLimits()) }
+
+// ReadLimited is Read with explicit Limits — the entry point for genuinely
+// untrusted input. Syntax problems (including truncation) wrap ErrMalformed
+// and limit violations wrap ErrLimit.
+func ReadLimited(r io.Reader, lim Limits) (*Proof, error) {
+	lim = lim.withDefaults()
+	sc := bufio.NewScanner(newCappedReader(r, lim.MaxBytes))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	sc.Split(scanTokenSkipComments)
+
+	p := &Proof{}
+	next := func() (string, bool, error) {
+		if sc.Scan() {
+			return sc.Text(), true, nil
+		}
+		if err := sc.Err(); err != nil {
+			// A byte-budget violation surfaces typed through the scanner;
+			// anything else (oversized token, IO garbage) is malformed input.
+			return "", false, limitOr(err, fmt.Errorf("%w: %v", ErrMalformed, err))
+		}
+		return "", false, nil
+	}
+	for {
+		tok, ok, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return p, nil
+		}
+		if len(p.Steps) >= lim.MaxSteps {
+			return nil, &LimitError{What: "steps", Limit: int64(lim.MaxSteps)}
+		}
+		id, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil || id <= 0 {
+			return nil, fmt.Errorf("%w: step %d: bad id %q", ErrMalformed, len(p.Steps), tok)
+		}
+		if id > lim.MaxID {
+			return nil, &LimitError{What: "id", Limit: lim.MaxID}
+		}
+		s := Step{ID: id}
+
+		tok, ok, err = next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: step %d: truncated after id", ErrMalformed, len(p.Steps))
+		}
+		if tok == "d" {
+			s.Del = true
+			for {
+				tok, ok, err = next()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return nil, fmt.Errorf("%w: step %d: unterminated deletion", ErrMalformed, len(p.Steps))
+				}
+				d, err := strconv.ParseInt(tok, 10, 64)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("%w: step %d: bad deleted id %q", ErrMalformed, len(p.Steps), tok)
+				}
+				if d == 0 {
+					break
+				}
+				if d > lim.MaxID {
+					return nil, &LimitError{What: "id", Limit: lim.MaxID}
+				}
+				if len(s.Deleted) >= lim.MaxHints {
+					return nil, &LimitError{What: "hints", Limit: int64(lim.MaxHints)}
+				}
+				s.Deleted = append(s.Deleted, d)
+			}
+			p.Steps = append(p.Steps, s)
+			continue
+		}
+
+		// Addition: literals until 0, then hints until 0. The current token
+		// is the first literal (or the clause terminator).
+		for {
+			d, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("%w: step %d: bad literal %q", ErrMalformed, len(p.Steps), tok)
+			}
+			if d == 0 {
+				break
+			}
+			if d > lim.MaxVar || -d > lim.MaxVar {
+				return nil, &LimitError{What: "variable", Limit: int64(lim.MaxVar)}
+			}
+			if len(s.C) >= lim.MaxClauseLen {
+				return nil, &LimitError{What: "clause length", Limit: int64(lim.MaxClauseLen)}
+			}
+			s.C = append(s.C, cnf.FromDimacs(d))
+			tok, ok, err = next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("%w: step %d: unterminated clause", ErrMalformed, len(p.Steps))
+			}
+		}
+		for {
+			tok, ok, err = next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("%w: step %d: unterminated hints", ErrMalformed, len(p.Steps))
+			}
+			h, err := strconv.ParseInt(tok, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: step %d: bad hint %q", ErrMalformed, len(p.Steps), tok)
+			}
+			if h == 0 {
+				break
+			}
+			if h > lim.MaxID || -h > lim.MaxID {
+				return nil, &LimitError{What: "id", Limit: lim.MaxID}
+			}
+			if len(s.Hints) >= lim.MaxHints {
+				return nil, &LimitError{What: "hints", Limit: int64(lim.MaxHints)}
+			}
+			s.Hints = append(s.Hints, h)
+		}
+		p.Steps = append(p.Steps, s)
+	}
+}
+
+// scanTokenSkipComments is a bufio.SplitFunc yielding whitespace-separated
+// tokens while dropping comments ('c' through end of line). No valid LRAT
+// token starts with 'c', so the check needs no line-start tracking — which
+// a stateless split function could not do across chunk boundaries anyway.
+func scanTokenSkipComments(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	i := 0
+	for {
+		for i < len(data) && isSpace(data[i]) {
+			i++
+		}
+		if i >= len(data) {
+			if atEOF {
+				return len(data), nil, nil
+			}
+			return i, nil, nil // need more data
+		}
+		if data[i] == 'c' {
+			// Comment: consume through end of line.
+			j := i
+			for j < len(data) && data[j] != '\n' {
+				j++
+			}
+			if j >= len(data) && !atEOF {
+				return i, nil, nil // need more data to find the newline
+			}
+			i = j
+			continue
+		}
+		// Token: up to the next whitespace.
+		j := i
+		for j < len(data) && !isSpace(data[j]) {
+			j++
+		}
+		if j >= len(data) && !atEOF {
+			return i, nil, nil
+		}
+		return j, data[i:j], nil
+	}
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\r' || b == '\n' }

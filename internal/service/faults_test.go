@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/obs"
@@ -126,8 +127,16 @@ func testArtifactWriteDiskFull(t *testing.T) {
 	if jr2.Status != StatusVerified {
 		t.Fatalf("recomputed verdict = %+v, want verified", jr2)
 	}
-	if res, err := ds2.Result(id); err != nil || res == nil {
-		t.Fatalf("durable result after recovery = %v, %v; want stored", res, err)
+	// waitDone observes the in-memory cache, which finish writes before the
+	// durable SetResult — poll briefly for the disk record to land.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if res, err := ds2.Result(id); err == nil && res != nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("durable result after recovery = %v, %v; want stored", res, err)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/cnf"
 	"repro/internal/exitcode"
+	"repro/internal/lrat"
 	"repro/internal/obs"
 	"repro/internal/proof"
 )
@@ -41,9 +43,13 @@ const tenantHeader = "X-Dpv-Tenant"
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /v1/jobs           multipart upload (parts "formula", "proof") → 202
-//	GET  /v1/jobs/{id}      job state and, when done, its result
-//	GET  /v1/jobs/{id}/core unsat core as DIMACS (verified jobs)
+//	POST /v1/jobs              multipart upload (parts "formula", "proof") → 202
+//	GET  /v1/jobs/{id}         job state and, when done, its result
+//	GET  /v1/jobs/{id}/core    unsat core as DIMACS (verified jobs)
+//	GET  /v1/jobs/{id}/lrat    hinted (LRAT) proof of the verification
+//	POST /v1/jobs/{id}/recheck re-verify from stored hints — no BCP — and
+//	                           answer with the job's verdict JSON, byte-
+//	                           identical to GET /v1/jobs/{id}
 //
 // plus the observability surface (/metrics, /debug/vars, /healthz, /readyz,
 // and — when enablePprof — /debug/pprof/) from the daemon's registry.
@@ -56,6 +62,8 @@ func (d *Daemon) Handler(enablePprof bool) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", d.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", d.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/core", d.handleCore)
+	mux.HandleFunc("GET /v1/jobs/{id}/lrat", d.handleLRAT)
+	mux.HandleFunc("POST /v1/jobs/{id}/recheck", d.handleRecheck)
 	mux.Handle("/", d.opt.Obs.Mux(enablePprof, obs.Health{Live: d.Live, Ready: d.Ready}))
 	return d.recoverMiddleware(mux)
 }
@@ -215,6 +223,13 @@ func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, StatusInternal, err.Error())
 		return
 	}
+	d.writeStatusResponse(w, id, st, jr)
+}
+
+// writeStatusResponse renders the one status/verdict body shape. handleStatus
+// and handleRecheck both answer through it, which is what makes the recheck
+// contract testable: a recheck's body is byte-identical to a plain GET.
+func (d *Daemon) writeStatusResponse(w http.ResponseWriter, id string, st State, jr *JobResult) {
 	resp := statusResponse{ID: id, State: st, Result: jr}
 	if job, jerr := d.opt.Store.Job(id); jerr == nil {
 		resp.Tenant = job.Tenant
@@ -252,4 +267,93 @@ func (d *Daemon) handleCore(w http.ResponseWriter, r *http.Request) {
 	if err := cnf.WriteDimacs(w, f.Restrict(jr.Core)); err != nil {
 		d.opt.Logf("service: job %s: core write: %v", id, err)
 	}
+}
+
+// verifiedLRAT gates the hinted-proof endpoints: the job must be done and
+// verified, and the store must hold its LRAT bytes. On any failure the HTTP
+// error has been written and ok is false.
+func (d *Daemon) verifiedLRAT(w http.ResponseWriter, id string) (b []byte, jr *JobResult, ok bool) {
+	st, jr, err := d.Status(id)
+	if errors.Is(err, ErrUnknownJob) {
+		writeError(w, http.StatusNotFound, StatusBadInput, "unknown job")
+		return nil, nil, false
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, StatusInternal, err.Error())
+		return nil, nil, false
+	}
+	if st != StateDone {
+		writeError(w, http.StatusConflict, StatusBadInput, "job has no verdict yet")
+		return nil, nil, false
+	}
+	if jr == nil || jr.Status != StatusVerified || jr.Code != exitcode.OK {
+		writeError(w, http.StatusConflict, StatusBadInput, "hinted proof exists only for verified jobs")
+		return nil, nil, false
+	}
+	b, err = d.opt.Store.LRAT(id)
+	if err != nil && !errors.Is(err, ErrUnknownJob) {
+		writeError(w, http.StatusInternalServerError, StatusInternal, err.Error())
+		return nil, nil, false
+	}
+	if len(b) == 0 {
+		// Verified, but the hint write was degraded (or the job predates
+		// hint recording): the verdict stands, the cheap recheck does not.
+		writeError(w, http.StatusConflict, StatusInternal, "no hinted proof recorded for this job")
+		return nil, nil, false
+	}
+	return b, jr, true
+}
+
+// handleLRAT serves the hinted (LRAT) proof recorded when the job verified —
+// the artifact lratcheck, or any independent LRAT checker, accepts without
+// running unit propagation.
+func (d *Daemon) handleLRAT(w http.ResponseWriter, r *http.Request) {
+	b, _, ok := d.verifiedLRAT(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(b)
+}
+
+// handleRecheck re-derives trust in a completed job's verdict from its
+// stored hints: a unit replay over the named antecedents only, no BCP. On
+// success it answers with the job's verdict JSON, byte-identical to
+// GET /v1/jobs/{id} — the recheck changes nothing, it re-confirms. A replay
+// failure means the stored artifacts are corrupt and is reported as an
+// internal error, never a changed verdict.
+func (d *Daemon) handleRecheck(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	b, jr, ok := d.verifiedLRAT(w, id)
+	if !ok {
+		return
+	}
+	lp, err := lrat.Read(bytes.NewReader(b))
+	if err != nil {
+		d.opt.Obs.Counter("service.rechecks_failed").Inc()
+		writeError(w, http.StatusInternalServerError, StatusInternal,
+			fmt.Sprintf("stored hinted proof is corrupt: %v", err))
+		return
+	}
+	f, _, err := d.opt.Store.Artifacts(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, StatusInternal, err.Error())
+		return
+	}
+	cres, err := lrat.Check(f, lp, lrat.Options{Ctx: r.Context(), Obs: d.opt.Obs})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, StatusInternal,
+			fmt.Sprintf("recheck interrupted: %v", err))
+		return
+	}
+	if !cres.OK {
+		d.opt.Obs.Counter("service.rechecks_failed").Inc()
+		writeError(w, http.StatusInternalServerError, StatusInternal,
+			fmt.Sprintf("stored hinted proof failed re-verification at step %d: %s", cres.FailedStep, cres.Reason))
+		return
+	}
+	d.opt.Obs.Counter("service.rechecks").Inc()
+	w.Header().Set("X-Dpv-Recheck", "lrat")
+	w.Header().Set("X-Dpv-Recheck-Hints", strconv.FormatInt(cres.HintsScanned, 10))
+	d.writeStatusResponse(w, id, StateDone, jr)
 }

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/lrat"
+	"repro/internal/proof"
+)
+
+// The hinted-proof surface: a verified job's LRAT is persisted next to its
+// result, served over GET /lrat, and POST /recheck re-derives the verdict
+// from those hints alone — answering byte-identical to a plain status GET.
+
+func TestDaemonServesLRAT(t *testing.T) {
+	store := NewMemStore()
+	d := newTestDaemon(t, Options{Store: store})
+	h := d.Handler(false)
+	f, tr := chainProblem(20)
+	id := submitProblem(t, h, f, tr, "")
+	jr := waitDone(t, d, id)
+	if jr.Status != StatusVerified {
+		t.Fatalf("result = %+v, want verified", jr)
+	}
+
+	rw := doRequest(h, httptest.NewRequest("GET", "/v1/jobs/"+id+"/lrat", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("GET lrat = %d %s", rw.Code, rw.Body.String())
+	}
+	lp, err := lrat.Read(bytes.NewReader(rw.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("served LRAT does not parse: %v", err)
+	}
+	cres, err := lrat.Check(f, lp, lrat.Options{})
+	if err != nil || !cres.OK {
+		t.Fatalf("served LRAT rejected: err=%v res=%+v", err, cres)
+	}
+
+	// The stored bytes are exactly what the endpoint serves.
+	stored, err := store.LRAT(id)
+	if err != nil || !bytes.Equal(stored, rw.Body.Bytes()) {
+		t.Fatalf("served bytes differ from stored bytes (err=%v)", err)
+	}
+
+	if rw := doRequest(h, httptest.NewRequest("GET", "/v1/jobs/"+strings.Repeat("0", 32)+"/lrat", nil)); rw.Code != http.StatusNotFound {
+		t.Fatalf("GET lrat unknown job = %d, want 404", rw.Code)
+	}
+}
+
+func TestDaemonLRATOnlyForVerified(t *testing.T) {
+	d := newTestDaemon(t, Options{})
+	h := d.Handler(false)
+	// A rejected job: x2 is not implied by {x1}.
+	f := cnf.NewFormula(2)
+	f.Clauses = append(f.Clauses, cnf.Clause{cnf.FromDimacs(1)})
+	tr := proof.New()
+	tr.Resolutions = nil
+	tr.Clauses = append(tr.Clauses, cnf.Clause{cnf.FromDimacs(2)}, cnf.Clause{cnf.FromDimacs(-2)})
+	id := submitProblem(t, h, f, tr, "")
+	if jr := waitDone(t, d, id); jr.Status != StatusRejected {
+		t.Fatalf("result = %+v, want rejected", jr)
+	}
+	for _, ep := range []struct{ method, path string }{
+		{"GET", "/v1/jobs/" + id + "/lrat"},
+		{"POST", "/v1/jobs/" + id + "/recheck"},
+	} {
+		rw := doRequest(h, httptest.NewRequest(ep.method, ep.path, nil))
+		if rw.Code != http.StatusConflict {
+			t.Fatalf("%s %s = %d, want 409", ep.method, ep.path, rw.Code)
+		}
+	}
+}
+
+func TestDaemonRecheckMatchesStatusByteForByte(t *testing.T) {
+	d := newTestDaemon(t, Options{})
+	h := d.Handler(false)
+	f, tr := chainProblem(30)
+	id := submitProblem(t, h, f, tr, "acme")
+	waitDone(t, d, id)
+
+	status := doRequest(h, httptest.NewRequest("GET", "/v1/jobs/"+id, nil))
+	if status.Code != http.StatusOK {
+		t.Fatalf("GET job = %d %s", status.Code, status.Body.String())
+	}
+	recheck := doRequest(h, httptest.NewRequest("POST", "/v1/jobs/"+id+"/recheck", nil))
+	if recheck.Code != http.StatusOK {
+		t.Fatalf("POST recheck = %d %s", recheck.Code, recheck.Body.String())
+	}
+	if !bytes.Equal(recheck.Body.Bytes(), status.Body.Bytes()) {
+		t.Fatalf("recheck body diverged from status body:\n got %s\nwant %s",
+			recheck.Body.String(), status.Body.String())
+	}
+	if recheck.Header().Get("X-Dpv-Recheck") != "lrat" {
+		t.Fatalf("recheck headers = %v, want X-Dpv-Recheck: lrat", recheck.Header())
+	}
+	if recheck.Header().Get("X-Dpv-Recheck-Hints") == "" {
+		t.Fatal("recheck did not report hints scanned")
+	}
+}
+
+// TestDaemonRecheckDetectsCorruption replaces the stored hinted proof with a
+// syntactically valid proof whose derivation is wrong: the recheck must fail
+// as an internal error (the store is damaged), never serve the verdict.
+func TestDaemonRecheckDetectsCorruption(t *testing.T) {
+	store := NewMemStore()
+	d := newTestDaemon(t, Options{Store: store})
+	h := d.Handler(false)
+	f, tr := chainProblem(10)
+	id := submitProblem(t, h, f, tr, "")
+	waitDone(t, d, id)
+
+	cases := []struct {
+		name string
+		lrat string
+	}{
+		// Claims (x3) follows from clauses 1 and 3 — hint 3 is (¬x2 x3),
+		// not unit under ¬x3 ∧ x1.
+		{"wrong derivation", "13 3 0 1 3 0\n"},
+		{"no refutation", "13 2 0 1 2 0\n"},
+		{"garbage", "not an lrat proof\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := store.SetLRAT(id, []byte(tc.lrat)); err != nil {
+				t.Fatal(err)
+			}
+			rw := doRequest(h, httptest.NewRequest("POST", "/v1/jobs/"+id+"/recheck", nil))
+			if rw.Code != http.StatusInternalServerError {
+				t.Fatalf("recheck of corrupted proof = %d %s, want 500", rw.Code, rw.Body.String())
+			}
+		})
+	}
+}
+
+// TestDiskStoreLRATPersists drives SetLRAT/LRAT through the disk store and
+// checks the bytes survive a reopen — the recheck capability must outlive
+// the daemon incarnation that verified the job.
+func TestDiskStoreLRATPersists(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newTestDaemon(t, Options{Store: store})
+	h := d.Handler(false)
+	f, tr := chainProblem(15)
+	id := submitProblem(t, h, f, tr, "")
+	waitDone(t, d, id)
+
+	want, err := store.LRAT(id)
+	if err != nil || len(want) == 0 {
+		t.Fatalf("stored LRAT: err=%v len=%d", err, len(want))
+	}
+	reopened, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reopened.LRAT(id)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("reopened store serves different LRAT bytes (err=%v)", err)
+	}
+	if _, err := reopened.LRAT(strings.Repeat("f", 32)); err != ErrUnknownJob {
+		t.Fatalf("LRAT of unknown job: err=%v, want ErrUnknownJob", err)
+	}
+}

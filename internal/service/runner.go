@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/journal"
+	"repro/internal/lrat"
 	"repro/internal/proof"
 )
 
@@ -61,7 +63,7 @@ func (d *Daemon) runJob(w int, job *Job) {
 	}
 
 	budget := d.quotaFor(job.Tenant).Budget
-	res, engine, attempts, verr := d.verifyJob(w, job, f, tr, budget)
+	res, rec, engine, attempts, verr := d.verifyJob(w, job, f, tr, budget)
 
 	if verr != nil && errors.Is(verr, core.ErrCancelled) && d.Draining() {
 		// Drain, not an outcome: the final journal record is already
@@ -80,9 +82,31 @@ func (d *Daemon) runJob(w int, job *Job) {
 		jr.Verdict = &v
 		if res.OK {
 			jr.Core = res.Core
+			// Persist the hinted proof before the result commit point, so a
+			// done verified job always has its hints; a failure here costs
+			// the cheap-recheck capability, never the verdict.
+			d.storeLRAT(job, rec)
 		}
 	}
 	d.finish(job, jr)
+}
+
+// storeLRAT renders and persists a verified job's recorded hints.
+func (d *Daemon) storeLRAT(job *Job, rec *lrat.Recorder) {
+	if rec == nil {
+		return
+	}
+	lp, err := rec.Proof()
+	if err == nil {
+		var buf bytes.Buffer
+		if err = lrat.Write(&buf, lp); err == nil {
+			err = d.opt.Store.SetLRAT(job.ID, buf.Bytes())
+		}
+	}
+	if err != nil {
+		d.opt.Obs.Counter("service.lrat_store_errors").Inc()
+		d.opt.Logf("service: job %s: hinted proof not stored (%v); recheck unavailable", job.ID, err)
+	}
 }
 
 // finish records a terminal result. The in-memory cache is written first
@@ -115,11 +139,14 @@ func fallbackEngineFor(k core.EngineKind) core.EngineKind {
 
 // verifyJob runs verification with at most one fallback-engine retry after
 // a panic. Any second panic — or any non-panic error — is final. It returns
-// the engine that produced the result so the verdict names the right one.
-func (d *Daemon) verifyJob(w int, job *Job, f *cnf.Formula, tr *proof.Trace, budget core.Budget) (*core.Result, core.EngineKind, int, error) {
+// the engine that produced the result so the verdict names the right one,
+// and the attempt's hint recorder (fresh per attempt, so a retried run
+// never carries the panicked attempt's partial records).
+func (d *Daemon) verifyJob(w int, job *Job, f *cnf.Formula, tr *proof.Trace, budget core.Budget) (*core.Result, *lrat.Recorder, core.EngineKind, int, error) {
 	engine := d.opt.Engine
 	for attempt := 1; ; attempt++ {
-		res, err := d.verifyOnce(w, job, f, tr, budget, engine, attempt)
+		rec := new(lrat.Recorder)
+		res, err := d.verifyOnce(w, job, f, tr, budget, engine, attempt, rec)
 		var pe *core.WorkerPanicError
 		if errors.As(err, &pe) && attempt == 1 {
 			d.opt.Obs.Counter("service.worker_panics").Inc()
@@ -129,7 +156,7 @@ func (d *Daemon) verifyJob(w int, job *Job, f *cnf.Formula, tr *proof.Trace, bud
 			engine = fb
 			continue
 		}
-		return res, engine, attempt, err
+		return res, rec, engine, attempt, err
 	}
 }
 
@@ -137,7 +164,7 @@ func (d *Daemon) verifyJob(w int, job *Job, f *cnf.Formula, tr *proof.Trace, bud
 // lifetime context plus the per-job deadline, checkpointing to the store's
 // journal when it offers one. Journal failures only ever degrade durability
 // — the attempt itself proceeds and its verdict stands.
-func (d *Daemon) verifyOnce(w int, job *Job, f *cnf.Formula, tr *proof.Trace, budget core.Budget, engine core.EngineKind, attempt int) (res *core.Result, verr error) {
+func (d *Daemon) verifyOnce(w int, job *Job, f *cnf.Formula, tr *proof.Trace, budget core.Budget, engine core.EngineKind, attempt int, rec *lrat.Recorder) (res *core.Result, verr error) {
 	ctx := d.ctx
 	if d.opt.JobTimeout > 0 {
 		var cancel context.CancelFunc
@@ -150,6 +177,7 @@ func (d *Daemon) verifyOnce(w int, job *Job, f *cnf.Formula, tr *proof.Trace, bu
 		Ctx:    ctx,
 		Budget: budget,
 		Obs:    d.opt.Obs,
+		Hints:  rec,
 	}
 
 	var jw *journal.Writer
@@ -172,6 +200,11 @@ func (d *Daemon) verifyOnce(w int, job *Job, f *cnf.Formula, tr *proof.Trace, bu
 			cp, derr := core.DecodeCheckpoint(payload)
 			if derr == nil {
 				derr = cp.ValidateFor(f.NumClauses(), tr.Len(), 0)
+			}
+			if derr == nil && cp.Hints == nil {
+				// A journal from before hint recording: resuming would leave
+				// the verified prefix without hints, so re-run instead.
+				derr = fmt.Errorf("checkpoint carries no hint recorder")
 			}
 			if derr == nil {
 				resumeCp, resumePayload = cp, payload

@@ -34,6 +34,13 @@ type Store interface {
 	// Result returns the recorded result, (nil, nil) when none yet, or
 	// ErrUnknownJob for an unknown id.
 	Result(id string) (*JobResult, error)
+	// SetLRAT persists the job's hinted (LRAT) proof — the by-product of a
+	// verified run that makes re-verification propagation-free. Written
+	// before SetResult, so a completed verified job always has its hints.
+	SetLRAT(id string, lrat []byte) error
+	// LRAT returns the stored hinted proof, (nil, nil) when none was
+	// recorded, or ErrUnknownJob for an unknown id.
+	LRAT(id string) ([]byte, error)
 	// Incomplete lists created-but-unfinished jobs in Seq order.
 	Incomplete() ([]*Job, error)
 	// MaxSeq returns the largest admission sequence number ever created, so
@@ -53,6 +60,7 @@ type MemStore struct {
 	mu      sync.RWMutex
 	jobs    map[string]*memJob
 	results map[string]*JobResult
+	lrats   map[string][]byte
 }
 
 type memJob struct {
@@ -66,6 +74,7 @@ func NewMemStore() *MemStore {
 	return &MemStore{
 		jobs:    make(map[string]*memJob),
 		results: make(map[string]*JobResult),
+		lrats:   make(map[string][]byte),
 	}
 }
 
@@ -113,6 +122,25 @@ func (s *MemStore) Result(id string) (*JobResult, error) {
 		return nil, ErrUnknownJob
 	}
 	return s.results[id], nil
+}
+
+func (s *MemStore) SetLRAT(id string, lrat []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		return ErrUnknownJob
+	}
+	s.lrats[id] = append([]byte(nil), lrat...)
+	return nil
+}
+
+func (s *MemStore) LRAT(id string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.jobs[id]; !ok {
+		return nil, ErrUnknownJob
+	}
+	return s.lrats[id], nil
 }
 
 func (s *MemStore) Incomplete() ([]*Job, error) {

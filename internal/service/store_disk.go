@@ -189,6 +189,33 @@ func (s *DiskStore) SetResult(id string, jr *JobResult) error {
 	})
 }
 
+func (s *DiskStore) SetLRAT(id string, lrat []byte) error {
+	if !validID(id) {
+		return ErrUnknownJob
+	}
+	if _, err := os.Stat(filepath.Join(s.dir(id), "job.json")); os.IsNotExist(err) {
+		return ErrUnknownJob
+	}
+	return atomicio.WriteFile(filepath.Join(s.dir(id), "proof.lrat"), func(w io.Writer) error {
+		_, err := w.Write(lrat)
+		return err
+	})
+}
+
+func (s *DiskStore) LRAT(id string) ([]byte, error) {
+	if !validID(id) {
+		return nil, ErrUnknownJob
+	}
+	b, err := os.ReadFile(filepath.Join(s.dir(id), "proof.lrat"))
+	if os.IsNotExist(err) {
+		if _, jerr := os.Stat(filepath.Join(s.dir(id), "job.json")); os.IsNotExist(jerr) {
+			return nil, ErrUnknownJob
+		}
+		return nil, nil
+	}
+	return b, err
+}
+
 func (s *DiskStore) Result(id string) (*JobResult, error) {
 	if !validID(id) {
 		return nil, ErrUnknownJob

@@ -43,7 +43,7 @@ func spanArg(e trace.ChromeEvent, key string) (uint64, bool) {
 
 func TestTraceRoundtrip(t *testing.T) {
 	bins := buildCmds(t)
-	unsatCNF, tracePath, _, _, _ := writeFixtures(t)
+	unsatCNF, tracePath, _, _, _, _ := writeFixtures(t)
 	dpv := filepath.Join(bins, "dpv")
 	dir := t.TempDir()
 	chromeOut := filepath.Join(dir, "run.trace.json")
@@ -149,7 +149,7 @@ func TestTraceRoundtrip(t *testing.T) {
 
 func TestTraceRoundtripParallelWorkers(t *testing.T) {
 	bins := buildCmds(t)
-	unsatCNF, tracePath, _, _, _ := writeFixtures(t)
+	unsatCNF, tracePath, _, _, _, _ := writeFixtures(t)
 	dpv := filepath.Join(bins, "dpv")
 	chromeOut := filepath.Join(t.TempDir(), "par.trace.json")
 
