@@ -7,7 +7,7 @@ GO ?= go
 # mutator beyond the seed corpus, short enough for a pre-merge gate.
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race check bench bench-smoke bench-gate trace-smoke fuzz-smoke crash-smoke daemon-smoke lrat-smoke clean
+.PHONY: all build vet test race check bench bench-smoke bench-gate trace-smoke fuzz-smoke crash-smoke daemon-smoke lrat-smoke cluster-smoke clean
 
 # Scratch dir for gate artifacts that must not clobber committed baselines.
 SCRATCH ?= .scratch
@@ -37,6 +37,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseLRAT$$' -fuzztime $(FUZZTIME) ./internal/lrat/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseLRATBinary$$' -fuzztime $(FUZZTIME) ./internal/lrat/
 	$(GO) test -run '^$$' -fuzz '^FuzzUpload$$' -fuzztime $(FUZZTIME) ./internal/service/
+	$(GO) test -run '^$$' -fuzz '^FuzzRouterAdmission$$' -fuzztime $(FUZZTIME) ./internal/cluster/
 
 # crash-smoke is the seeded kill-and-recover loop: the built CLIs are
 # SIGKILLed at durable checkpoint appends and resumed until they finish, and
@@ -67,6 +68,17 @@ lrat-smoke:
 	$(GO) test -count=1 ./internal/lrat/
 	$(GO) test -run 'LRAT' -count=1 ./internal/core/ ./internal/drat/
 	$(GO) test -run '^TestLRAT|^TestApplyHints' -count=1 ./internal/faults/
+
+# cluster-smoke is the multi-node arm of the gate: three dpvd shards behind
+# one dpvrouter (R=2), six jobs admitted back to back, then SIGKILL the
+# shard that owns most of them. Zero admitted jobs may be lost, every
+# surviving verdict must be byte-identical to an uninterrupted single-node
+# dpv run, and a replica offered a verdict with one flipped hint digit must
+# answer a typed 422 and never ack. The in-process cluster suite (ring,
+# hedged reads, breakers, failover, router fault matrix) rides along.
+cluster-smoke:
+	$(GO) test -run '^TestClusterKillShard$$' -count=1 -v .
+	$(GO) test -count=1 ./internal/cluster/ ./internal/retry/
 
 # bench-smoke replays small pigeonhole/random proofs through every BCP
 # engine (propagations/sec, watcher-visits per check, and the
@@ -104,12 +116,12 @@ trace-smoke:
 
 # check is the pre-merge gate: vet, a full build, the test suite under the
 # race detector, a short fuzz pass over the untrusted-input parsers and the
-# daemon admission gate, the kill-and-recover crash loops (CLI and daemon),
-# the hinted-proof (LRAT) gate, the trace roundtrip + overhead smoke, and
-# the benchmark perf-regression gate (BCP engines and hinted re-check
-# throughput). Run it before every merge; CI and reviewers assume it is
-# green.
-check: vet build race fuzz-smoke crash-smoke daemon-smoke lrat-smoke trace-smoke bench-gate
+# admission gates (daemon and router), the kill-and-recover crash loops
+# (CLI, daemon, and cluster kill-a-shard), the hinted-proof (LRAT) gate,
+# the trace roundtrip + overhead smoke, and the benchmark perf-regression
+# gate (BCP engines and hinted re-check throughput). Run it before every
+# merge; CI and reviewers assume it is green.
+check: vet build race fuzz-smoke crash-smoke daemon-smoke lrat-smoke cluster-smoke trace-smoke bench-gate
 
 # bench compiles and smoke-runs every benchmark once (not a measurement run).
 bench:

@@ -1,0 +1,391 @@
+package repro
+
+// Kill-a-shard smoke for the cluster front tier: 3 dpvd shards behind one
+// dpvrouter (R=2), several jobs in flight, SIGKILL the shard that owns the
+// most of them. Zero admitted jobs may be lost, every surviving verdict must
+// be byte-identical to an uninterrupted single-node dpv run, and a replica
+// offered a corrupted verdict must reject it with a typed error and never
+// ack. Run directly via `make cluster-smoke`.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildClusterCmds compiles dpv, dpvd and dpvrouter into a temp dir.
+func buildClusterCmds(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir, "./cmd/dpv", "./cmd/dpvd", "./cmd/dpvrouter")
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building binaries: %v\n%s", err, out)
+	}
+	return dir
+}
+
+// freeAddr reserves a loopback port and immediately releases it.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func startRouterProc(t *testing.T, bin, addr string, shards []string) (*exec.Cmd, chan struct{}) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", addr, "-shards", strings.Join(shards, ","),
+		"-replication", "2",
+		"-health-interval", "100ms", "-health-failures", "2",
+		"-replicate-interval", "50ms", "-hedge-delay", "25ms",
+		"-breaker-threshold", "3", "-breaker-open-for", "250ms",
+		"-forward-timeout", "2s", "-q")
+	cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { cmd.Wait(); close(done) }()
+	return cmd, done
+}
+
+// clusterTopology fetches the router's GET /v1/cluster view.
+type clusterView struct {
+	Shards []struct {
+		Base string `json:"base"`
+		Live bool   `json:"live"`
+	} `json:"shards"`
+	Jobs []struct {
+		ID         string `json:"id"`
+		Primary    string `json:"primary"`
+		Done       bool   `json:"done"`
+		Replicated bool   `json:"replicated"`
+	} `json:"jobs"`
+}
+
+func clusterTopology(addr string) (*clusterView, error) {
+	resp, err := http.Get("http://" + addr + "/v1/cluster")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("topology: %d", resp.StatusCode)
+	}
+	var v clusterView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// jobResultRaw returns the job's state and the raw result JSON (the exact
+// bytes the replica protocol carries as the verdict part).
+func jobResultRaw(addr, id string) (state string, result json.RawMessage, err error) {
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", nil, fmt.Errorf("status %s: %d %s", id, resp.StatusCode, body)
+	}
+	var sr struct {
+		State  string          `json:"state"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return "", nil, err
+	}
+	return sr.State, sr.Result, nil
+}
+
+func TestClusterKillShard(t *testing.T) {
+	const nJobs = 6
+	bins := buildClusterCmds(t)
+	dir := t.TempDir()
+	cnfPath, tracePath, _ := writeChainFixtures(t, dir, 2000)
+	formula, err := os.ReadFile(cnfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference verdict: an uninterrupted single-node dpv run on the same
+	// checkpoint grid the daemons use. Every cluster verdict — including
+	// ones recomputed by failover or served from a replica — must match it
+	// byte for byte.
+	refJournal := filepath.Join(dir, "ref.dpvj")
+	code, refOut := runWithEnv(t, nil, filepath.Join(bins, "dpv"),
+		"-json", "-q", "-checkpoint", refJournal, "-checkpoint-every", "100", cnfPath, tracePath)
+	if code != 0 {
+		t.Fatalf("reference dpv exited %d", code)
+	}
+	refVerdict := strings.TrimSpace(refOut)
+	if !strings.Contains(refVerdict, `"verified"`) {
+		t.Fatalf("reference verdict %q not verified", refVerdict)
+	}
+	// Three shards on disk stores, then the router in front of them.
+	dpvd := filepath.Join(bins, "dpvd")
+	shardAddrs := make([]string, 3)
+	shardCmds := make([]*exec.Cmd, 3)
+	shardDone := make([]chan struct{}, 3)
+	for i := range shardAddrs {
+		shardAddrs[i] = freeAddr(t)
+		store := filepath.Join(dir, fmt.Sprintf("store%d", i))
+		shardCmds[i], shardDone[i] = startDaemon(t, dpvd, shardAddrs[i], store, "")
+		if !waitServing(shardAddrs[i], shardDone[i]) {
+			t.Fatalf("shard %d never became healthy", i)
+		}
+		cmd := shardCmds[i]
+		t.Cleanup(func() { cmd.Process.Kill() })
+	}
+	routerAddr := freeAddr(t)
+	routerCmd, routerDone := startRouterProc(t, filepath.Join(bins, "dpvrouter"), routerAddr, shardAddrs)
+	t.Cleanup(func() { routerCmd.Process.Kill() })
+	if !waitServing(routerAddr, routerDone) {
+		t.Fatal("router never became healthy")
+	}
+
+	// Admit the fleet of jobs through the router, back to back so they are
+	// still in flight (queued, running, or unreplicated) when the axe falls.
+	ids := make([]string, 0, nJobs)
+	for i := 0; i < nJobs; i++ {
+		id, err := submitJob(routerAddr, formula, trace)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, id)
+	}
+
+	// Pick the victim: the shard that is primary for the most admitted jobs,
+	// so the kill provably destroys state the cluster owes the client.
+	topo, err := clusterTopology(routerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := map[string]int{}
+	inflight := 0
+	for _, j := range topo.Jobs {
+		owned[j.Primary]++
+		if !j.Replicated {
+			inflight++
+		}
+	}
+	if len(topo.Jobs) != nJobs {
+		t.Fatalf("router tracks %d jobs, want %d", len(topo.Jobs), nJobs)
+	}
+	victim := -1
+	for i, addr := range shardAddrs {
+		base := "http://" + addr
+		if victim == -1 || owned[base] > owned["http://"+shardAddrs[victim]] {
+			if owned[base] > 0 || victim == -1 {
+				victim = i
+			}
+		}
+	}
+	if owned["http://"+shardAddrs[victim]] == 0 {
+		t.Fatalf("no shard owns any job: %+v", owned)
+	}
+	t.Logf("killing shard %d (%s): primary for %d of %d jobs, %d unreplicated at kill",
+		victim, shardAddrs[victim], owned["http://"+shardAddrs[victim]], nJobs, inflight)
+	if err := shardCmds[victim].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	<-shardDone[victim]
+
+	// Zero admitted jobs may be lost: every one must reach done/verified
+	// through the router, and every verdict must match the reference.
+	deadline := time.Now().Add(120 * time.Second)
+	for _, id := range ids {
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s did not finish after shard kill", id)
+			}
+			state, status, verdict, err := jobStatus(routerAddr, id)
+			if err != nil {
+				// Transient 503s during ejection/failover are the contract;
+				// a 404 for an admitted job is a lost job.
+				if strings.Contains(err.Error(), " 404 ") || strings.Contains(err.Error(), ": 404") {
+					t.Fatalf("admitted job %s read back as 404: %v", id, err)
+				}
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			if state != "done" {
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			if status != "verified" {
+				t.Fatalf("job %s finished as %q, want verified", id, status)
+			}
+			if string(verdict) != refVerdict {
+				t.Fatalf("job %s verdict differs from uninterrupted dpv:\n got %s\nwant %s",
+					id, verdict, refVerdict)
+			}
+			break
+		}
+	}
+
+	// The router must have ejected the corpse from its ring.
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("router never ejected the killed shard")
+		}
+		topo, err = clusterTopology(routerAddr)
+		if err == nil {
+			ejected := false
+			for _, s := range topo.Shards {
+				if s.Base == "http://"+shardAddrs[victim] && !s.Live {
+					ejected = true
+				}
+			}
+			if ejected {
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Replica integrity: a survivor offered a corrupted verdict (one flipped
+	// hint digit in the LRAT proof) must answer a typed 422 and never store
+	// the copy. Build the replica PUT from a finished job's real artifacts.
+	survivor := shardAddrs[(victim+1)%len(shardAddrs)]
+	var srcID string
+	for _, id := range ids {
+		if _, _, _, err := jobStatus(survivor, id); err == nil {
+			srcID = id
+			break
+		}
+	}
+	if srcID == "" {
+		t.Fatalf("no finished job found on survivor %s", survivor)
+	}
+	_, resultRaw, err := jobResultRaw(survivor, srcID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + survivor + "/v1/jobs/" + srcID + "/lrat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lratBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(lratBytes) == 0 {
+		t.Fatalf("lrat fetch: %d, %d bytes", resp.StatusCode, len(lratBytes))
+	}
+	corrupted := bytes.Clone(lratBytes)
+	flipped := false
+	for i := len(corrupted) - 1; i >= 0; i-- {
+		if corrupted[i] >= '1' && corrupted[i] <= '9' {
+			if corrupted[i] == '9' {
+				corrupted[i] = '1'
+			} else {
+				corrupted[i]++
+			}
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("no digit to corrupt in lrat proof")
+	}
+
+	putReplica := func(target, id string, lrat []byte) (*http.Response, []byte) {
+		var buf bytes.Buffer
+		mw := multipart.NewWriter(&buf)
+		fw, _ := mw.CreateFormFile("formula", "chain.cnf")
+		fw.Write(formula)
+		vw, _ := mw.CreateFormFile("verdict", "result.json")
+		vw.Write(resultRaw)
+		lw, _ := mw.CreateFormFile("lrat", "proof.lrat")
+		lw.Write(lrat)
+		mw.Close()
+		req, err := http.NewRequest(http.MethodPut,
+			"http://"+target+"/v1/replicas/"+id, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", mw.FormDataContentType())
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, body
+	}
+
+	target := shardAddrs[(victim+2)%len(shardAddrs)]
+	badID := "deadbeefdeadbeefdeadbeefdeadbeef"
+	resp2, body2 := putReplica(target, badID, corrupted)
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupted replica PUT = %d %s, want 422", resp2.StatusCode, body2)
+	}
+	var er struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body2, &er); err != nil || er.Status != "replica_rejected" {
+		t.Fatalf("corrupted replica PUT answered %s, want typed replica_rejected", body2)
+	}
+	if _, _, _, err := jobStatus(target, badID); err == nil {
+		t.Fatalf("rejected replica %s was stored anyway", badID)
+	}
+	// The untampered copy is accepted — the rejection above was the hint
+	// corruption, not the protocol.
+	goodID := "cafef00dcafef00dcafef00dcafef00d"
+	resp3, body3 := putReplica(target, goodID, lratBytes)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("clean replica PUT = %d %s, want 200", resp3.StatusCode, body3)
+	}
+
+	// Graceful teardown: SIGTERM drains the router and the survivors.
+	if err := routerCmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-routerDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("router did not exit on SIGTERM")
+	}
+	if ec := routerCmd.ProcessState.ExitCode(); ec != 0 {
+		t.Fatalf("router exited %d, want 0", ec)
+	}
+	for i, cmd := range shardCmds {
+		if i == victim {
+			continue
+		}
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-shardDone[i]:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("shard %d did not drain on SIGTERM", i)
+		}
+		if ec := cmd.ProcessState.ExitCode(); ec != 0 {
+			t.Fatalf("shard %d exited %d, want 0", i, ec)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/retry"
+)
+
+// The router's robustness contract under transport faults: for every
+// network fault kind × breaker state, the router (1) never hangs — every
+// request answers within a bounded time, (2) never panics — the test
+// process survives, and (3) never fabricates success — a 202 means a shard
+// really admitted the job, a 200 means a shard really answered.
+//
+// One shard sits behind a faults.NetProxy; a second healthy shard proves
+// degradation stays graceful (admissions keep landing) rather than total.
+func TestRouterFaultMatrix(t *testing.T) {
+	faulted := startShard(t)
+	healthy := startShard(t)
+	proxy, err := faults.NewNetProxy(trimScheme(faulted.srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	proxy.SetSlowStart(400 * time.Millisecond)
+	proxy.SetResetAfter(64)
+
+	urls := []string{"http://" + proxy.Addr(), healthy.srv.URL}
+	opt := fastOptions(urls)
+	opt.HealthInterval = time.Hour // admissions must route around faults on their own
+	opt.Forward = retry.Policy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond, PerAttempt: 800 * time.Millisecond}
+	rt, h := startRouter(t, opt)
+	faultedShard := rt.shards[urls[0]]
+
+	f, tr := chainProblem(8)
+	body, ct := problemBody(t, f, tr)
+
+	// Each request must complete within the worst honest budget: attempts ×
+	// (per-attempt timeout + backoff), plus slack. Far below "hang".
+	const requestBound = 10 * time.Second
+
+	for _, kind := range faults.NetKinds {
+		for _, forced := range []retry.BreakerState{retry.BreakerClosed, retry.BreakerOpen} {
+			name := kind.String() + "/breaker-" + forced.String()
+			if err := proxy.Set(kind); err != nil {
+				t.Fatalf("%s: set fault: %v", name, err)
+			}
+			if forced == retry.BreakerOpen {
+				faultedShard.breaker.ForceOpen()
+			} else {
+				faultedShard.breaker.ForceClose()
+			}
+
+			// Admission: never hangs, never lies. 202 (a live shard took it)
+			// or honest backpressure (503) — nothing else.
+			start := time.Now()
+			code, id, rw := routerSubmit(t, h, body, ct)
+			if d := time.Since(start); d > requestBound {
+				t.Fatalf("%s: submit took %v", name, d)
+			}
+			switch code {
+			case http.StatusAccepted:
+				if id == "" {
+					t.Fatalf("%s: 202 without a job id: %s", name, rw.Body.String())
+				}
+				start = time.Now()
+				result := waitRouterDone(t, h, id)
+				if d := time.Since(start); d > requestBound*3 {
+					t.Fatalf("%s: job %s took %v to finish", name, id, d)
+				}
+				if len(result) == 0 {
+					t.Fatalf("%s: done without result", name)
+				}
+			case http.StatusServiceUnavailable:
+				if rw.Header().Get("Retry-After") == "" {
+					t.Fatalf("%s: 503 without Retry-After", name)
+				}
+			default:
+				t.Fatalf("%s: submit = %d %s", name, code, rw.Body.String())
+			}
+
+			// Reads of an unknown job: honest 404/503 within bounds, never a
+			// fabricated 200.
+			start = time.Now()
+			rw2 := routerGet(t, h, "/v1/jobs/ffffffffffffffffffffffffffffffff")
+			if d := time.Since(start); d > requestBound {
+				t.Fatalf("%s: status read took %v", name, d)
+			}
+			if rw2.Code != http.StatusNotFound && rw2.Code != http.StatusServiceUnavailable {
+				t.Fatalf("%s: unknown-job read = %d %s", name, rw2.Code, rw2.Body.String())
+			}
+		}
+	}
+
+	// Heal everything: the faulted shard must serve again (half-open probe
+	// path) — robustness includes recovery, not just survival.
+	if err := proxy.Set(faults.NetNone); err != nil {
+		t.Fatal(err)
+	}
+	faultedShard.breaker.ForceClose()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest("GET", "/readyz", nil))
+		if rw.Code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router not ready after heal: %d", rw.Code)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	code, id, rw := routerSubmit(t, h, body, ct)
+	if code != http.StatusAccepted {
+		t.Fatalf("post-heal submit = %d %s", code, rw.Body.String())
+	}
+	waitRouterDone(t, h, id)
+}
+
+func trimScheme(url string) string {
+	const p = "http://"
+	if len(url) > len(p) && url[:len(p)] == p {
+		return url[len(p):]
+	}
+	return url
+}

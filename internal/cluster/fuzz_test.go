@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+)
+
+// FuzzRouterAdmission throws arbitrary bodies and content types at the
+// router's admission path backed by one real shard. The invariants are the
+// front tier's: never panic (the recovery middleware is a backstop, not a
+// license), never hang, never answer outside the admission status set, and
+// never claim 202 without a routable job ID.
+func FuzzRouterAdmission(f *testing.F) {
+	sh := startShard(f)
+	opt := fastOptions([]string{sh.srv.URL})
+	opt.Forward = retry.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, PerAttempt: 5 * time.Second}
+	opt.MaxUploadBytes = 1 << 20
+	rt, err := New(opt)
+	if err != nil {
+		f.Fatal(err)
+	}
+	rt.Start()
+	f.Cleanup(rt.Close)
+	h := rt.Handler(false)
+
+	fx, tr := chainProblem(5)
+	valid, validCT := problemBody(f, fx, tr)
+	f.Add(valid, validCT)
+	f.Add([]byte{}, "")
+	f.Add([]byte("not multipart"), "text/plain")
+	f.Add(valid, "text/plain")           // right bytes, wrong framing
+	f.Add(valid[:len(valid)/2], validCT) // truncated mid-part
+	f.Add([]byte("--x--\r\n"), "multipart/form-data; boundary=x")
+	f.Add(bytes.Repeat([]byte("a"), 4096), validCT)
+
+	f.Fuzz(func(t *testing.T, body []byte, contentType string) {
+		req := httptest.NewRequest("POST", "/v1/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", contentType)
+		rw := httptest.NewRecorder()
+
+		start := time.Now()
+		h.ServeHTTP(rw, req)
+		if d := time.Since(start); d > 60*time.Second {
+			t.Fatalf("admission took %v", d)
+		}
+
+		switch rw.Code {
+		case http.StatusAccepted:
+			var resp struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(rw.Body.Bytes(), &resp); err != nil || resp.ID == "" {
+				t.Fatalf("202 without job id: %s", rw.Body.String())
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+			// Refused inputs: fine, and must be JSON-typed.
+			var er struct {
+				Status string `json:"status"`
+			}
+			if err := json.Unmarshal(rw.Body.Bytes(), &er); err != nil || er.Status == "" {
+				t.Fatalf("%d without typed error: %s", rw.Code, rw.Body.String())
+			}
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if rw.Header().Get("Retry-After") == "" {
+				t.Fatalf("%d without Retry-After", rw.Code)
+			}
+		default:
+			t.Fatalf("admission answered %d: %s", rw.Code, rw.Body.String())
+		}
+	})
+}

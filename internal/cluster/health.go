@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// healthLoop probes every shard's /readyz each HealthInterval. A shard that
+// fails HealthFailures consecutive probes is ejected: removed from the
+// ring, its breaker forced open, and every job it still owed a verdict
+// re-admitted on a surviving shard. A single passing probe readmits it —
+// half-open breaker probes then decide when real traffic trusts it again.
+func (rt *Router) healthLoop() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.opt.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			for _, base := range rt.opt.Shards {
+				rt.probe(rt.shards[base])
+			}
+		}
+	}
+}
+
+func (rt *Router) probe(sh *shard) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opt.HealthInterval)
+	defer cancel()
+	resp, err := rt.doRaw(ctx, sh.base, http.MethodGet, "/readyz", nil, "", nil)
+	healthy := err == nil && resp.status == http.StatusOK
+
+	sh.mu.Lock()
+	if healthy {
+		sh.fails = 0
+		if sh.ejected {
+			sh.ejected = false
+			sh.mu.Unlock()
+			rt.readmitShard(sh)
+			return
+		}
+		sh.mu.Unlock()
+		return
+	}
+	sh.fails++
+	eject := !sh.ejected && sh.fails >= rt.opt.HealthFailures
+	if eject {
+		sh.ejected = true
+	}
+	sh.mu.Unlock()
+	if eject {
+		rt.ejectShard(sh)
+	}
+}
+
+func (rt *Router) ejectShard(sh *shard) {
+	rt.ring.Eject(sh.base)
+	sh.breaker.ForceOpen()
+	rt.opt.Obs.Counter("cluster.shard_ejections").Inc()
+	rt.opt.Obs.Gauge("cluster.shard_up." + shardLabel(sh.base)).Set(0)
+	rt.opt.Obs.TraceTrack().Instant("shard-eject", 0)
+	rt.opt.Logf("cluster: shard %s ejected after %d failed probes", sh.base, rt.opt.HealthFailures)
+	rt.failover(sh.base)
+}
+
+func (rt *Router) readmitShard(sh *shard) {
+	rt.ring.Readmit(sh.base)
+	sh.breaker.ForceClose()
+	rt.opt.Obs.Counter("cluster.shard_readmissions").Inc()
+	rt.opt.Obs.Gauge("cluster.shard_up." + shardLabel(sh.base)).Set(1)
+	rt.opt.Logf("cluster: shard %s readmitted", sh.base)
+}
+
+// failover re-admits every job whose primary was the dead shard and whose
+// verdict is not yet safely replicated. Re-admission reuses the retained
+// upload and the original job ID, so the surviving shard recomputes the
+// same job under the same handle — a client polling the ID never notices
+// beyond the extra latency.
+func (rt *Router) failover(dead string) {
+	rt.mu.Lock()
+	var orphans []*routedJob
+	for _, j := range rt.jobs {
+		if j.Primary == dead && !j.Released {
+			orphans = append(orphans, j)
+		}
+	}
+	rt.mu.Unlock()
+	for _, j := range orphans {
+		rt.readmitJob(j, dead)
+	}
+}
+
+func (rt *Router) readmitJob(j *routedJob, dead string) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opt.Forward.PerAttempt)
+	defer cancel()
+	resp, primary, err := rt.admit(ctx, j.ID, j.Tenant, j.Body, j.ContentType)
+	if err != nil || resp.status != http.StatusAccepted {
+		status := -1
+		if resp != nil {
+			status = resp.status
+		}
+		// Leave the job tracked with its retained body: the next probe
+		// cycle (or shard readmission) retries. Nothing is lost — that is
+		// the entire point of retaining the upload.
+		rt.opt.Obs.Counter("cluster.failover_retries").Inc()
+		rt.opt.Logf("cluster: failover of job %s off %s failed (status %d, err %v); will retry", j.ID, dead, status, err)
+		return
+	}
+	rt.mu.Lock()
+	j.Primary = primary
+	j.Done = false
+	j.Verified = false
+	j.Verdict = nil
+	delete(j.Replicas, primary) // the new primary is no longer a replica
+	rt.mu.Unlock()
+	rt.opt.Obs.Counter("cluster.failovers").Inc()
+	rt.opt.Obs.TraceTrack().Instant("job-failover", 0)
+	rt.opt.Logf("cluster: job %s failed over %s -> %s", j.ID, dead, primary)
+}
+
+// retryOrphans is the failover sweep for jobs whose re-admission itself
+// failed (e.g. every other shard was saturated at the moment of death).
+// Called from the replication loop so orphans are retried on a timer
+// without a dedicated goroutine.
+func (rt *Router) retryOrphans() {
+	rt.mu.Lock()
+	var orphans []*routedJob
+	for _, j := range rt.jobs {
+		if !j.Released && j.Primary != "" && !rt.ring.Alive(j.Primary) {
+			orphans = append(orphans, j)
+		}
+	}
+	rt.mu.Unlock()
+	for _, j := range orphans {
+		rt.readmitJob(j, j.Primary)
+	}
+}

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"time"
+)
+
+// wireStatus mirrors the daemon's status response. Result stays raw: the
+// bytes the primary served are the bytes the replicas store, so a replica
+// read is byte-identical to a primary read by construction.
+type wireStatus struct {
+	ID     string          `json:"id"`
+	Tenant string          `json:"tenant"`
+	State  string          `json:"state"`
+	Result json.RawMessage `json:"result"`
+}
+
+// replicateLoop drives verdicts toward their replication factor: each tick
+// it polls unfinished jobs for completion, pushes completed verified
+// verdicts (verdict JSON + hinted proof + formula) onto the next live ring
+// shards, and releases a job's retained upload once R copies exist. It also
+// retries orphaned failovers, so every recovery duty shares one timer.
+func (rt *Router) replicateLoop() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.opt.ReplicateInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			rt.retryOrphans()
+			rt.replicateTick()
+		}
+	}
+}
+
+func (rt *Router) replicateTick() {
+	rt.mu.Lock()
+	var pending []*routedJob
+	for _, j := range rt.jobs {
+		if !j.Released {
+			pending = append(pending, j)
+		}
+	}
+	rt.mu.Unlock()
+	for _, j := range pending {
+		select {
+		case <-rt.stop:
+			return
+		default:
+		}
+		rt.advance(j)
+	}
+}
+
+// advance moves one job toward released: poll, replicate, release.
+func (rt *Router) advance(j *routedJob) {
+	rt.mu.Lock()
+	primary, done := j.Primary, j.Done
+	rt.mu.Unlock()
+	if primary == "" || !rt.ring.Alive(primary) {
+		return // orphan; retryOrphans owns it
+	}
+	sh := rt.shards[primary]
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opt.Forward.PerAttempt)
+	defer cancel()
+
+	if !done {
+		resp, err := rt.do(ctx, sh, http.MethodGet, "/v1/jobs/"+j.ID, nil, "", nil)
+		if err != nil || resp.status != http.StatusOK {
+			return
+		}
+		var ws wireStatus
+		if err := json.Unmarshal(resp.body, &ws); err != nil || ws.State != "done" || ws.Result == nil {
+			return
+		}
+		var outcome struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(ws.Result, &outcome); err != nil {
+			return
+		}
+		rt.mu.Lock()
+		j.Done = true
+		j.Verified = outcome.Status == "verified"
+		j.Verdict = append(json.RawMessage(nil), ws.Result...)
+		done = true
+		rt.mu.Unlock()
+	}
+
+	rt.mu.Lock()
+	verified := j.Verified
+	acked := 0
+	for _, ok := range j.Replicas {
+		if ok {
+			acked++
+		}
+	}
+	rt.mu.Unlock()
+
+	if !verified {
+		// Non-verified outcomes (rejected proofs, timeouts) carry no
+		// re-checkable hints, so they are never replicated. The retained
+		// body stays: if the primary dies, the job is recomputed, which is
+		// the only trustworthy way to reproduce such a verdict.
+		return
+	}
+
+	want := rt.opt.Replication - 1
+	if acked < want {
+		rt.pushReplicas(ctx, j, want-acked)
+		rt.mu.Lock()
+		acked = 0
+		for _, ok := range j.Replicas {
+			if ok {
+				acked++
+			}
+		}
+		rt.mu.Unlock()
+	}
+	if acked >= want {
+		rt.mu.Lock()
+		j.Released = true
+		j.Body = nil
+		rt.mu.Unlock()
+		rt.opt.Obs.Counter("cluster.jobs_replicated").Inc()
+	}
+}
+
+// pushReplicas copies the verdict onto up to n live ring successors that
+// hold no copy yet. Each target re-verifies the hinted proof before acking
+// (PUT /v1/replicas); a 422 is counted and logged loudly — it means the
+// bytes corrupted somewhere between the primary's disk and the replica's
+// checker — and retried with freshly fetched bytes next tick.
+func (rt *Router) pushReplicas(ctx context.Context, j *routedJob, n int) {
+	lratResp, err := rt.do(ctx, rt.shards[j.Primary], http.MethodGet, "/v1/jobs/"+j.ID+"/lrat", nil, "", nil)
+	if err != nil || lratResp.status != http.StatusOK || len(lratResp.body) == 0 {
+		return // hints not readable right now; retry next tick
+	}
+	formula, err := extractPart(j.Body, j.ContentType, "formula")
+	if err != nil {
+		rt.opt.Logf("cluster: job %s: cannot extract formula for replication: %v", j.ID, err)
+		return
+	}
+	rt.mu.Lock()
+	verdict := append([]byte(nil), j.Verdict...)
+	primary := j.Primary
+	rt.mu.Unlock()
+
+	body, contentType, err := replicaBody(formula, verdict, lratResp.body)
+	if err != nil {
+		rt.opt.Logf("cluster: job %s: replica body: %v", j.ID, err)
+		return
+	}
+	for _, name := range rt.ring.Successors(j.ID, len(rt.opt.Shards)) {
+		if n <= 0 {
+			return
+		}
+		rt.mu.Lock()
+		skip := name == primary || j.Replicas[name]
+		rt.mu.Unlock()
+		if skip {
+			continue
+		}
+		hdr := map[string]string{}
+		if j.Tenant != "" {
+			hdr["X-Dpv-Tenant"] = j.Tenant
+		}
+		resp, err := rt.do(ctx, rt.shards[name], http.MethodPut, "/v1/replicas/"+j.ID, body, contentType, hdr)
+		switch {
+		case err != nil:
+			continue
+		case resp.status == http.StatusOK:
+			rt.mu.Lock()
+			j.Replicas[name] = true
+			rt.mu.Unlock()
+			rt.opt.Obs.Counter("cluster.replicas_acked").Inc()
+			n--
+		case resp.status == http.StatusUnprocessableEntity:
+			// The replica's checker refuted the copy. Never ack; surface
+			// loudly — this is data corruption, not a liveness blip.
+			rt.opt.Obs.Counter("cluster.replicas_rejected").Inc()
+			rt.opt.Logf("cluster: shard %s REJECTED replica of job %s: %s", name, j.ID, resp.body)
+		default:
+			continue
+		}
+	}
+}
+
+// replicaBody builds the multipart payload for PUT /v1/replicas/{id}.
+func replicaBody(formula, verdict, lrat []byte) ([]byte, string, error) {
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for _, part := range []struct {
+		name string
+		data []byte
+	}{{"formula", formula}, {"verdict", verdict}, {"lrat", lrat}} {
+		w, err := mw.CreateFormFile(part.name, part.name)
+		if err != nil {
+			return nil, "", err
+		}
+		if _, err := w.Write(part.data); err != nil {
+			return nil, "", err
+		}
+	}
+	if err := mw.Close(); err != nil {
+		return nil, "", err
+	}
+	return buf.Bytes(), mw.FormDataContentType(), nil
+}
+
+// extractPart pulls one named part's bytes out of a retained multipart
+// upload body.
+func extractPart(body []byte, contentType, name string) ([]byte, error) {
+	mt, params, err := mime.ParseMediaType(contentType)
+	if err != nil || mt != "multipart/form-data" || params["boundary"] == "" {
+		return nil, fmt.Errorf("not a multipart body (%q)", contentType)
+	}
+	mr := multipart.NewReader(bytes.NewReader(body), params["boundary"])
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			return nil, fmt.Errorf("part %q not found", name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if part.FormName() == name {
+			return io.ReadAll(part)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package cluster is the multi-node front tier for the verification
+// service: a router that consistent-hashes job IDs onto dpvd shards, a
+// replication layer that copies completed verdicts onto R nodes (each of
+// which re-verifies the hinted proof before acking), and the robustness
+// machinery — per-shard circuit breakers, retries, hedged reads,
+// health-driven ejection — that keeps the tier answering while individual
+// shards die and return.
+//
+// The load-bearing invariant: an admitted job is never lost. The router
+// retains a job's upload until its verdict is replicated, so a shard that
+// dies mid-job costs a re-admission on a surviving shard, not the job.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// vnodes is the number of ring positions per shard. 256 keeps the expected
+// ownership imbalance across a handful of shards small while the ring stays
+// cheap to build and search.
+const vnodes = 256
+
+// Ring is a consistent-hash ring over named shards with live/ejected
+// membership. Lookups skip ejected shards by walking clockwise, so ejection
+// and readmission move only the dead shard's arcs — every key owned by a
+// surviving shard keeps its owner, which is what makes health-driven
+// ejection cheap enough to do eagerly.
+type Ring struct {
+	mu     sync.RWMutex
+	hashes []uint32          // sorted ring positions
+	owner  map[uint32]string // position → shard name
+	live   map[string]bool   // shard → admitted to lookups
+}
+
+// NewRing builds a ring over the given shard names, all live.
+func NewRing(names []string) *Ring {
+	r := &Ring{
+		owner: make(map[uint32]string),
+		live:  make(map[string]bool),
+	}
+	for _, name := range names {
+		r.live[name] = true
+		for i := 0; i < vnodes; i++ {
+			h := ringHash(name, i)
+			// A full 32-bit collision across vnode labels is vanishingly
+			// rare; first writer keeps the slot to stay deterministic.
+			if _, taken := r.owner[h]; !taken {
+				r.owner[h] = name
+				r.hashes = append(r.hashes, h)
+			}
+		}
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+	return r
+}
+
+func ringHash(name string, vnode int) uint32 {
+	// FNV over short inputs clusters; a 64-bit finalizer (splitmix64-style)
+	// scatters the vnode positions uniformly even for one-character names.
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{'#', byte(vnode), byte(vnode >> 8)})
+	return keyFinalize(h.Sum64())
+}
+
+func keyFinalize(x uint64) uint32 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return uint32(x)
+}
+
+func keyHash(key string) uint32 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return keyFinalize(h.Sum64())
+}
+
+// Eject removes a shard from lookups (its ring positions remain, so a later
+// Readmit restores exactly the old ownership).
+func (r *Ring) Eject(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, known := r.live[name]; known {
+		r.live[name] = false
+	}
+}
+
+// Readmit restores an ejected shard to lookups.
+func (r *Ring) Readmit(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, known := r.live[name]; known {
+		r.live[name] = true
+	}
+}
+
+// Alive reports whether the shard is currently admitted to lookups.
+func (r *Ring) Alive(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.live[name]
+}
+
+// Live returns the live shards in stable (sorted) order.
+func (r *Ring) Live() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for name, ok := range r.live {
+		if ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the live shard owning key, or ok=false when every shard is
+// ejected.
+func (r *Ring) Owner(key string) (string, bool) {
+	owners := r.Successors(key, 1)
+	if len(owners) == 0 {
+		return "", false
+	}
+	return owners[0], true
+}
+
+// Successors returns up to n distinct live shards in ring order starting at
+// key's position — the owner first, then the shards that take over (and
+// host replicas) when their predecessors fail.
+func (r *Ring) Successors(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.hashes) == 0 || n <= 0 {
+		return nil
+	}
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= keyHash(key) })
+	var out []string
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.hashes) && len(out) < n; i++ {
+		name := r.owner[r.hashes[(start+i)%len(r.hashes)]]
+		if !r.live[name] || seen[name] {
+			continue
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	return out
+}

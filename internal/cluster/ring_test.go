@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%032x", i*2654435761)
+	}
+	return keys
+}
+
+func TestRingSpreadsOwnership(t *testing.T) {
+	shards := []string{"a", "b", "c"}
+	r := NewRing(shards)
+	counts := map[string]int{}
+	for _, k := range ringKeys(3000) {
+		owner, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %s", k)
+		}
+		counts[owner]++
+	}
+	for _, s := range shards {
+		// With 64 vnodes the imbalance stays well within 3x of fair share.
+		if counts[s] < 300 {
+			t.Fatalf("shard %s owns only %d/3000 keys: %v", s, counts[s], counts)
+		}
+	}
+}
+
+func TestRingOwnerStableAndDeterministic(t *testing.T) {
+	r1, r2 := NewRing([]string{"a", "b", "c"}), NewRing([]string{"c", "a", "b"})
+	for _, k := range ringKeys(200) {
+		o1, _ := r1.Owner(k)
+		o2, _ := r2.Owner(k)
+		if o1 != o2 {
+			t.Fatalf("owner of %s differs by construction order: %s vs %s", k, o1, o2)
+		}
+	}
+}
+
+// Ejection must move only the dead shard's keys; readmission must restore
+// exactly the original ownership. That minimal-disruption property is why
+// the ring is consistent-hashed at all.
+func TestRingEjectMovesOnlyDeadKeys(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"})
+	keys := ringKeys(1000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+
+	r.Eject("b")
+	for _, k := range keys {
+		after, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %s after eject", k)
+		}
+		if after == "b" {
+			t.Fatalf("ejected shard still owns %s", k)
+		}
+		if before[k] != "b" && after != before[k] {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", k, before[k], after)
+		}
+	}
+
+	r.Readmit("b")
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if after != before[k] {
+			t.Fatalf("key %s not restored after readmit: %s -> %s", k, before[k], after)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndLive(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"})
+	for _, k := range ringKeys(100) {
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%s, 3) = %v", k, succ)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("duplicate successor %s for %s: %v", s, k, succ)
+			}
+			seen[s] = true
+		}
+		if owner, _ := r.Owner(k); owner != succ[0] {
+			t.Fatalf("owner %s != first successor %s", owner, succ[0])
+		}
+	}
+
+	r.Eject("a")
+	for _, k := range ringKeys(100) {
+		succ := r.Successors(k, 3)
+		if len(succ) != 2 {
+			t.Fatalf("Successors with one ejected = %v, want 2 shards", succ)
+		}
+		for _, s := range succ {
+			if s == "a" {
+				t.Fatalf("ejected shard among successors: %v", succ)
+			}
+		}
+	}
+
+	r.Eject("b")
+	r.Eject("c")
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("fully ejected ring still resolved an owner")
+	}
+	if live := r.Live(); len(live) != 0 {
+		t.Fatalf("Live() = %v on a fully ejected ring", live)
+	}
+}

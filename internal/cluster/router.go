@@ -1,0 +1,661 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/retry"
+	"repro/internal/service"
+)
+
+// Options configures a Router. Zero fields take the documented defaults.
+type Options struct {
+	// Shards lists the backend dpvd base URLs (e.g. "http://127.0.0.1:8101").
+	Shards []string
+	// Replication is the total number of shards holding each completed
+	// verdict, primary included. Default 2; clamped to the shard count.
+	Replication int
+	// HedgeDelay is how long a read waits on the primary before also asking
+	// a replica. Default 50ms.
+	HedgeDelay time.Duration
+	// HealthInterval is the /readyz probe period. Default 250ms.
+	HealthInterval time.Duration
+	// HealthFailures is how many consecutive probe failures eject a shard.
+	// Default 3.
+	HealthFailures int
+	// ReplicateInterval is the verdict-replication sweep period. Default 100ms.
+	ReplicateInterval time.Duration
+	// RetryAfter / RetryJitter shape the Retry-After header on 429/503,
+	// jittered upward exactly like the daemon's (see retry.JitterSeconds).
+	// Defaults 2s / 0.5 (negative jitter disables).
+	RetryAfter  time.Duration
+	RetryJitter float64
+	// MaxUploadBytes caps an admission body. Default 64 MiB.
+	MaxUploadBytes int64
+	// Breaker configures the per-shard circuit breaker.
+	Breaker retry.BreakerConfig
+	// Forward is the retry policy for one admission (each attempt walks
+	// every live shard once). Default: 3 attempts, 50ms base backoff, 5s
+	// per-attempt timeout.
+	Forward retry.Policy
+	// Client performs all backend HTTP. Default: a dedicated client with
+	// keep-alives enabled and no global timeout (per-request contexts bound
+	// every call).
+	Client *http.Client
+	// Obs receives router metrics; nil means metrics are dropped.
+	Obs *obs.Registry
+	// Logf receives operational logs; nil means silent.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replication == 0 {
+		o.Replication = 2
+	}
+	if o.Replication > len(o.Shards) {
+		o.Replication = len(o.Shards)
+	}
+	if o.Replication < 1 {
+		o.Replication = 1
+	}
+	if o.HedgeDelay == 0 {
+		o.HedgeDelay = 50 * time.Millisecond
+	}
+	if o.HealthInterval == 0 {
+		o.HealthInterval = 250 * time.Millisecond
+	}
+	if o.HealthFailures == 0 {
+		o.HealthFailures = 3
+	}
+	if o.ReplicateInterval == 0 {
+		o.ReplicateInterval = 100 * time.Millisecond
+	}
+	if o.RetryAfter == 0 {
+		o.RetryAfter = 2 * time.Second
+	}
+	if o.RetryJitter == 0 {
+		o.RetryJitter = 0.5
+	}
+	if o.RetryJitter < 0 {
+		o.RetryJitter = 0
+	}
+	if o.MaxUploadBytes == 0 {
+		o.MaxUploadBytes = 64 << 20
+	}
+	if o.Forward.MaxAttempts == 0 {
+		o.Forward = retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, PerAttempt: 5 * time.Second}
+	}
+	if o.Forward.PerAttempt == 0 {
+		o.Forward.PerAttempt = 5 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Obs == nil {
+		o.Obs = obs.New()
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// shard is the router's view of one backend.
+type shard struct {
+	base    string
+	breaker *retry.Breaker
+
+	mu      sync.Mutex
+	fails   int  // consecutive health-probe failures
+	ejected bool // out of the ring, jobs failed over
+}
+
+// routedJob is the router's durable duty toward one admitted job: the
+// retained upload (so the job can be re-admitted if its shard dies) and the
+// replication ledger. Body is released only when the verdict is verified
+// and fully replicated — a job with a retained body is, by definition, a
+// job the router can still recover.
+type routedJob struct {
+	ID          string
+	Tenant      string
+	Body        []byte
+	ContentType string
+	Primary     string
+	Replicas    map[string]bool // shards that validated and acked the copy
+	Done        bool
+	Verified    bool
+	Verdict     json.RawMessage // the shard's result JSON, replicated verbatim
+	Released    bool
+}
+
+// Router is the cluster front tier. Construct with New, then Start the
+// background loops, serve Handler, and Close on shutdown.
+type Router struct {
+	opt    Options
+	ring   *Ring
+	shards map[string]*shard
+	rnd    func() float64
+
+	mu   sync.Mutex
+	jobs map[string]*routedJob
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	started  atomic.Bool
+	draining atomic.Bool
+}
+
+// New builds a Router over the configured shards.
+func New(opt Options) (*Router, error) {
+	opt = opt.withDefaults()
+	if len(opt.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	rt := &Router{
+		opt:    opt,
+		ring:   NewRing(opt.Shards),
+		shards: make(map[string]*shard, len(opt.Shards)),
+		rnd:    rand.Float64,
+		jobs:   make(map[string]*routedJob),
+		stop:   make(chan struct{}),
+	}
+	for _, base := range opt.Shards {
+		rt.shards[base] = &shard{base: base, breaker: retry.NewBreaker(opt.Breaker)}
+	}
+	return rt, nil
+}
+
+// Start launches the health prober and the replication loop.
+func (rt *Router) Start() {
+	if rt.started.Swap(true) {
+		return
+	}
+	rt.wg.Add(2)
+	go rt.healthLoop()
+	go rt.replicateLoop()
+}
+
+// Close stops admissions and the background loops.
+func (rt *Router) Close() {
+	rt.draining.Store(true)
+	if rt.started.Load() {
+		close(rt.stop)
+		rt.wg.Wait()
+	}
+}
+
+// Ready reports router readiness: at least one live shard.
+func (rt *Router) Ready() error {
+	if rt.draining.Load() {
+		return fmt.Errorf("cluster: router draining")
+	}
+	if len(rt.ring.Live()) == 0 {
+		return fmt.Errorf("cluster: no live shards")
+	}
+	return nil
+}
+
+// Handler returns the router's HTTP API — the same job surface the daemon
+// serves, fronted by routing, retries, hedging and failover:
+//
+//	POST /v1/jobs              route by consistent hash of a router-minted ID
+//	GET  /v1/jobs/{id}         hedged read: primary, then replicas
+//	GET  /v1/jobs/{id}/core    proxied to the first shard that has it
+//	GET  /v1/jobs/{id}/lrat    likewise
+//	POST /v1/jobs/{id}/recheck likewise (replicas can re-verify their copies)
+//	GET  /v1/cluster           shard/breaker/job topology, for operators
+//
+// plus /metrics, /healthz, /readyz from the registry.
+func (rt *Router) Handler(enablePprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/core", rt.proxyHandler("/core"))
+	mux.HandleFunc("GET /v1/jobs/{id}/lrat", rt.proxyHandler("/lrat"))
+	mux.HandleFunc("POST /v1/jobs/{id}/recheck", rt.proxyHandler("/recheck"))
+	mux.HandleFunc("GET /v1/cluster", rt.handleTopology)
+	mux.Handle("/", rt.opt.Obs.Mux(enablePprof, obs.Health{
+		Live:  func() error { return nil },
+		Ready: rt.Ready,
+	}))
+	return rt.recoverMiddleware(mux)
+}
+
+func (rt *Router) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				rt.opt.Obs.Counter("cluster.http_panics").Inc()
+				rt.opt.Logf("cluster: http panic on %s %s: %v", r.Method, r.URL.Path, rec)
+				rt.writeError(w, http.StatusInternalServerError, "internal_error", "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// bufferedResp is a fully-read backend response, safe to relay or discard.
+type bufferedResp struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// do performs one backend request under the shard's circuit breaker.
+// ErrBreakerOpen is returned without touching the network. Every call is
+// bounded by the per-attempt timeout regardless of the inbound context —
+// a partitioned shard must cost a timeout, never a hung handler.
+func (rt *Router) do(ctx context.Context, sh *shard, method, path string, body []byte, contentType string, hdr map[string]string) (*bufferedResp, error) {
+	if !sh.breaker.Allow() {
+		rt.opt.Obs.Counter("cluster.breaker_rejects").Inc()
+		return nil, retry.ErrBreakerOpen
+	}
+	ctx, cancel := context.WithTimeout(ctx, rt.opt.Forward.PerAttempt)
+	defer cancel()
+	resp, err := rt.doRaw(ctx, sh.base, method, path, body, contentType, hdr)
+	// The breaker watches the transport and the backend's own failures
+	// (5xx); a 4xx or 429 is a healthy shard answering, not a broken one.
+	if err != nil || resp.status >= 500 {
+		sh.breaker.Record(fmt.Errorf("cluster: %s %s%s failed", method, sh.base, path))
+	} else {
+		sh.breaker.Record(nil)
+	}
+	return resp, err
+}
+
+func (rt *Router) doRaw(ctx context.Context, base, method, path string, body []byte, contentType string, hdr map[string]string) (*bufferedResp, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := rt.opt.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, rt.opt.MaxUploadBytes))
+	if err != nil {
+		return nil, err
+	}
+	return &bufferedResp{status: resp.StatusCode, header: resp.Header, body: b}, nil
+}
+
+func (rt *Router) relay(w http.ResponseWriter, resp *bufferedResp) {
+	if ct := resp.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	for _, h := range []string{"Retry-After", "X-Dpv-Recheck", "X-Dpv-Recheck-Hints"} {
+		if v := resp.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, code int, status, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"status": status, "error": msg})
+}
+
+func (rt *Router) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After",
+		strconv.Itoa(retry.JitterSeconds(rt.opt.RetryAfter, rt.opt.RetryJitter, rt.rnd)))
+}
+
+// handleSubmit admits a job: mint the ID, buffer the upload, walk the live
+// ring from the ID's position until a shard accepts. The body stays
+// retained in the router until the verdict is replicated — the contract
+// that makes a mid-job shard death survivable.
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		rt.setRetryAfter(w)
+		rt.writeError(w, http.StatusServiceUnavailable, "internal_error", "router draining")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.opt.MaxUploadBytes))
+	if err != nil {
+		rt.writeError(w, http.StatusRequestEntityTooLarge, "bad_input",
+			fmt.Sprintf("upload over %d bytes", rt.opt.MaxUploadBytes))
+		return
+	}
+	id, err := service.NewJobID()
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, "internal_error", "id mint failed")
+		return
+	}
+	tenant := r.Header.Get("X-Dpv-Tenant")
+	contentType := r.Header.Get("Content-Type")
+
+	resp, primary, err := rt.admit(r.Context(), id, tenant, body, contentType)
+	if err != nil {
+		rt.opt.Obs.Counter("cluster.admission_failures").Inc()
+		rt.setRetryAfter(w)
+		rt.writeError(w, http.StatusServiceUnavailable, "internal_error",
+			fmt.Sprintf("no shard accepted the job: %v", err))
+		return
+	}
+	if resp.status == http.StatusAccepted {
+		rt.mu.Lock()
+		rt.jobs[id] = &routedJob{
+			ID: id, Tenant: tenant, Body: body, ContentType: contentType,
+			Primary: primary, Replicas: make(map[string]bool),
+		}
+		rt.mu.Unlock()
+		rt.opt.Obs.Counter("cluster.admissions").Inc()
+	}
+	rt.relay(w, resp)
+}
+
+// admit walks every live shard (ring order from the ID) once per retry
+// attempt. A 202 or a definitive 4xx ends the walk; transport errors, open
+// breakers, 429s and 5xxs move to the next shard. When a whole walk yields
+// nothing definitive the policy backs off and walks again — riding out the
+// window where a dying shard has not yet been ejected.
+func (rt *Router) admit(ctx context.Context, id, tenant string, body []byte, contentType string) (*bufferedResp, string, error) {
+	hdr := map[string]string{service.JobIDHeader: id}
+	if tenant != "" {
+		hdr["X-Dpv-Tenant"] = tenant
+	}
+	var accepted *bufferedResp
+	var acceptedBy string
+	err := rt.opt.Forward.Do(ctx, func(ctx context.Context) error {
+		cands := rt.ring.Successors(id, len(rt.opt.Shards))
+		if len(cands) == 0 {
+			return fmt.Errorf("no live shards")
+		}
+		var lastErr error = fmt.Errorf("no shard reachable")
+		for _, name := range cands {
+			resp, err := rt.do(ctx, rt.shards[name], http.MethodPost, "/v1/jobs", body, contentType, hdr)
+			if err != nil {
+				lastErr = fmt.Errorf("%s: %w", name, err)
+				continue
+			}
+			switch {
+			case resp.status == http.StatusAccepted,
+				resp.status >= 400 && resp.status < 500 && resp.status != http.StatusTooManyRequests:
+				// Accepted, or refused for a reason no other shard will
+				// judge differently (bad input, too large): definitive.
+				accepted, acceptedBy = resp, name
+				if resp.status != http.StatusAccepted {
+					return retry.Permanent(fmt.Errorf("shard refused: %d", resp.status))
+				}
+				return nil
+			default:
+				lastErr = fmt.Errorf("%s: status %d", name, resp.status)
+			}
+		}
+		return lastErr
+	})
+	if accepted != nil {
+		return accepted, acceptedBy, nil
+	}
+	return nil, "", err
+}
+
+// readCandidates orders the shards worth asking about id: tracked primary
+// first, acked replicas next, then the rest of the live ring (covering jobs
+// admitted before a router restart).
+func (rt *Router) readCandidates(id string) []*shard {
+	rt.mu.Lock()
+	job := rt.jobs[id]
+	var primary string
+	var replicas []string
+	if job != nil {
+		primary = job.Primary
+		for name, ok := range job.Replicas {
+			if ok {
+				replicas = append(replicas, name)
+			}
+		}
+	}
+	rt.mu.Unlock()
+
+	var out []*shard
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name == "" || seen[name] {
+			return
+		}
+		if sh, ok := rt.shards[name]; ok && rt.ring.Alive(name) {
+			seen[name] = true
+			out = append(out, sh)
+		}
+	}
+	add(primary)
+	for _, name := range replicas {
+		add(name)
+	}
+	for _, name := range rt.ring.Successors(id, len(rt.opt.Shards)) {
+		add(name)
+	}
+	return out
+}
+
+// handleStatus is the hedged read: ask the primary, and when it dawdles
+// past HedgeDelay (or fails), ask the replicas too; first 200 wins.
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.mu.Lock()
+	tracked := rt.jobs[id] != nil
+	rt.mu.Unlock()
+	cands := rt.readCandidates(id)
+	if len(cands) == 0 {
+		rt.setRetryAfter(w)
+		rt.writeError(w, http.StatusServiceUnavailable, "internal_error", "no live shards")
+		return
+	}
+	resp, err := rt.hedgedGet(r.Context(), "/v1/jobs/"+id, cands)
+	if err != nil {
+		rt.setRetryAfter(w)
+		rt.writeError(w, http.StatusServiceUnavailable, "internal_error", err.Error())
+		return
+	}
+	if tracked && resp.status == http.StatusNotFound {
+		// The job was admitted through this router, but no live shard has
+		// it: its primary died and failover is re-admitting it from the
+		// retained upload. An admitted job is never surfaced as lost — the
+		// client pays one more Retry-After, not a 404.
+		rt.setRetryAfter(w)
+		rt.writeError(w, http.StatusServiceUnavailable, "failover_pending", "job admitted; failover in progress")
+		return
+	}
+	rt.relay(w, resp)
+}
+
+type hedgeResult struct {
+	resp *bufferedResp
+	err  error
+}
+
+// hedgedGet fires GET base+path across cands: the first immediately, the
+// next each time HedgeDelay passes without a usable answer (or a candidate
+// fails outright). The first 200 cancels the rest.
+func (rt *Router) hedgedGet(ctx context.Context, path string, cands []*shard) (*bufferedResp, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan hedgeResult, len(cands))
+	launch := func(sh *shard) {
+		go func() {
+			resp, err := rt.do(ctx, sh, http.MethodGet, path, nil, "", nil)
+			results <- hedgeResult{resp, err}
+		}()
+	}
+	next := 0
+	launch(cands[next])
+	next++
+	inflight := 1
+	hedged := false
+
+	timer := time.NewTimer(rt.opt.HedgeDelay)
+	defer timer.Stop()
+	var last hedgeResult
+	for inflight > 0 {
+		select {
+		case res := <-results:
+			inflight--
+			if res.err == nil && res.resp.status == http.StatusOK {
+				return res.resp, nil
+			}
+			if res.err == nil && (last.resp == nil || preferResp(res.resp, last.resp)) {
+				last = res
+			} else if res.err != nil && last.resp == nil && last.err == nil {
+				last = res
+			}
+			// A failed candidate frees budget for the next immediately.
+			if next < len(cands) {
+				launch(cands[next])
+				next++
+				inflight++
+			}
+		case <-timer.C:
+			if next < len(cands) {
+				if !hedged {
+					hedged = true
+					rt.opt.Obs.Counter("cluster.hedged_reads").Inc()
+				}
+				launch(cands[next])
+				next++
+				inflight++
+				timer.Reset(rt.opt.HedgeDelay)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if last.resp != nil {
+		return last.resp, nil
+	}
+	return nil, fmt.Errorf("cluster: every shard failed: %v", last.err)
+}
+
+// preferResp ranks non-200 answers for relaying: a definitive 404 from a
+// shard that would own the job beats a transient 5xx.
+func preferResp(a, b *bufferedResp) bool {
+	rank := func(r *bufferedResp) int {
+		switch {
+		case r.status == http.StatusNotFound:
+			return 0
+		case r.status >= 500:
+			return 2
+		default:
+			return 1
+		}
+	}
+	return rank(a) < rank(b)
+}
+
+// proxyHandler serves the artifact endpoints by asking each candidate in
+// order and relaying the first 200 (or the most definitive refusal).
+func (rt *Router) proxyHandler(suffix string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		cands := rt.readCandidates(id)
+		if len(cands) == 0 {
+			rt.setRetryAfter(w)
+			rt.writeError(w, http.StatusServiceUnavailable, "internal_error", "no live shards")
+			return
+		}
+		var last *bufferedResp
+		for _, sh := range cands {
+			resp, err := rt.do(r.Context(), sh, r.Method, "/v1/jobs/"+id+suffix, nil, "", nil)
+			if err != nil {
+				continue
+			}
+			if resp.status == http.StatusOK {
+				rt.relay(w, resp)
+				return
+			}
+			if last == nil || preferResp(resp, last) {
+				last = resp
+			}
+		}
+		if last != nil {
+			rt.relay(w, last)
+			return
+		}
+		rt.setRetryAfter(w)
+		rt.writeError(w, http.StatusServiceUnavailable, "internal_error", "every shard failed")
+	}
+}
+
+// handleTopology reports shard and job state for operators and tests.
+func (rt *Router) handleTopology(w http.ResponseWriter, r *http.Request) {
+	type shardInfo struct {
+		Base    string `json:"base"`
+		Live    bool   `json:"live"`
+		Breaker string `json:"breaker"`
+	}
+	type jobInfo struct {
+		ID         string   `json:"id"`
+		Primary    string   `json:"primary"`
+		Replicas   []string `json:"replicas,omitempty"`
+		Done       bool     `json:"done"`
+		Verified   bool     `json:"verified"`
+		Replicated bool     `json:"replicated"`
+	}
+	var out struct {
+		Shards []shardInfo `json:"shards"`
+		Jobs   []jobInfo   `json:"jobs"`
+	}
+	for _, base := range rt.opt.Shards {
+		out.Shards = append(out.Shards, shardInfo{
+			Base:    base,
+			Live:    rt.ring.Alive(base),
+			Breaker: rt.shards[base].breaker.State().String(),
+		})
+	}
+	rt.mu.Lock()
+	for _, j := range rt.jobs {
+		ji := jobInfo{ID: j.ID, Primary: j.Primary, Done: j.Done, Verified: j.Verified, Replicated: j.Released && j.Verified}
+		for name, ok := range j.Replicas {
+			if ok {
+				ji.Replicas = append(ji.Replicas, name)
+			}
+		}
+		out.Jobs = append(out.Jobs, ji)
+	}
+	rt.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// shardLabel flattens a base URL into a metric-name-safe suffix.
+func shardLabel(base string) string {
+	s := strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,458 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/obs"
+	"repro/internal/proof"
+	"repro/internal/retry"
+	"repro/internal/service"
+)
+
+// chainProblem builds the implication chain x1, xi→xi+1, ¬xn with its
+// unit-clause refutation — the same verified fixture the service tests use.
+func chainProblem(n int) (*cnf.Formula, *proof.Trace) {
+	mk := func(lits ...int) cnf.Clause {
+		c := make(cnf.Clause, len(lits))
+		for i, l := range lits {
+			c[i] = cnf.FromDimacs(l)
+		}
+		return c
+	}
+	f := cnf.NewFormula(n)
+	f.Clauses = append(f.Clauses, mk(1))
+	for i := 1; i < n; i++ {
+		f.Clauses = append(f.Clauses, mk(-i, i+1))
+	}
+	f.Clauses = append(f.Clauses, mk(-n))
+	tr := proof.New()
+	tr.Resolutions = nil
+	for i := 2; i <= n; i++ {
+		tr.Clauses = append(tr.Clauses, mk(i))
+	}
+	tr.Clauses = append(tr.Clauses, mk(-n))
+	return f, tr
+}
+
+func problemBody(tb testing.TB, f *cnf.Formula, tr *proof.Trace) ([]byte, string) {
+	tb.Helper()
+	var fb, pb bytes.Buffer
+	if err := cnf.WriteDimacs(&fb, f); err != nil {
+		tb.Fatal(err)
+	}
+	if err := proof.Write(&pb, tr); err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for _, part := range []struct{ name, data string }{
+		{"formula", fb.String()}, {"proof", pb.String()},
+	} {
+		w, err := mw.CreateFormFile(part.name, part.name)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		w.Write([]byte(part.data))
+	}
+	mw.Close()
+	return buf.Bytes(), mw.FormDataContentType()
+}
+
+// testShard is one real dpvd daemon behind a real TCP listener, killable
+// mid-test by closing its server.
+type testShard struct {
+	d   *service.Daemon
+	srv *httptest.Server
+}
+
+func startShard(tb testing.TB) *testShard {
+	tb.Helper()
+	d, err := service.New(service.Options{
+		Store: service.NewMemStore(), Workers: 1, Obs: obs.New(),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	d.Start()
+	srv := httptest.NewServer(d.Handler(false))
+	tb.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		d.Drain(ctx)
+	})
+	return &testShard{d: d, srv: srv}
+}
+
+// fastOptions returns router options tuned for test time: tight probe and
+// replication periods, short per-attempt timeouts.
+func fastOptions(urls []string) Options {
+	return Options{
+		Shards:            urls,
+		Replication:       2,
+		HedgeDelay:        20 * time.Millisecond,
+		HealthInterval:    25 * time.Millisecond,
+		HealthFailures:    2,
+		ReplicateInterval: 20 * time.Millisecond,
+		RetryJitter:       -1,
+		Forward:           retry.Policy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond, PerAttempt: 2 * time.Second},
+		Breaker:           retry.BreakerConfig{Threshold: 3, OpenFor: 50 * time.Millisecond},
+	}
+}
+
+func startRouter(tb testing.TB, opt Options) (*Router, http.Handler) {
+	tb.Helper()
+	rt, err := New(opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rt.Start()
+	tb.Cleanup(rt.Close)
+	return rt, rt.Handler(false)
+}
+
+func routerSubmit(tb testing.TB, h http.Handler, body []byte, ct string) (int, string, *httptest.ResponseRecorder) {
+	tb.Helper()
+	req := httptest.NewRequest("POST", "/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("Content-Type", ct)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	var resp struct {
+		ID string `json:"id"`
+	}
+	json.Unmarshal(rw.Body.Bytes(), &resp)
+	return rw.Code, resp.ID, rw
+}
+
+// routerStatus fetches the job through the router and returns the raw
+// "result" JSON (nil while running).
+func routerStatus(tb testing.TB, h http.Handler, id string) (int, string, json.RawMessage) {
+	tb.Helper()
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/v1/jobs/"+id, nil))
+	var ws wireStatus
+	json.Unmarshal(rw.Body.Bytes(), &ws)
+	return rw.Code, ws.State, ws.Result
+}
+
+func waitRouterDone(tb testing.TB, h http.Handler, id string) json.RawMessage {
+	tb.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, state, result := routerStatus(tb, h, id)
+		if code == http.StatusOK && state == "done" && result != nil {
+			return result
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tb.Fatalf("job %s never finished through the router", id)
+	return nil
+}
+
+type topology struct {
+	Shards []struct {
+		Base    string `json:"base"`
+		Live    bool   `json:"live"`
+		Breaker string `json:"breaker"`
+	} `json:"shards"`
+	Jobs []struct {
+		ID         string   `json:"id"`
+		Primary    string   `json:"primary"`
+		Replicas   []string `json:"replicas"`
+		Replicated bool     `json:"replicated"`
+	} `json:"jobs"`
+}
+
+func routerTopology(tb testing.TB, h http.Handler) topology {
+	tb.Helper()
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/v1/cluster", nil))
+	var top topology
+	if err := json.Unmarshal(rw.Body.Bytes(), &top); err != nil {
+		tb.Fatalf("topology: %v (%s)", err, rw.Body.String())
+	}
+	return top
+}
+
+func routerGet(tb testing.TB, h http.Handler, path string) *httptest.ResponseRecorder {
+	tb.Helper()
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", path, nil))
+	return rw
+}
+
+// The replication contract end to end: a verified verdict reaches R shards,
+// and when the primary dies the router serves the job — status, verdict
+// bytes, hinted proof — from a replica, byte-identical to before.
+func TestRouterReplicatesAndServesFromReplica(t *testing.T) {
+	shards := []*testShard{startShard(t), startShard(t), startShard(t)}
+	urls := make([]string, len(shards))
+	byURL := map[string]*testShard{}
+	for i, s := range shards {
+		urls[i] = s.srv.URL
+		byURL[s.srv.URL] = s
+	}
+	rt, h := startRouter(t, fastOptions(urls))
+	_ = rt
+
+	f, tr := chainProblem(30)
+	body, ct := problemBody(t, f, tr)
+	code, id, rw := routerSubmit(t, h, body, ct)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit via router = %d %s", code, rw.Body.String())
+	}
+	result := waitRouterDone(t, h, id)
+	var outcome struct {
+		Status string `json:"status"`
+	}
+	json.Unmarshal(result, &outcome)
+	if outcome.Status != "verified" {
+		t.Fatalf("router verdict = %s", result)
+	}
+
+	// Wait until the verdict is replicated (R=2: one replica ack).
+	var primary string
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		top := routerTopology(t, h)
+		if len(top.Jobs) == 1 && top.Jobs[0].Replicated {
+			primary = top.Jobs[0].Primary
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("verdict never replicated: %+v", routerTopology(t, h))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	lratBefore := routerGet(t, h, "/v1/jobs/"+id+"/lrat")
+	if lratBefore.Code != http.StatusOK || lratBefore.Body.Len() == 0 {
+		t.Fatalf("lrat via router = %d", lratBefore.Code)
+	}
+
+	// Kill the primary — hard: the listener goes away mid-flight.
+	byURL[primary].srv.Close()
+
+	// The router must eject it and keep serving the verdict from a replica.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		top := routerTopology(t, h)
+		live := 0
+		for _, s := range top.Shards {
+			if s.Live {
+				live++
+			}
+		}
+		if live == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead shard never ejected: %+v", top)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	code2, state2, result2 := routerStatus(t, h, id)
+	if code2 != http.StatusOK || state2 != "done" {
+		t.Fatalf("status after primary death = %d/%s", code2, state2)
+	}
+	if !bytes.Equal(result, result2) {
+		t.Fatalf("replica verdict differs from primary's:\n%s\nvs\n%s", result, result2)
+	}
+	lratAfter := routerGet(t, h, "/v1/jobs/"+id+"/lrat")
+	if lratAfter.Code != http.StatusOK || !bytes.Equal(lratBefore.Body.Bytes(), lratAfter.Body.Bytes()) {
+		t.Fatalf("replica lrat differs (code %d, identical=%v)", lratAfter.Code,
+			bytes.Equal(lratBefore.Body.Bytes(), lratAfter.Body.Bytes()))
+	}
+	// The replica can even re-verify the copy from its stored hints.
+	rcw := httptest.NewRecorder()
+	h.ServeHTTP(rcw, httptest.NewRequest("POST", "/v1/jobs/"+id+"/recheck", nil))
+	if rcw.Code != http.StatusOK {
+		t.Fatalf("recheck after primary death = %d %s", rcw.Code, rcw.Body.String())
+	}
+}
+
+// An admitted job whose shard dies before the verdict replicates is
+// re-admitted on a survivor from the retained upload — the client keeps its
+// job ID and eventually reads a verdict. Replication is stalled (hour-long
+// interval) to pin the job in the danger window deterministically.
+func TestRouterFailsOverUnreplicatedJob(t *testing.T) {
+	shards := []*testShard{startShard(t), startShard(t), startShard(t)}
+	urls := make([]string, len(shards))
+	byURL := map[string]*testShard{}
+	for i, s := range shards {
+		urls[i] = s.srv.URL
+		byURL[s.srv.URL] = s
+	}
+	opt := fastOptions(urls)
+	opt.ReplicateInterval = time.Hour // freeze replication: job stays unreleased
+	rt, h := startRouter(t, opt)
+
+	f, tr := chainProblem(30)
+	body, ct := problemBody(t, f, tr)
+	code, id, rw := routerSubmit(t, h, body, ct)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", code, rw.Body.String())
+	}
+	want := waitRouterDone(t, h, id)
+
+	rt.mu.Lock()
+	primary := rt.jobs[id].Primary
+	released := rt.jobs[id].Released
+	rt.mu.Unlock()
+	if released {
+		t.Fatal("job released with replication frozen — test premise broken")
+	}
+
+	// Kill the primary. The health loop must eject it and re-admit the job
+	// on a survivor using the retained body.
+	byURL[primary].srv.Close()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		rt.mu.Lock()
+		newPrimary := rt.jobs[id].Primary
+		rt.mu.Unlock()
+		if newPrimary != primary {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never failed over off dead shard %s", id, primary)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	got := waitRouterDone(t, h, id)
+	var o1, o2 struct {
+		Status string `json:"status"`
+	}
+	json.Unmarshal(want, &o1)
+	json.Unmarshal(got, &o2)
+	if o1.Status != "verified" || o2.Status != "verified" {
+		t.Fatalf("verdicts around failover: %s -> %s", want, got)
+	}
+	// The recomputed verdict must be byte-identical: same deterministic
+	// verifier, same input bytes.
+	if !bytes.Equal(want, got) {
+		t.Fatalf("failover verdict differs:\n%s\nvs\n%s", want, got)
+	}
+	if c := rt.opt.Obs.Counter("cluster.failovers").Value(); c < 1 {
+		t.Fatalf("cluster.failovers = %d, want >= 1", c)
+	}
+}
+
+// Admissions survive a dead shard even before ejection: the walk skips the
+// corpse (transport error, then open breaker) and lands on survivors.
+func TestRouterAdmitsAroundDeadShard(t *testing.T) {
+	shards := []*testShard{startShard(t), startShard(t), startShard(t)}
+	urls := make([]string, len(shards))
+	for i, s := range shards {
+		urls[i] = s.srv.URL
+	}
+	opt := fastOptions(urls)
+	opt.HealthInterval = time.Hour // no ejection: every admission must route around the corpse itself
+	rt, h := startRouter(t, opt)
+
+	shards[0].srv.Close()
+
+	f, tr := chainProblem(10)
+	body, ct := problemBody(t, f, tr)
+	for i := 0; i < 8; i++ {
+		code, id, rw := routerSubmit(t, h, body, ct)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d %s", i, code, rw.Body.String())
+		}
+		waitRouterDone(t, h, id)
+	}
+	// Drive the corpse's breaker open deterministically (whether the random
+	// IDs above routed to it is luck); admissions must still flow while it
+	// is open, now without even dialing the dead address.
+	sh := rt.shards[urls[0]]
+	for i := 0; i < 5 && sh.breaker.State() != retry.BreakerOpen; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		rt.do(ctx, sh, http.MethodGet, "/readyz", nil, "", nil)
+		cancel()
+	}
+	if st := sh.breaker.State(); st != retry.BreakerOpen {
+		t.Fatalf("breaker state after repeated failures = %v, want open", st)
+	}
+	code, id, rw := routerSubmit(t, h, body, ct)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit with open breaker = %d %s", code, rw.Body.String())
+	}
+	waitRouterDone(t, h, id)
+}
+
+// An admitted job must never read back as 404, even in the window where
+// its primary is dead and failover has not yet re-admitted it: a live
+// non-owner shard answers 404, but the router owes the client a 503 +
+// Retry-After, not a lost job.
+func TestRouterAdmittedJobNever404s(t *testing.T) {
+	a, b := startShard(t), startShard(t)
+	opt := fastOptions([]string{a.srv.URL, b.srv.URL})
+	opt.HealthInterval = time.Hour    // freeze ejection/failover
+	opt.ReplicateInterval = time.Hour // freeze replication
+	rt, h := startRouter(t, opt)
+
+	f, tr := chainProblem(8)
+	body, ct := problemBody(t, f, tr)
+	code, id, rw := routerSubmit(t, h, body, ct)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", code, rw.Body.String())
+	}
+	rt.mu.Lock()
+	primary := rt.jobs[id].Primary
+	rt.mu.Unlock()
+	for _, sh := range []*testShard{a, b} {
+		if sh.srv.URL == primary {
+			sh.srv.Close()
+		}
+	}
+
+	rw2 := routerGet(t, h, "/v1/jobs/"+id)
+	if rw2.Code != http.StatusServiceUnavailable {
+		t.Fatalf("admitted job with dead primary = %d %s, want 503", rw2.Code, rw2.Body.String())
+	}
+	if rw2.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	// Untracked IDs still answer an honest 404 from the survivor.
+	if rw3 := routerGet(t, h, "/v1/jobs/ffffffffffffffffffffffffffffffff"); rw3.Code != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", rw3.Code)
+	}
+}
+
+func TestRouterRejectsBadUpload(t *testing.T) {
+	sh := startShard(t)
+	_, h := startRouter(t, fastOptions([]string{sh.srv.URL}))
+
+	// Garbage multipart: the shard's 400 must relay through, not retry into
+	// a 503 (bad input is permanent).
+	code, _, rw := routerSubmit(t, h, []byte("not multipart at all"), "text/plain")
+	if code != http.StatusBadRequest {
+		t.Fatalf("garbage upload = %d %s, want 400", code, rw.Body.String())
+	}
+
+	// Unknown job IDs 404 through the hedged read.
+	if rw := routerGet(t, h, "/v1/jobs/00000000000000000000000000000000"); rw.Code != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", rw.Code)
+	}
+}
+
+func TestShardLabel(t *testing.T) {
+	for in, want := range map[string]string{
+		"http://127.0.0.1:8101": "127_0_0_1_8101",
+		"https://Shard-2.local": "shard-2_local",
+	} {
+		if got := shardLabel(in); got != want {
+			t.Errorf("shardLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// NetKind enumerates the network fault modes NetProxy can interpose between
+// a client and a backend — the failure shapes a cluster front tier must
+// survive. Structural Kinds corrupt *payloads*; NetKinds corrupt the
+// *transport* carrying them.
+type NetKind int
+
+const (
+	// NetNone passes traffic through untouched.
+	NetNone NetKind = iota
+	// NetConnRefused closes the proxy's listener: new dials fail instantly
+	// with "connection refused", the signature of a crashed process whose
+	// port nothing holds open.
+	NetConnRefused
+	// NetSlowStart accepts connections but stalls them for SlowStart before
+	// forwarding the first byte — the shape of an overloaded or GC-pausing
+	// backend. Clients without timeouts hang here; that is the point.
+	NetSlowStart
+	// NetMidBodyReset forwards the backend's response only up to ResetAfter
+	// bytes, then hard-resets the client connection (RST, not FIN) — a
+	// transfer that dies mid-body, after headers promised success.
+	NetMidBodyReset
+	// NetPartition accepts connections and blackholes them: no data moves in
+	// either direction and no FIN is ever sent until the partition heals.
+	// Indistinguishable, to the client, from a network that silently drops
+	// packets.
+	NetPartition
+)
+
+// NetKinds lists every network fault mode, for matrix tests. NetNone is
+// included: a fault matrix that never exercises the healthy path cannot
+// detect a harness that fails everything.
+var NetKinds = []NetKind{NetNone, NetConnRefused, NetSlowStart, NetMidBodyReset, NetPartition}
+
+func (k NetKind) String() string {
+	switch k {
+	case NetNone:
+		return "none"
+	case NetConnRefused:
+		return "conn-refused"
+	case NetSlowStart:
+		return "slow-start"
+	case NetMidBodyReset:
+		return "mid-body-reset"
+	case NetPartition:
+		return "partition"
+	default:
+		return "unknown-net-fault"
+	}
+}
+
+// NetProxy is a TCP proxy that interposes one NetKind between clients and a
+// backend. It listens on a fixed loopback address, so a fault can be
+// switched on and healed (including a full listener teardown for
+// NetConnRefused) without the client ever re-discovering the address — the
+// same contract a real crashed-and-restarted backend offers.
+//
+// Kind changes apply to new connections; connections parked by NetPartition
+// or NetSlowStart are released (closed) when the kind changes or the proxy
+// closes, so a healed partition never leaks goroutines.
+type NetProxy struct {
+	target string
+
+	mu         sync.Mutex
+	addr       string // fixed once first bound
+	ln         net.Listener
+	kind       NetKind
+	slowStart  time.Duration
+	resetAfter int64
+	release    chan struct{} // closed to free parked connections
+	conns      map[net.Conn]struct{}
+	closed     bool
+}
+
+// NewNetProxy starts a pass-through proxy on a fresh loopback port in front
+// of target ("host:port").
+func NewNetProxy(target string) (*NetProxy, error) {
+	p := &NetProxy{
+		target:     target,
+		slowStart:  2 * time.Second,
+		resetAfter: 512,
+		release:    make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faults: net proxy listen: %w", err)
+	}
+	p.ln = ln
+	p.addr = ln.Addr().String()
+	go p.serve(ln)
+	return p, nil
+}
+
+// Addr returns the proxy's fixed client-facing address.
+func (p *NetProxy) Addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addr
+}
+
+// Kind returns the currently injected fault.
+func (p *NetProxy) Kind() NetKind {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.kind
+}
+
+// SetSlowStart configures the NetSlowStart stall (default 2s).
+func (p *NetProxy) SetSlowStart(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.slowStart = d
+}
+
+// SetResetAfter configures how many response bytes NetMidBodyReset lets
+// through before the RST (default 512).
+func (p *NetProxy) SetResetAfter(n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.resetAfter = n
+}
+
+// Set switches the injected fault. Parked connections from the previous
+// kind are released; for NetConnRefused the listener itself is torn down,
+// and healing re-binds the same address.
+func (p *NetProxy) Set(kind NetKind) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("faults: net proxy closed")
+	}
+	// Free anything the old kind parked.
+	close(p.release)
+	p.release = make(chan struct{})
+
+	if kind == NetConnRefused {
+		if p.ln != nil {
+			p.ln.Close()
+			p.ln = nil
+		}
+		p.kind = kind
+		return nil
+	}
+	if p.ln == nil {
+		ln, err := net.Listen("tcp", p.addr)
+		if err != nil {
+			return fmt.Errorf("faults: net proxy re-listen %s: %w", p.addr, err)
+		}
+		p.ln = ln
+		go p.serve(ln)
+	}
+	p.kind = kind
+	return nil
+}
+
+// Close tears the proxy down: listener, parked and active connections.
+func (p *NetProxy) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	close(p.release)
+	if p.ln != nil {
+		p.ln.Close()
+		p.ln = nil
+	}
+	for c := range p.conns {
+		c.Close()
+	}
+	return nil
+}
+
+func (p *NetProxy) serve(ln net.Listener) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed: NetConnRefused or proxy shutdown
+		}
+		go p.handle(c)
+	}
+}
+
+func (p *NetProxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *NetProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *NetProxy) handle(client net.Conn) {
+	p.mu.Lock()
+	kind, slow, cap, release := p.kind, p.slowStart, p.resetAfter, p.release
+	p.mu.Unlock()
+	if !p.track(client) {
+		client.Close()
+		return
+	}
+	defer p.untrack(client)
+	defer client.Close()
+
+	switch kind {
+	case NetPartition:
+		// Blackhole until the partition heals; only then FIN.
+		<-release
+		return
+	case NetSlowStart:
+		t := time.NewTimer(slow)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-release:
+			return
+		}
+	}
+
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+
+	done := make(chan struct{}, 2)
+	// client → server: always unrestricted (the request must reach the
+	// backend for a mid-response reset to be the failure under test).
+	go func() {
+		io.Copy(server, client)
+		if tc, ok := server.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	// server → client: capped under NetMidBodyReset.
+	go func() {
+		if kind == NetMidBodyReset {
+			io.CopyN(client, server, cap)
+			// RST, not FIN: SetLinger(0) makes Close send a reset, which is
+			// what a yanked cable or OOM-killed backend looks like.
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			client.Close()
+			server.Close()
+		} else {
+			io.Copy(client, server)
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+		}
+		done <- struct{}{}
+	}()
+	// Wait for both directions, but abandon the wait when the proxy heals or
+	// closes (Close also closes both conns, unblocking the copies).
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-release:
+			return
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newBackend starts a plain HTTP backend that answers "/big" with a body
+// large enough to straddle any mid-body reset cap.
+func newBackend(t *testing.T) (addr string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/big", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(strings.Repeat("x", 1<<20)))
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+func proxyClient(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout: timeout,
+		// Fresh connections per request: the fault under test must apply to
+		// this request, not be dodged by a pooled pre-fault connection.
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+}
+
+func TestNetProxyPassThrough(t *testing.T) {
+	backend := newBackend(t)
+	p, err := NewNetProxy(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, err := proxyClient(2 * time.Second).Get("http://" + p.Addr() + "/ok")
+	if err != nil {
+		t.Fatalf("pass-through GET: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(b) != "ok\n" {
+		t.Fatalf("pass-through = %d %q", resp.StatusCode, b)
+	}
+}
+
+func TestNetProxyConnRefusedAndHeal(t *testing.T) {
+	backend := newBackend(t)
+	p, err := NewNetProxy(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	addr := p.Addr()
+
+	if err := p.Set(NetConnRefused); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Fatal("dial succeeded through a refused proxy")
+	}
+	if _, err := proxyClient(time.Second).Get("http://" + addr + "/ok"); err == nil {
+		t.Fatal("GET succeeded through a refused proxy")
+	}
+
+	// Healing re-binds the same address — the client never re-discovers it.
+	if err := p.Set(NetNone); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := proxyClient(2 * time.Second).Get("http://" + addr + "/ok")
+	if err != nil {
+		t.Fatalf("GET after heal: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("after heal = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestNetProxySlowStart(t *testing.T) {
+	backend := newBackend(t)
+	p, err := NewNetProxy(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetSlowStart(300 * time.Millisecond)
+	if err := p.Set(NetSlowStart); err != nil {
+		t.Fatal(err)
+	}
+
+	// A client with a deadline shorter than the stall times out...
+	if _, err := proxyClient(50 * time.Millisecond).Get("http://" + p.Addr() + "/ok"); err == nil {
+		t.Fatal("impatient GET succeeded through a stalled proxy")
+	}
+	// ...one that outlasts the stall gets a correct answer (slow, not broken).
+	resp, err := proxyClient(3 * time.Second).Get("http://" + p.Addr() + "/ok")
+	if err != nil {
+		t.Fatalf("patient GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("patient GET = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestNetProxyMidBodyReset(t *testing.T) {
+	backend := newBackend(t)
+	p, err := NewNetProxy(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetResetAfter(4096)
+	if err := p.Set(NetMidBodyReset); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := proxyClient(5 * time.Second).Get("http://" + p.Addr() + "/big")
+	if err != nil {
+		// The reset may already land on the response header read; that is a
+		// legitimate shape of the same fault.
+		return
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err == nil {
+		t.Fatalf("read full %d-byte body through a mid-body-reset proxy", n)
+	}
+	if n >= 1<<20 {
+		t.Fatalf("reset never cut the body (read %d bytes before error %v)", n, err)
+	}
+}
+
+func TestNetProxyPartitionNeverHangsClient(t *testing.T) {
+	backend := newBackend(t)
+	p, err := NewNetProxy(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Set(NetPartition); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err = proxyClient(200 * time.Millisecond).Get("http://" + p.Addr() + "/ok")
+	if err == nil {
+		t.Fatal("GET succeeded through a partition")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("partition error = %v, want a timeout", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("client escaped the partition only after %v", d)
+	}
+
+	// Healing releases the parked connection and restores service.
+	if err := p.Set(NetNone); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := proxyClient(2 * time.Second).Get("http://" + p.Addr() + "/ok")
+	if err != nil {
+		t.Fatalf("GET after partition heal: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestNetKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range NetKinds {
+		s := k.String()
+		if s == "unknown-net-fault" || seen[s] {
+			t.Fatalf("NetKind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,177 @@
+package retry
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is refused locally until the open interval
+	// elapses; the target gets time to recover instead of more load.
+	BreakerOpen
+	// BreakerHalfOpen: a bounded number of probe requests may pass; one
+	// success closes the breaker, one failure re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrBreakerOpen is returned by callers that consult Allow and find the
+// breaker refusing traffic. It is retryable by definition — the breaker
+// will eventually half-open — so it is deliberately not Permanent.
+var ErrBreakerOpen = errors.New("retry: circuit breaker open")
+
+// BreakerConfig tunes a Breaker. The zero value means "5 consecutive
+// failures trip it, it stays open 1s, and half-open admits 1 probe".
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips a closed
+	// breaker (default 5).
+	Threshold int
+	// OpenFor is how long a tripped breaker refuses traffic before
+	// half-opening (default 1s).
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrent probes while half-open (default 1).
+	HalfOpenProbes int
+	// Now substitutes the clock for tests (default time.Now).
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a classic three-state circuit breaker, safe for concurrent
+// use. Callers bracket each request with Allow (may this request go out?)
+// and Record (how did it end?); everything else is internal.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive, while closed
+	openedAt time.Time // when the breaker last tripped
+	probes   int       // in-flight half-open probes
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may be sent now. While open it returns
+// false until OpenFor has elapsed, then transitions to half-open and admits
+// up to HalfOpenProbes concurrent probes. Every Allow=true MUST be paired
+// with exactly one Record call, or half-open probe slots leak.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probes = 0
+		fallthrough
+	default: // BreakerHalfOpen
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return false
+		}
+		b.probes++
+		return true
+	}
+}
+
+// Record reports a request outcome. A nil err is a success: it resets the
+// failure count and closes a half-open breaker. A non-nil err while closed
+// counts toward the threshold; while half-open it re-opens immediately.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if err == nil {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.probes--
+		if err == nil {
+			b.state = BreakerClosed
+			b.failures = 0
+			return
+		}
+		b.trip()
+	case BreakerOpen:
+		// A straggler from before the trip; nothing to account.
+	}
+}
+
+// trip moves to open. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Now()
+	b.failures = 0
+	b.probes = 0
+}
+
+// ForceOpen trips the breaker from the outside — the health prober uses it
+// to eject a shard that fails readiness even when no request traffic is
+// flowing to count failures.
+func (b *Breaker) ForceOpen() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trip()
+}
+
+// ForceClose resets the breaker — the health prober's readmission edge.
+func (b *Breaker) ForceClose() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probes = 0
+}
+
+// State returns the breaker's current position (open lazily reported even
+// if the next Allow would half-open it).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

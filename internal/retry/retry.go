@@ -1,0 +1,211 @@
+// Package retry is the shared robustness toolkit for everything in this
+// repo that talks over an unreliable edge — today the cluster router
+// (internal/cluster), tomorrow any client of the daemon API. It provides
+// the three mechanisms a fault-tolerant caller needs and nothing more:
+//
+//   - Policy: jittered exponential backoff with per-attempt timeouts and a
+//     typed permanent-vs-retryable error split, so callers never burn
+//     retries on errors that cannot improve (a 400 stays a 400).
+//   - Breaker: a per-target circuit breaker (closed → open → half-open)
+//     that converts a persistently failing target into a fast local error,
+//     with bounded half-open probing to readmit it once it heals.
+//   - Jittered/JitterSeconds: bounded randomization for client-facing
+//     Retry-After hints, so a fleet of backpressured clients does not
+//     retry in lockstep and re-saturate the service it just overloaded.
+//
+// Determinism for tests: both the Policy and the jitter helpers accept an
+// injectable randomness source, and the Breaker an injectable clock, so
+// every timing property asserted in tests is exact, not statistical.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy describes how to retry an operation. The zero value is usable and
+// means "3 attempts, 50ms base delay doubling to a 2s cap, half the delay
+// jittered, no per-attempt timeout".
+type Policy struct {
+	// MaxAttempts is the total number of tries, including the first
+	// (default 3; 1 disables retrying).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized: the actual
+	// sleep is delay*(1-Jitter) + rand*delay*Jitter. Default 0.5; negative
+	// disables jitter entirely.
+	Jitter float64
+	// PerAttempt, when positive, bounds each attempt with its own deadline
+	// (layered under whatever deadline the caller's context carries).
+	PerAttempt time.Duration
+	// Rand substitutes the randomness source for tests (default math/rand).
+	Rand func() float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier <= 0 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
+	return p
+}
+
+// PermanentError marks an error that retrying cannot fix; Do stops
+// immediately and returns the wrapped error.
+type PermanentError struct {
+	Err error
+}
+
+func (e *PermanentError) Error() string { return e.Err.Error() }
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Permanent wraps err so Do treats it as final. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Err: err}
+}
+
+// IsPermanent reports whether err is (or wraps) a PermanentError.
+func IsPermanent(err error) bool {
+	var pe *PermanentError
+	return errors.As(err, &pe)
+}
+
+// AttemptsError reports an operation that failed every attempt; Unwrap
+// exposes the last attempt's error for errors.Is/As classification.
+type AttemptsError struct {
+	Attempts int
+	Last     error
+}
+
+func (e *AttemptsError) Error() string {
+	return fmt.Sprintf("retry: %d attempt(s) failed: %v", e.Attempts, e.Last)
+}
+func (e *AttemptsError) Unwrap() error { return e.Last }
+
+// Delay returns the backoff before attempt n (n=1 is the first retry),
+// jittered. Exposed so callers that schedule their own sleeps (e.g. a
+// replication loop) share the policy's curve.
+func (p Policy) Delay(n int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return Jittered(time.Duration(d), p.Jitter, p.Rand)
+}
+
+// Do runs op under the policy: up to MaxAttempts tries, backing off between
+// them, stopping early on ctx cancellation or a Permanent error. Each
+// attempt gets its own context carrying the PerAttempt deadline. On final
+// failure the returned error is an *AttemptsError wrapping the last
+// attempt's error (or the permanent error unwrapped from its marker).
+func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var last error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if p.PerAttempt > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.PerAttempt)
+		}
+		err := op(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		var pe *PermanentError
+		if errors.As(err, &pe) {
+			return &AttemptsError{Attempts: attempt, Last: pe.Err}
+		}
+		last = err
+		if ctx.Err() != nil {
+			return &AttemptsError{Attempts: attempt, Last: ctx.Err()}
+		}
+		if attempt == p.MaxAttempts {
+			break
+		}
+		t := time.NewTimer(p.Delay(attempt))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return &AttemptsError{Attempts: attempt, Last: ctx.Err()}
+		}
+	}
+	return &AttemptsError{Attempts: p.MaxAttempts, Last: last}
+}
+
+// Jittered spreads d by frac: the result is uniform in
+// [d*(1-frac), d] (frac clamped to [0,1]). frac 0, a nil rnd with frac 0,
+// or a non-positive d return d unchanged. rnd nil uses math/rand.
+func Jittered(d time.Duration, frac float64, rnd func() float64) time.Duration {
+	if d <= 0 || frac <= 0 {
+		return d
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	spread := float64(d) * frac
+	return time.Duration(float64(d) - spread*rnd())
+}
+
+// JitterSeconds renders a Retry-After hint: base spread *upward* by frac
+// (uniform in [base, base*(1+frac)]), rounded up to whole seconds, never
+// below 1. Upward, because a hint shorter than the server's intended
+// backoff re-saturates it; staggered-later only thins the stampede.
+func JitterSeconds(base time.Duration, frac float64, rnd func() float64) int {
+	if base <= 0 {
+		return 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	d := float64(base) * (1 + frac*rnd())
+	secs := int((time.Duration(d) + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -1,0 +1,274 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func fastPolicy() Policy {
+	return Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Jitter: -1}
+}
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	calls := 0
+	err := fastPolicy().Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	sentinel := errors.New("still down")
+	calls := 0
+	err := fastPolicy().Do(context.Background(), func(context.Context) error {
+		calls++
+		return sentinel
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	var ae *AttemptsError
+	if !errors.As(err, &ae) || ae.Attempts != 3 {
+		t.Fatalf("err = %v, want AttemptsError with 3 attempts", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err %v does not unwrap to the last attempt error", err)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	sentinel := errors.New("bad request")
+	calls := 0
+	err := fastPolicy().Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (permanent must not retry)", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrap of sentinel", err)
+	}
+	if IsPermanent(Permanent(sentinel)) != true || IsPermanent(sentinel) != false {
+		t.Fatal("IsPermanent misclassifies")
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must stay nil")
+	}
+}
+
+func TestDoRespectsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{MaxAttempts: 100, BaseDelay: 50 * time.Millisecond, Jitter: -1}
+	start := time.Now()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.Do(ctx, func(context.Context) error {
+			calls++
+			return errors.New("down")
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do did not return after cancel")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancel took %v, want immediate", elapsed)
+	}
+}
+
+func TestDoPerAttemptTimeout(t *testing.T) {
+	p := Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, Jitter: -1, PerAttempt: 10 * time.Millisecond}
+	calls := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		<-ctx.Done() // a hung attempt must be cut by the per-attempt deadline
+		return ctx.Err()
+	})
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+}
+
+func TestDelayCurve(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 45 * time.Millisecond, Multiplier: 2, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 45, 45}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestJitteredBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		got := Jittered(base, 0.5, nil)
+		if got < 50*time.Millisecond || got > base {
+			t.Fatalf("Jittered out of [50ms, 100ms]: %v", got)
+		}
+	}
+	if got := Jittered(base, 0, nil); got != base {
+		t.Fatalf("zero frac must be identity, got %v", got)
+	}
+	// Extremes, pinned by an injected source.
+	if got := Jittered(base, 0.5, func() float64 { return 1 }); got != 50*time.Millisecond {
+		t.Fatalf("rnd=1 should give the lower bound, got %v", got)
+	}
+	if got := Jittered(base, 0.5, func() float64 { return 0 }); got != base {
+		t.Fatalf("rnd=0 should give the base, got %v", got)
+	}
+}
+
+func TestJitterSecondsBounds(t *testing.T) {
+	// 2s base, 50% jitter: every hint must be in [2, 3] whole seconds and
+	// never below the base — a hint shorter than the server's backoff
+	// would re-saturate it.
+	for i := 0; i < 1000; i++ {
+		got := JitterSeconds(2*time.Second, 0.5, nil)
+		if got < 2 || got > 3 {
+			t.Fatalf("JitterSeconds out of [2,3]: %d", got)
+		}
+	}
+	if got := JitterSeconds(2*time.Second, 0.5, func() float64 { return 1 }); got != 3 {
+		t.Fatalf("rnd=1 should give ceil(3s) = 3, got %d", got)
+	}
+	if got := JitterSeconds(2*time.Second, 0.5, func() float64 { return 0 }); got != 2 {
+		t.Fatalf("rnd=0 should give the base, got %d", got)
+	}
+	if got := JitterSeconds(0, 0.5, nil); got != 1 {
+		t.Fatalf("non-positive base must clamp to 1, got %d", got)
+	}
+	if got := JitterSeconds(300*time.Millisecond, 0, nil); got != 1 {
+		t.Fatalf("sub-second base must round up to 1, got %d", got)
+	}
+}
+
+func TestJitterSecondsSpreads(t *testing.T) {
+	// With real randomness the hints must actually spread (this is the
+	// anti-stampede property): 200 samples over [5,10]s hitting a single
+	// value is (1/6)^200 — a broken RNG, not luck.
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[JitterSeconds(5*time.Second, 1.0, nil)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("no spread in jittered hints: %v", seen)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := NewBreaker(BreakerConfig{Threshold: 3, OpenFor: time.Second, HalfOpenProbes: 1, Now: clock})
+
+	if b.State() != BreakerClosed {
+		t.Fatal("new breaker must be closed")
+	}
+	// Two failures + success resets the consecutive count.
+	b.Record(errors.New("x"))
+	b.Record(errors.New("x"))
+	b.Record(nil)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker must allow")
+		}
+		b.Record(errors.New("x"))
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("2 consecutive failures must not trip threshold 3")
+	}
+	b.Record(errors.New("x"))
+	if b.State() != BreakerOpen {
+		t.Fatal("3rd consecutive failure must trip")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must refuse")
+	}
+
+	// Half-open after OpenFor: exactly one probe.
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("elapsed breaker must half-open and admit a probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe must be refused")
+	}
+	// Probe fails: re-open, and the full interval applies again.
+	b.Record(errors.New("still down"))
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe must re-open")
+	}
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("second half-open probe expected")
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe must close")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+	b.Record(nil)
+}
+
+func TestBreakerForce(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	b.ForceOpen()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("ForceOpen must refuse traffic")
+	}
+	b.ForceClose()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("ForceClose must restore traffic")
+	}
+	b.Record(nil)
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 2, OpenFor: time.Millisecond})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				if b.Allow() {
+					if i%3 == 0 {
+						b.Record(fmt.Errorf("g%d", g))
+					} else {
+						b.Record(nil)
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

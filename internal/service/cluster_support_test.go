@@ -1,0 +1,401 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/exitcode"
+	"repro/internal/obs"
+)
+
+// --- Retry-After jitter -----------------------------------------------------
+
+// Retry-After must spread retries, not synchronize them: the jitter is
+// upward-only (a client told to come back sooner than the configured base
+// would re-saturate the queue) and bounded by base*(1+jitter).
+func TestRetryAfterJitterBounds(t *testing.T) {
+	d := newTestDaemon(t, Options{Workers: 1, RetryAfter: 2 * time.Second})
+
+	// Pinned extremes of the rnd source hit the bounds exactly.
+	d.rnd = func() float64 { return 0 }
+	if got := d.retryAfterSeconds(); got != 2 {
+		t.Errorf("rnd=0: Retry-After = %d, want 2 (the base, never below it)", got)
+	}
+	d.rnd = func() float64 { return 1 }
+	if got := d.retryAfterSeconds(); got != 3 {
+		t.Errorf("rnd=1: Retry-After = %d, want 3 (= ceil(2s * 1.5))", got)
+	}
+
+	// Every draw lands in [base, ceil(base*1.5)], and with a base wide
+	// enough to span several whole seconds the spread is real — a constant
+	// Retry-After would stampede every backed-off client at once.
+	dw := newTestDaemon(t, Options{Workers: 1, RetryAfter: 10 * time.Second})
+	rnd := rand.New(rand.NewSource(1))
+	dw.rnd = rnd.Float64
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		got := dw.retryAfterSeconds()
+		if got < 10 || got > 15 {
+			t.Fatalf("draw %d: Retry-After = %d, want in [10, 15]", i, got)
+		}
+		seen[got] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("500 draws produced only %v; jitter is not spreading", seen)
+	}
+
+	// Negative jitter disables the spread for tests that need determinism.
+	d2 := newTestDaemon(t, Options{Workers: 1, RetryAfter: 7 * time.Second, RetryJitter: -1})
+	for i := 0; i < 10; i++ {
+		if got := d2.retryAfterSeconds(); got != 7 {
+			t.Fatalf("jitter disabled: Retry-After = %d, want exactly 7", got)
+		}
+	}
+}
+
+// --- hostile job IDs --------------------------------------------------------
+
+// Job IDs become directory names under the store root; anything but a
+// 32-char lowercase-hex handle must be refused before the filesystem is
+// touched — including URL-encoded path separators (%2f, %5c), which a
+// careless decode layer could later expand into a traversal.
+func TestDiskStoreHostileJobIDs(t *testing.T) {
+	root := t.TempDir()
+	st, err := NewDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, tr := chainProblem(3)
+
+	hostile := []string{
+		"",
+		"..",
+		"../..",
+		"../../etc/passwd",
+		"..%2f..%2fsecrets",
+		"..%2F..%2Fsecrets",
+		"jobs%5c..%5cconfig",
+		"%2e%2e%2fescape",
+		"ABCDEF0123456789ABCDEF0123456789",  // uppercase hex
+		"0123456789abcdef0123456789abcde",   // 31 chars
+		"0123456789abcdef0123456789abcdef0", // 33 chars
+		"0123456789abcdef0123456789abcdeg",  // non-hex tail
+		"0123456789abcdef.123456789abcdef",  // dot inside
+		"0123456789abcdef/123456789abcdef",  // raw separator
+	}
+	for _, id := range hostile {
+		if ValidJobID(id) {
+			t.Errorf("ValidJobID(%q) = true, want false", id)
+		}
+		if err := st.Create(&Job{ID: id, Tenant: "t", Seq: 1}, f, tr); err == nil {
+			t.Errorf("Create(%q) succeeded, want refusal", id)
+		}
+		if _, err := st.Job(id); err != ErrUnknownJob {
+			t.Errorf("Job(%q) err = %v, want ErrUnknownJob", id, err)
+		}
+		if err := st.PutReplica(&Job{ID: id, Replica: true}, f, &JobResult{}, []byte("x")); err == nil {
+			t.Errorf("PutReplica(%q) succeeded, want refusal", id)
+		}
+		if p := st.JournalPath(id); p != "" {
+			t.Errorf("JournalPath(%q) = %q, want \"\"", id, p)
+		}
+	}
+
+	// None of the attempts may have left anything behind — inside or outside
+	// the jobs directory.
+	ents, err := os.ReadDir(filepath.Join(root, "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("hostile IDs left %d entries in the jobs dir", len(ents))
+	}
+	rents, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rents) != 1 { // just "jobs"
+		t.Fatalf("hostile IDs left debris in the store root: %v", rents)
+	}
+
+	// A well-formed ID still works, proving the gate rejects shapes, not use.
+	id, err := NewJobID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValidJobID(id) {
+		t.Fatalf("NewJobID() = %q fails ValidJobID", id)
+	}
+	if err := st.Create(&Job{ID: id, Tenant: "t", Seq: 1}, f, tr); err != nil {
+		t.Fatalf("Create(valid id): %v", err)
+	}
+}
+
+// --- recovery over a mixed store -------------------------------------------
+
+// A restarted daemon must requeue exactly the incomplete native jobs, in Seq
+// order, exactly once — while the same directory also holds finished jobs,
+// replica copies (complete and torn), and the debris of admissions a crash
+// cut between Admit and the job.json commit point.
+func TestRecoverOrderingMixedStore(t *testing.T) {
+	root := t.TempDir()
+	st, err := NewDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, tr := chainProblem(3)
+
+	mk := func(seq uint64) *Job {
+		id, err := NewJobID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Job{ID: id, Tenant: "default", Seq: seq, NumVars: f.NumVars, NumClauses: f.NumClauses()}
+	}
+
+	// Incomplete native jobs, created out of Seq order (directory order is
+	// random-hex order, so it cannot accidentally equal admission order).
+	j5, j1, j3 := mk(5), mk(1), mk(3)
+	for _, j := range []*Job{j5, j1, j3} {
+		if err := st.Create(j, f, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A finished job: present, never requeued.
+	j2 := mk(2)
+	if err := st.Create(j2, f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetResult(j2.ID, &JobResult{Status: StatusVerified, Code: exitcode.OK, Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aborted two-phase admissions: directories whose Create never reached
+	// its job.json commit point. The client never saw a 202 for these.
+	var aborted []string
+	for i := 0; i < 2; i++ {
+		id, err := NewJobID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(root, "jobs", id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "formula.cnf"), []byte("p cnf 1 1\n1 0\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		aborted = append(aborted, dir)
+	}
+
+	// A torn replica: job.json marked Replica, crash before result.json.
+	torn := mk(7)
+	torn.Replica = true
+	tornDir := filepath.Join(root, "jobs", torn.ID)
+	if err := os.MkdirAll(tornDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := json.Marshal(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tornDir, "job.json"), tb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A complete replica: kept, served, never requeued.
+	rep := mk(8)
+	rep.Replica = true
+	if err := st.PutReplica(rep, f, &JobResult{Status: StatusVerified, Code: exitcode.OK, Attempts: 1}, []byte("lrat\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen (the restart): sweep must clear the debris classes...
+	st2, err := NewDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range append(aborted, tornDir) {
+		if _, err := os.Stat(dir); !os.IsNotExist(err) {
+			t.Errorf("sweep left debris dir %s", dir)
+		}
+	}
+
+	// ...and Recover must requeue exactly j1, j3, j5 in that order.
+	d, err := New(Options{Store: st2, Workers: 1, Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("Recover() = %d jobs, want 3", n)
+	}
+	d.q.mu.Lock()
+	var got []string
+	seen := map[string]int{}
+	for _, j := range d.q.items {
+		got = append(got, j.ID)
+		seen[j.ID]++
+	}
+	d.q.mu.Unlock()
+	want := []string{j1.ID, j3.ID, j5.ID}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("requeue order = %v, want Seq order %v", got, want)
+	}
+	for id, count := range seen {
+		if count != 1 {
+			t.Fatalf("job %s enqueued %d times", id, count)
+		}
+	}
+
+	// Seq continuity: new admissions must not reuse recovered sequence
+	// numbers (MaxSeq spans finished jobs and replicas too).
+	if max, err := st2.MaxSeq(); err != nil || max != 8 {
+		t.Fatalf("MaxSeq = %d, %v; want 8", max, err)
+	}
+
+	// The finished job and the replica still serve their results.
+	for _, id := range []string{j2.ID, rep.ID} {
+		jr, err := st2.Result(id)
+		if err != nil || jr == nil || jr.Status != StatusVerified {
+			t.Fatalf("Result(%s) = %+v, %v after restart", id, jr, err)
+		}
+	}
+}
+
+// --- replica acceptance -----------------------------------------------------
+
+// corruptLastDigit flips the last nonzero digit of a textual LRAT proof —
+// the smallest corruption that still parses but breaks a hint or literal.
+func corruptLastDigit(t *testing.T, b []byte) []byte {
+	t.Helper()
+	out := append([]byte(nil), b...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] >= '1' && out[i] <= '9' {
+			if out[i] == '9' {
+				out[i] = '8'
+			} else {
+				out[i]++
+			}
+			return out
+		}
+	}
+	t.Fatal("no nonzero digit found in LRAT proof")
+	return nil
+}
+
+// A replica shard must re-verify an incoming verdict before acking it: the
+// intact copy is accepted and served byte-identically; a copy with one
+// corrupted hint digit is rejected with the typed replica_rejected status
+// and leaves nothing in the store.
+func TestReplicaPutValidatesBeforeAck(t *testing.T) {
+	// Source daemon produces a genuine verdict + hinted proof.
+	src := newTestDaemon(t, Options{Workers: 1})
+	hs := src.Handler(false)
+	f, tr := chainProblem(20)
+	id := submitProblem(t, hs, f, tr, "")
+	jr := waitDone(t, src, id)
+	if jr.Status != StatusVerified {
+		t.Fatalf("source verdict = %+v, want verified", jr)
+	}
+	lratRW := doRequest(hs, httptest.NewRequest("GET", "/v1/jobs/"+id+"/lrat", nil))
+	if lratRW.Code != http.StatusOK {
+		t.Fatalf("GET lrat = %d %s", lratRW.Code, lratRW.Body.String())
+	}
+	lratBytes := append([]byte(nil), lratRW.Body.Bytes()...)
+	verdictJSON, err := json.Marshal(jr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := encodeProblem(t, f, tr)
+
+	put := func(h http.Handler, id, formula, verdict, lrat string) *httptest.ResponseRecorder {
+		t.Helper()
+		body, ct := multipartBody(t, map[string]string{"formula": formula, "verdict": verdict, "lrat": lrat})
+		req := httptest.NewRequest("PUT", "/v1/replicas/"+id, body)
+		req.Header.Set("Content-Type", ct)
+		return doRequest(h, req)
+	}
+
+	// The intact copy is accepted...
+	repStore := NewMemStore()
+	rep := newTestDaemon(t, Options{Workers: 1, Store: repStore})
+	hr := rep.Handler(false)
+	if rw := put(hr, id, fs, string(verdictJSON), string(lratBytes)); rw.Code != http.StatusOK {
+		t.Fatalf("replica put = %d %s, want 200", rw.Code, rw.Body.String())
+	}
+
+	// ...and served byte-identically: same verdict encoding, same proof.
+	st, got, err := rep.Status(id)
+	if err != nil || st != StateDone || got == nil {
+		t.Fatalf("replica status = %v,%v,%v; want done with result", st, got, err)
+	}
+	wantJSON, _ := encodeJSON(jr)
+	gotJSON, _ := encodeJSON(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("replica verdict drifted:\n%s\nvs\n%s", gotJSON, wantJSON)
+	}
+	l2 := doRequest(hr, httptest.NewRequest("GET", "/v1/jobs/"+id+"/lrat", nil))
+	if l2.Code != http.StatusOK || !bytes.Equal(l2.Body.Bytes(), lratBytes) {
+		t.Fatalf("replica lrat = %d, byte-identical=%v", l2.Code, bytes.Equal(l2.Body.Bytes(), lratBytes))
+	}
+
+	// The replica can re-verify its copy on demand (no DRUP trace needed).
+	if rw := doRequest(hr, httptest.NewRequest("POST", "/v1/jobs/"+id+"/recheck", nil)); rw.Code != http.StatusOK {
+		t.Fatalf("replica recheck = %d %s", rw.Code, rw.Body.String())
+	}
+
+	// Replica records are copies, not runnable work.
+	if inc, err := repStore.Incomplete(); err != nil || len(inc) != 0 {
+		t.Fatalf("Incomplete() = %v, %v; replica must not be recoverable work", inc, err)
+	}
+
+	// Re-PUT (a retrying router) is idempotent.
+	if rw := put(hr, id, fs, string(verdictJSON), string(lratBytes)); rw.Code != http.StatusOK {
+		t.Fatalf("replica re-put = %d, want 200", rw.Code)
+	}
+
+	// One corrupted hint digit: typed rejection, nothing stored, no ack.
+	bad := corruptLastDigit(t, lratBytes)
+	rej := newTestDaemon(t, Options{Workers: 1})
+	hj := rej.Handler(false)
+	rw := put(hj, id, fs, string(verdictJSON), string(bad))
+	if rw.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupted replica put = %d %s, want 422", rw.Code, rw.Body.String())
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rw.Body.Bytes(), &er); err != nil || er.Status != StatusReplicaRejected {
+		t.Fatalf("corrupted replica error = %+v, want status %s", er, StatusReplicaRejected)
+	}
+	if _, err := rej.opt.Store.Job(id); err != ErrUnknownJob {
+		t.Fatalf("corrupted replica left a record: Job err = %v, want ErrUnknownJob", err)
+	}
+
+	// Only verified verdicts travel; anything else is recomputed instead.
+	nv, _ := json.Marshal(&JobResult{Status: StatusTimeout, Code: exitcode.Timeout, Attempts: 1})
+	if rw := put(hj, id, fs, string(nv), string(lratBytes)); rw.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("non-verified replica put = %d, want 422", rw.Code)
+	}
+
+	// Hostile IDs are refused at the door.
+	if rw := put(hj, "..%2f..%2fowned", fs, string(verdictJSON), string(lratBytes)); rw.Code != http.StatusBadRequest {
+		t.Fatalf("hostile-id replica put = %d, want 400", rw.Code)
+	}
+
+	// A shard that owns the job natively refuses the overwrite.
+	if rw := put(hs, id, fs, string(verdictJSON), string(lratBytes)); rw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("native-job replica put = %d, want 503 refusal", rw.Code)
+	}
+}

@@ -20,6 +20,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/proof"
+	"repro/internal/retry"
 )
 
 // Options configures a Daemon. The zero value of most fields picks a
@@ -66,8 +68,16 @@ type Options struct {
 	// MaxUploadBytes bounds a whole upload body (default 256 MiB).
 	MaxUploadBytes int64
 
-	// RetryAfter is the hint returned with 429/503 responses (default 2s).
+	// RetryAfter is the base hint returned with 429/503 responses (default
+	// 2s). The served value is jittered upward by RetryJitter so a fleet
+	// of backpressured clients does not retry in lockstep.
 	RetryAfter time.Duration
+	// RetryJitter is the fraction of RetryAfter the hint is spread over:
+	// each response advertises a value uniform in
+	// [RetryAfter, RetryAfter*(1+RetryJitter)], rounded up to whole
+	// seconds. Default 0.5; negative disables jitter (deterministic hints,
+	// used by tests asserting exact headers).
+	RetryJitter float64
 
 	// Obs receives service metrics; nil disables instrumentation.
 	Obs *obs.Registry
@@ -96,6 +106,11 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = 2 * time.Second
+	}
+	if o.RetryJitter == 0 {
+		o.RetryJitter = 0.5
+	} else if o.RetryJitter < 0 {
+		o.RetryJitter = 0
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -127,6 +142,10 @@ type Daemon struct {
 	seq     uint64
 	started bool
 
+	// rnd drives Retry-After jitter; swapped for a deterministic source in
+	// tests that assert the hint bounds.
+	rnd func() float64
+
 	draining  chan struct{} // closed when Drain begins
 	drainOnce sync.Once
 }
@@ -142,6 +161,7 @@ func New(opt Options) (*Daemon, error) {
 		states:   make(map[string]State),
 		results:  make(map[string]*JobResult),
 		draining: make(chan struct{}),
+		rnd:      rand.Float64,
 	}
 	d.q = newQueue(opt.QueueCap, d.quotaFor)
 	d.ctx, d.cancel = context.WithCancel(context.Background())
@@ -234,6 +254,19 @@ func (d *Daemon) Draining() bool {
 // capacity and quota bounds, makes the job durable in the store, and only
 // then enqueues it. The returned Job is already visible to Status.
 func (d *Daemon) Submit(tenant string, f *cnf.Formula, tr *proof.Trace) (*Job, error) {
+	return d.SubmitID(tenant, "", f, tr)
+}
+
+// SubmitID is Submit with a caller-chosen job ID — the cluster router mints
+// IDs so it can consistent-hash them onto shards before any shard is
+// contacted. Admission with an ID the store already holds is idempotent:
+// the existing job is returned with ErrAlreadyAdmitted and nothing is
+// enqueued, which is what makes the router's retry loop safe (a re-POST
+// after a lost response cannot double-run a job). An empty id mints one.
+func (d *Daemon) SubmitID(tenant, id string, f *cnf.Formula, tr *proof.Trace) (*Job, error) {
+	if id != "" && !ValidJobID(id) {
+		return nil, fmt.Errorf("%w: malformed job id", ErrBadJobID)
+	}
 	if err := d.q.Admit(tenant); err != nil {
 		switch err {
 		case ErrQueueFull:
@@ -245,10 +278,18 @@ func (d *Daemon) Submit(tenant string, f *cnf.Formula, tr *proof.Trace) (*Job, e
 		}
 		return nil, err
 	}
-	id, err := newJobID()
-	if err != nil {
+	if id == "" {
+		var err error
+		if id, err = NewJobID(); err != nil {
+			d.q.Release(tenant)
+			return nil, err
+		}
+	} else if job, err := d.opt.Store.Job(id); err == nil {
+		// Idempotent re-admission: the job exists (admitted by a previous
+		// attempt, possibly already done); the reserved slot goes back.
 		d.q.Release(tenant)
-		return nil, err
+		d.opt.Obs.Counter("service.readmissions_deduped").Inc()
+		return job, ErrAlreadyAdmitted
 	}
 	d.mu.Lock()
 	d.seq++
@@ -332,6 +373,14 @@ func (d *Daemon) Ready() error {
 		return fmt.Errorf("%w (%d queued)", ErrQueueFull, d.q.Depth())
 	}
 	return nil
+}
+
+// retryAfterSeconds renders one jittered Retry-After hint: uniform in
+// [RetryAfter, RetryAfter*(1+RetryJitter)] whole seconds. Each call draws a
+// fresh value, so simultaneous rejections advertise different hints — the
+// anti-stampede property the bounds are tested for.
+func (d *Daemon) retryAfterSeconds() int {
+	return retry.JitterSeconds(d.opt.RetryAfter, d.opt.RetryJitter, d.rnd)
 }
 
 func (d *Daemon) setState(id string, st State) {

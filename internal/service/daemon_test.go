@@ -8,6 +8,7 @@ import (
 	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -293,8 +294,9 @@ func TestDaemonBackpressure(t *testing.T) {
 	if rw.Code != http.StatusTooManyRequests {
 		t.Fatalf("saturated submit = %d %s, want 429", rw.Code, rw.Body.String())
 	}
-	if got := rw.Header().Get("Retry-After"); got != "7" {
-		t.Fatalf("Retry-After = %q, want \"7\"", got)
+	// Retry-After is jittered upward from the configured base: [7, ceil(7*1.5)].
+	if got, err := strconv.Atoi(rw.Header().Get("Retry-After")); err != nil || got < 7 || got > 11 {
+		t.Fatalf("Retry-After = %q, want integer in [7, 11]", rw.Header().Get("Retry-After"))
 	}
 	// Saturation is visible on readiness, while liveness stays green.
 	if rw := doRequest(h, httptest.NewRequest("GET", "/readyz", nil)); rw.Code != http.StatusServiceUnavailable {

@@ -1,7 +1,7 @@
 package service
 
 import (
-	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -41,6 +41,12 @@ type errorResponse struct {
 // tenantHeader names the submitting tenant; absent means "default".
 const tenantHeader = "X-Dpv-Tenant"
 
+// JobIDHeader carries a caller-minted job ID on POST /v1/jobs — the cluster
+// router uses it so the ID (and therefore the owning shard, by consistent
+// hash) is fixed before the upload is forwarded. Values failing ValidJobID
+// are refused; re-submission of an existing ID is idempotent.
+const JobIDHeader = "X-Dpv-Job-Id"
+
 // Handler returns the daemon's HTTP API:
 //
 //	POST /v1/jobs              multipart upload (parts "formula", "proof") → 202
@@ -64,6 +70,7 @@ func (d *Daemon) Handler(enablePprof bool) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/core", d.handleCore)
 	mux.HandleFunc("GET /v1/jobs/{id}/lrat", d.handleLRAT)
 	mux.HandleFunc("POST /v1/jobs/{id}/recheck", d.handleRecheck)
+	mux.HandleFunc("PUT /v1/replicas/{id}", d.handleReplicaPut)
 	mux.Handle("/", d.opt.Obs.Mux(enablePprof, obs.Health{Live: d.Live, Ready: d.Ready}))
 	return d.recoverMiddleware(mux)
 }
@@ -106,15 +113,19 @@ func writeError(w http.ResponseWriter, code int, st Status, msg string) {
 // has not already decided to accept, so a hostile 10 GB upload dies at
 // MaxUploadBytes/parse limits, not in memory.
 func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	retryAfter := strconv.Itoa(int(d.opt.RetryAfter.Seconds()))
 	if d.Draining() {
-		w.Header().Set("Retry-After", retryAfter)
+		d.setRetryAfter(w)
 		writeError(w, http.StatusServiceUnavailable, StatusInternal, ErrDraining.Error())
 		return
 	}
 	tenant := r.Header.Get(tenantHeader)
 	if tenant == "" {
 		tenant = "default"
+	}
+	suppliedID := r.Header.Get(JobIDHeader)
+	if suppliedID != "" && !ValidJobID(suppliedID) {
+		writeError(w, http.StatusBadRequest, StatusBadInput, ErrBadJobID.Error())
+		return
 	}
 
 	mt, params, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
@@ -180,22 +191,39 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job, err := d.Submit(tenant, f, tr)
+	job, err := d.SubmitID(tenant, suppliedID, f, tr)
 	switch {
 	case err == nil:
 		w.Header().Set("Location", "/v1/jobs/"+job.ID)
 		writeJSON(w, http.StatusAccepted, submitResponse{ID: job.ID, State: StateQueued})
+	case errors.Is(err, ErrAlreadyAdmitted):
+		// Idempotent re-POST of a known ID (a router retrying after a lost
+		// response): answer 202 with the job's current state, enqueue
+		// nothing. The retry looks exactly like the original success.
+		st, _, serr := d.Status(job.ID)
+		if serr != nil {
+			st = StateQueued
+		}
+		w.Header().Set("Location", "/v1/jobs/"+job.ID)
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: job.ID, State: st})
+	case errors.Is(err, ErrBadJobID):
+		writeError(w, http.StatusBadRequest, StatusBadInput, err.Error())
 	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrTenantBusy):
-		w.Header().Set("Retry-After", retryAfter)
+		d.setRetryAfter(w)
 		writeError(w, http.StatusTooManyRequests, StatusInternal, err.Error())
 	case errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", retryAfter)
+		d.setRetryAfter(w)
 		writeError(w, http.StatusServiceUnavailable, StatusInternal, err.Error())
 	default:
 		// Store trouble (e.g. disk full during admission): retryable.
-		w.Header().Set("Retry-After", retryAfter)
+		d.setRetryAfter(w)
 		writeError(w, http.StatusServiceUnavailable, StatusInternal, err.Error())
 	}
+}
+
+// setRetryAfter stamps one freshly jittered Retry-After hint.
+func (d *Daemon) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(d.retryAfterSeconds()))
 }
 
 // writeUploadError classifies an admission parse failure: limit violations
@@ -258,7 +286,7 @@ func (d *Daemon) handleCore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, StatusBadInput, "core exists only for verified jobs")
 		return
 	}
-	f, _, err := d.opt.Store.Artifacts(id)
+	f, err := d.opt.Store.Formula(id)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, StatusInternal, err.Error())
 		return
@@ -328,32 +356,163 @@ func (d *Daemon) handleRecheck(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	lp, err := lrat.Read(bytes.NewReader(b))
-	if err != nil {
-		d.opt.Obs.Counter("service.rechecks_failed").Inc()
-		writeError(w, http.StatusInternalServerError, StatusInternal,
-			fmt.Sprintf("stored hinted proof is corrupt: %v", err))
-		return
-	}
-	f, _, err := d.opt.Store.Artifacts(id)
+	f, err := d.opt.Store.Formula(id)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, StatusInternal, err.Error())
 		return
 	}
-	cres, err := lrat.Check(f, lp, lrat.Options{Ctx: r.Context(), Obs: d.opt.Obs})
+	cres, err := lrat.Validate(f, b, lrat.Limits{}, lrat.Options{Ctx: r.Context(), Obs: d.opt.Obs})
+	var ve *lrat.ValidationError
+	if errors.As(err, &ve) {
+		d.opt.Obs.Counter("service.rechecks_failed").Inc()
+		writeError(w, http.StatusInternalServerError, StatusInternal,
+			fmt.Sprintf("stored hinted proof failed re-verification: %v", ve))
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, StatusInternal,
 			fmt.Sprintf("recheck interrupted: %v", err))
-		return
-	}
-	if !cres.OK {
-		d.opt.Obs.Counter("service.rechecks_failed").Inc()
-		writeError(w, http.StatusInternalServerError, StatusInternal,
-			fmt.Sprintf("stored hinted proof failed re-verification at step %d: %s", cres.FailedStep, cres.Reason))
 		return
 	}
 	d.opt.Obs.Counter("service.rechecks").Inc()
 	w.Header().Set("X-Dpv-Recheck", "lrat")
 	w.Header().Set("X-Dpv-Recheck-Hints", strconv.FormatInt(cres.HintsScanned, 10))
 	d.writeStatusResponse(w, id, StateDone, jr)
+}
+
+// replicaResponse acknowledges an accepted replica.
+type replicaResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // always "replicated"
+	Steps int    `json:"validated_steps"`
+}
+
+// handleReplicaPut accepts a verdict copy from a replicating router:
+// multipart parts "formula" (DIMACS), "verdict" (JobResult JSON) and "lrat"
+// (the hinted proof). The verdict is NOT trusted: before anything is stored
+// or acked, the hinted proof is re-verified against the formula with the
+// propagation-free checker (lrat.Validate). A proof that fails — one
+// flipped hint byte is enough — is rejected with a typed 422 replica_rejected
+// error and leaves no trace in the store; the wire can corrupt a copy, but
+// never launder it into a served verdict. Acceptance is idempotent: the
+// same ID may be re-PUT (a retrying router), and the copy is atomically
+// replaced.
+func (d *Daemon) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !ValidJobID(id) {
+		writeError(w, http.StatusBadRequest, StatusBadInput, ErrBadJobID.Error())
+		return
+	}
+	if d.Draining() {
+		d.setRetryAfter(w)
+		writeError(w, http.StatusServiceUnavailable, StatusInternal, ErrDraining.Error())
+		return
+	}
+	tenant := r.Header.Get(tenantHeader)
+	if tenant == "" {
+		tenant = "default"
+	}
+
+	mt, params, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil || mt != "multipart/form-data" {
+		writeError(w, http.StatusBadRequest, StatusBadInput,
+			"content type must be multipart/form-data with parts \"formula\", \"verdict\" and \"lrat\"")
+		return
+	}
+	boundary := params["boundary"]
+	if boundary == "" {
+		writeError(w, http.StatusBadRequest, StatusBadInput, "multipart boundary missing")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, d.opt.MaxUploadBytes)
+	mr := multipart.NewReader(r.Body, boundary)
+
+	var f *cnf.Formula
+	var verdictJSON, lratBytes []byte
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			d.writeUploadError(w, fmt.Errorf("multipart body: %w", err))
+			return
+		}
+		switch part.FormName() {
+		case "formula":
+			if f != nil {
+				writeError(w, http.StatusBadRequest, StatusBadInput, "duplicate \"formula\" part")
+				return
+			}
+			f, err = cnf.ParseDimacsLimited(part, d.opt.FormulaLimits)
+		case "verdict":
+			if verdictJSON != nil {
+				writeError(w, http.StatusBadRequest, StatusBadInput, "duplicate \"verdict\" part")
+				return
+			}
+			verdictJSON, err = io.ReadAll(io.LimitReader(part, 1<<20))
+		case "lrat":
+			if lratBytes != nil {
+				writeError(w, http.StatusBadRequest, StatusBadInput, "duplicate \"lrat\" part")
+				return
+			}
+			lratBytes, err = io.ReadAll(part)
+		default:
+			writeError(w, http.StatusBadRequest, StatusBadInput,
+				fmt.Sprintf("unknown part %q (want \"formula\", \"verdict\", \"lrat\")", part.FormName()))
+			return
+		}
+		if err != nil {
+			d.writeUploadError(w, err)
+			return
+		}
+	}
+	if f == nil || verdictJSON == nil || len(lratBytes) == 0 {
+		writeError(w, http.StatusBadRequest, StatusBadInput,
+			"replica needs \"formula\", \"verdict\" and \"lrat\" parts")
+		return
+	}
+	var jr JobResult
+	if err := json.Unmarshal(verdictJSON, &jr); err != nil {
+		writeError(w, http.StatusBadRequest, StatusBadInput, fmt.Sprintf("verdict part: %v", err))
+		return
+	}
+	if jr.Status != StatusVerified || jr.Code != exitcode.OK || jr.Verdict == nil {
+		// Only verified verdicts carry hints that make them re-checkable;
+		// anything else is recomputed, not replicated.
+		writeError(w, http.StatusUnprocessableEntity, StatusReplicaRejected,
+			"only verified verdicts are replicated")
+		return
+	}
+
+	// The integrity gate: re-derive the refutation from the formula and the
+	// hinted proof before acking anything.
+	cres, err := lrat.Validate(f, lratBytes, lrat.Limits{}, lrat.Options{Ctx: r.Context(), Obs: d.opt.Obs})
+	var ve *lrat.ValidationError
+	if errors.As(err, &ve) {
+		d.opt.Obs.Counter("service.replicas_rejected").Inc()
+		d.opt.Logf("service: replica %s rejected: %v", id, ve)
+		writeError(w, http.StatusUnprocessableEntity, StatusReplicaRejected, ve.Error())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, StatusInternal,
+			fmt.Sprintf("replica validation interrupted: %v", err))
+		return
+	}
+
+	job := &Job{
+		ID:         id,
+		Tenant:     tenant,
+		Replica:    true,
+		NumVars:    f.NumVars,
+		NumClauses: f.NumClauses(),
+	}
+	if err := d.opt.Store.PutReplica(job, f, &jr, lratBytes); err != nil {
+		d.setRetryAfter(w)
+		writeError(w, http.StatusServiceUnavailable, StatusInternal, err.Error())
+		return
+	}
+	d.opt.Obs.Counter("service.replicas_accepted").Inc()
+	writeJSON(w, http.StatusOK, replicaResponse{ID: id, State: "replicated", Steps: cres.Additions})
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 )
 
 // State is a job's position in its lifecycle. The state machine is strictly
@@ -39,6 +40,11 @@ type Job struct {
 	NumVars      int `json:"num_vars"`
 	NumClauses   int `json:"num_clauses"`
 	ProofClauses int `json:"proof_clauses"`
+	// Replica marks a verdict copy accepted through the replication
+	// endpoint rather than a job this node admitted and verified itself.
+	// Replica records are never run: Recover/Incomplete skip them, and a
+	// half-written one (no result yet) is debris, not recoverable work.
+	Replica bool `json:"replica,omitempty"`
 }
 
 // JobResult is a job's terminal outcome. Exactly one is ever recorded per
@@ -70,15 +76,42 @@ func (r *JobResult) Terminal() bool {
 		r.Status == StatusBadInput
 }
 
-// newJobID returns a 16-byte random hex handle. IDs double as store
+// NewJobID returns a 16-byte random hex handle. IDs double as store
 // directory names, so they must stay in [0-9a-f] — validated again by
-// DiskStore against path traversal.
-func newJobID() (string, error) {
+// DiskStore against path traversal. Exported because the cluster router
+// mints IDs itself: routing is by consistent hash of the ID, so the ID
+// must exist before a shard is chosen.
+func NewJobID() (string, error) {
 	var b [16]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		return "", fmt.Errorf("service: job id: %w", err)
 	}
 	return hex.EncodeToString(b[:]), nil
+}
+
+// ValidJobID reports whether id is a well-formed job handle: exactly 32
+// lowercase-hex characters. IDs become store directory names and URL path
+// segments, so anything else is refused — in particular path separators and
+// their URL-encoded spellings (%2f, %5c, any case), which are rejected
+// explicitly before the character-class check. The encoded forms could
+// never pass the hex check anyway; rejecting them by name is defense in
+// depth for IDs that arrive via headers or proxies, where no URL decoding
+// has happened yet and a later decode would re-introduce the separator.
+func ValidJobID(id string) bool {
+	lower := strings.ToLower(id)
+	if strings.Contains(lower, "%2f") || strings.Contains(lower, "%5c") {
+		return false
+	}
+	if len(id) != 32 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // encodeJSON marshals v with a stable, newline-terminated encoding — the

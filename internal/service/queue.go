@@ -20,6 +20,12 @@ var (
 	ErrDraining = errors.New("service: daemon is draining")
 	// ErrUnknownJob: no job with that ID exists.
 	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrAlreadyAdmitted: a SubmitID with an ID the store already holds.
+	// Not a failure — the existing job rides along — but distinguished so
+	// the HTTP layer can answer with the job's current state.
+	ErrAlreadyAdmitted = errors.New("service: job already admitted")
+	// ErrBadJobID: a caller-supplied job ID failed ValidJobID.
+	ErrBadJobID = errors.New("service: invalid job id")
 )
 
 // TenantQuota bounds one tenant's share of the daemon. Zero fields inherit

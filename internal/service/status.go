@@ -30,6 +30,11 @@ const (
 	// StatusInternal: a defect in the verifier itself — a worker panic that
 	// survived the fallback retry, or a failed artifact write.
 	StatusInternal Status = "internal_error"
+	// StatusReplicaRejected: an incoming verdict copy (PUT /v1/replicas/{id})
+	// whose hinted proof failed re-verification on this node. The copy was
+	// not stored and not acked — the replicating router must treat the
+	// transfer as failed.
+	StatusReplicaRejected Status = "replica_rejected"
 )
 
 // ExitCode returns the dpv exit code this status maps to.
@@ -37,7 +42,7 @@ func (s Status) ExitCode() int {
 	switch s {
 	case StatusVerified:
 		return exitcode.OK
-	case StatusRejected:
+	case StatusRejected, StatusReplicaRejected:
 		return exitcode.VerifyFailed
 	case StatusBadInput:
 		return exitcode.BadInput

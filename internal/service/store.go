@@ -1,6 +1,7 @@
 package service
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -28,7 +29,12 @@ type Store interface {
 	// Job returns the admission record, or ErrUnknownJob.
 	Job(id string) (*Job, error)
 	// Artifacts returns the job's formula and trace for verification.
+	// Replica records have no trace and return ErrUnknownJob here.
 	Artifacts(id string) (*cnf.Formula, *proof.Trace, error)
+	// Formula returns just the job's formula. Unlike Artifacts it works
+	// for replica records too — the LRAT recheck path needs the formula
+	// but never the DRUP trace.
+	Formula(id string) (*cnf.Formula, error)
 	// SetResult records the job's terminal result.
 	SetResult(id string, jr *JobResult) error
 	// Result returns the recorded result, (nil, nil) when none yet, or
@@ -41,7 +47,17 @@ type Store interface {
 	// LRAT returns the stored hinted proof, (nil, nil) when none was
 	// recorded, or ErrUnknownJob for an unknown id.
 	LRAT(id string) ([]byte, error)
-	// Incomplete lists created-but-unfinished jobs in Seq order.
+	// PutReplica is the replication hook: it records a verdict computed
+	// elsewhere — the job record (Replica set), the formula, the verdict
+	// and its hinted proof — atomically enough that after a crash the
+	// replica either exists complete or not at all. The caller has already
+	// validated the verdict against the hints (lrat.Validate); the store
+	// only persists.
+	PutReplica(job *Job, f *cnf.Formula, jr *JobResult, lrat []byte) error
+	// Incomplete lists created-but-unfinished jobs in Seq order. Replica
+	// records are never included: they are not runnable work (shard-aware
+	// recovery — a restarted shard re-runs its own jobs, not copies of
+	// other shards' verdicts).
 	Incomplete() ([]*Job, error)
 	// MaxSeq returns the largest admission sequence number ever created, so
 	// a restarted daemon continues the sequence instead of reusing it.
@@ -99,10 +115,32 @@ func (s *MemStore) Artifacts(id string) (*cnf.Formula, *proof.Trace, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	mj, ok := s.jobs[id]
-	if !ok {
+	if !ok || mj.tr == nil { // replica records carry no trace
 		return nil, nil, ErrUnknownJob
 	}
 	return mj.f, mj.tr, nil
+}
+
+func (s *MemStore) Formula(id string) (*cnf.Formula, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mj, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return mj.f, nil
+}
+
+func (s *MemStore) PutReplica(job *Job, f *cnf.Formula, jr *JobResult, lrat []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.jobs[job.ID]; ok && !existing.job.Replica {
+		return fmt.Errorf("service: job %s exists locally; refusing replica overwrite", job.ID)
+	}
+	s.jobs[job.ID] = &memJob{job: job, f: f}
+	s.results[job.ID] = jr
+	s.lrats[job.ID] = append([]byte(nil), lrat...)
+	return nil
 }
 
 func (s *MemStore) SetResult(id string, jr *JobResult) error {
@@ -148,6 +186,9 @@ func (s *MemStore) Incomplete() ([]*Job, error) {
 	defer s.mu.RUnlock()
 	var out []*Job
 	for id, mj := range s.jobs {
+		if mj.job.Replica {
+			continue
+		}
 		if _, done := s.results[id]; !done {
 			out = append(out, mj.job)
 		}

@@ -48,24 +48,17 @@ func (s *DiskStore) jobsDir() string      { return filepath.Join(s.root, "jobs")
 func (s *DiskStore) dir(id string) string { return filepath.Join(s.jobsDir(), id) }
 
 // validID guards the "job ID as directory name" mapping: IDs are lowercase
-// hex from newJobID, and anything else — especially path separators or dots
-// — is refused before touching the filesystem.
-func validID(id string) bool {
-	if len(id) != 32 {
-		return false
-	}
-	for i := 0; i < len(id); i++ {
-		c := id[i]
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return false
-		}
-	}
-	return true
-}
+// hex from NewJobID, and anything else — path separators, dots, and their
+// URL-encoded spellings — is refused before touching the filesystem (see
+// ValidJobID for the full hostile-ID policy).
+func validID(id string) bool { return ValidJobID(id) }
 
 // sweep removes job directories without a job.json — the leftovers of a
 // Create interrupted before its commit point. The client never saw a 202
-// for these, so deleting them loses nothing.
+// for these, so deleting them loses nothing. Replica records interrupted
+// before their result.json commit point are debris of the same class: the
+// replicating router never got an ack, so it will re-replicate; a partial
+// copy must not linger looking like a job.
 func (s *DiskStore) sweep() error {
 	ents, err := os.ReadDir(s.jobsDir())
 	if err != nil {
@@ -76,6 +69,16 @@ func (s *DiskStore) sweep() error {
 			continue
 		}
 		if _, err := os.Stat(filepath.Join(s.dir(e.Name()), "job.json")); os.IsNotExist(err) {
+			if rerr := os.RemoveAll(s.dir(e.Name())); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		job, err := s.Job(e.Name())
+		if err != nil || !job.Replica {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.dir(e.Name()), "result.json")); os.IsNotExist(err) {
 			if rerr := os.RemoveAll(s.dir(e.Name())); rerr != nil {
 				return rerr
 			}
@@ -142,25 +145,36 @@ func (s *DiskStore) Job(id string) (*Job, error) {
 	return &job, nil
 }
 
-func (s *DiskStore) Artifacts(id string) (*cnf.Formula, *proof.Trace, error) {
+func (s *DiskStore) Formula(id string) (*cnf.Formula, error) {
 	if !validID(id) {
-		return nil, nil, ErrUnknownJob
+		return nil, ErrUnknownJob
 	}
 	fin, err := os.Open(filepath.Join(s.dir(id), "formula.cnf"))
 	if os.IsNotExist(err) {
-		return nil, nil, ErrUnknownJob
+		return nil, ErrUnknownJob
 	}
+	if err != nil {
+		return nil, err
+	}
+	defer fin.Close()
+	// The artifact was admitted through the limited parsers (or validated
+	// on replication) and written by our own encoder; trusted here.
+	f, err := cnf.ParseDimacs(fin)
+	if err != nil {
+		return nil, fmt.Errorf("service: corrupt formula artifact %s: %w", id, err)
+	}
+	return f, nil
+}
+
+func (s *DiskStore) Artifacts(id string) (*cnf.Formula, *proof.Trace, error) {
+	f, err := s.Formula(id)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer fin.Close()
-	// The artifacts were admitted through the limited parsers and written
-	// by our own encoders; they are trusted here, so default limits apply.
-	f, err := cnf.ParseDimacs(fin)
-	if err != nil {
-		return nil, nil, fmt.Errorf("service: corrupt formula artifact %s: %w", id, err)
-	}
 	pin, err := os.Open(filepath.Join(s.dir(id), "proof.trace"))
+	if os.IsNotExist(err) {
+		return nil, nil, ErrUnknownJob // replica records carry no trace
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -216,6 +230,72 @@ func (s *DiskStore) LRAT(id string) ([]byte, error) {
 	return b, err
 }
 
+// PutReplica persists a verdict copy: formula + hinted proof + job record
+// (Replica set) first, result.json last — the same commit-point discipline
+// as Create/SetResult, so a torn replica (crash mid-write) is observable as
+// "job.json marked replica, no result.json" and swept at the next open.
+func (s *DiskStore) PutReplica(job *Job, f *cnf.Formula, jr *JobResult, lrat []byte) error {
+	if !validID(job.ID) {
+		return fmt.Errorf("service: invalid job id %q", job.ID)
+	}
+	if existing, err := s.Job(job.ID); err == nil && !existing.Replica {
+		// This node owns the job natively; a replica copy must never
+		// clobber the primary record (re-replicating onto an existing
+		// replica, by contrast, is an idempotent overwrite).
+		return fmt.Errorf("service: job %s exists locally; refusing replica overwrite", job.ID)
+	}
+	dir := s.dir(job.ID)
+	fresh := false
+	if _, err := os.Stat(filepath.Join(dir, "job.json")); os.IsNotExist(err) {
+		fresh = true
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	commit := func() error {
+		err := atomicio.WriteFile(filepath.Join(dir, "formula.cnf"), func(w io.Writer) error {
+			return cnf.WriteDimacs(w, f)
+		})
+		if err != nil {
+			return err
+		}
+		err = atomicio.WriteFile(filepath.Join(dir, "proof.lrat"), func(w io.Writer) error {
+			_, err := w.Write(lrat)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		err = atomicio.WriteFile(filepath.Join(dir, "job.json"), func(w io.Writer) error {
+			b, err := encodeJSON(job)
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(b)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		// result.json last: its appearance is what makes the replica exist.
+		return atomicio.WriteFile(filepath.Join(dir, "result.json"), func(w io.Writer) error {
+			b, err := encodeJSON(jr)
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(b)
+			return err
+		})
+	}
+	if err := commit(); err != nil {
+		if fresh {
+			os.RemoveAll(dir)
+		}
+		return err
+	}
+	return nil
+}
+
 func (s *DiskStore) Result(id string) (*JobResult, error) {
 	if !validID(id) {
 		return nil, ErrUnknownJob
@@ -256,6 +336,11 @@ func (s *DiskStore) Incomplete() ([]*Job, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		if job.Replica {
+			// A replica copy without its result commit is re-replication
+			// debris, never runnable work (this shard has no trace for it).
+			continue
 		}
 		out = append(out, job)
 	}
