@@ -7,7 +7,7 @@ GO ?= go
 # mutator beyond the seed corpus, short enough for a pre-merge gate.
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race check bench bench-smoke bench-gate trace-smoke fuzz-smoke crash-smoke daemon-smoke lrat-smoke cluster-smoke clean
+.PHONY: all build vet test race check bench bench-smoke bench-gate trace-smoke fuzz-smoke crash-smoke daemon-smoke lrat-smoke cluster-smoke par-smoke clean
 
 # Scratch dir for gate artifacts that must not clobber committed baselines.
 SCRATCH ?= .scratch
@@ -80,6 +80,17 @@ cluster-smoke:
 	$(GO) test -run '^TestClusterKillShard$$' -count=1 -v .
 	$(GO) test -count=1 ./internal/cluster/ ./internal/retry/
 
+# par-smoke is the dependency-aware scheduling gate: the work-stealing
+# scheduler's unit suite under the race detector, the DAG-vs-chunk-vs-
+# sequential differential and resume-determinism matrices, and the CLI
+# round trip (dpv/lratcheck -sched dag against -sched chunk and a
+# sequential run, byte-compared).
+par-smoke:
+	$(GO) test -race -count=1 ./internal/sched/
+	$(GO) test -race -run '^TestVerifyDAG|^TestDAGCheckpoint|^TestResolveWorkersDAG$$' -count=1 ./internal/core/
+	$(GO) test -race -run '^TestCheckDAG|^TestReplayer|^TestBuildDAG' -count=1 ./internal/lrat/
+	$(GO) test -run '^TestParSmoke$$' -count=1 -v .
+
 # bench-smoke replays small pigeonhole/random proofs through every BCP
 # engine (propagations/sec, watcher-visits per check, and the
 # incremental-vs-scratch ratios). Quick suite, written to scratch — the
@@ -101,6 +112,8 @@ bench-gate:
 	$(GO) run ./cmd/benchdiff -tol 0.15 BENCH_bcp.json $(SCRATCH)/BENCH_fresh.json
 	$(GO) run ./cmd/bcpbench -lrat -quick -iters 3 -out $(SCRATCH)/BENCH_lrat_fresh.json
 	$(GO) run ./cmd/benchdiff -lrat -tol 0.15 BENCH_lrat.json $(SCRATCH)/BENCH_lrat_fresh.json
+	$(GO) run ./cmd/parbench -quick -iters 3 -o $(SCRATCH)/BENCH_par_fresh.json
+	$(GO) run ./cmd/benchdiff -par -tol 0.15 BENCH_par.json $(SCRATCH)/BENCH_par_fresh.json
 
 # trace-smoke emits a flight recording from a real verification, parses it
 # back and validates the span tree (see trace_roundtrip_test.go), then
@@ -118,10 +131,11 @@ trace-smoke:
 # race detector, a short fuzz pass over the untrusted-input parsers and the
 # admission gates (daemon and router), the kill-and-recover crash loops
 # (CLI, daemon, and cluster kill-a-shard), the hinted-proof (LRAT) gate,
-# the trace roundtrip + overhead smoke, and the benchmark perf-regression
-# gate (BCP engines and hinted re-check throughput). Run it before every
+# the dependency-aware scheduling gate, the trace roundtrip + overhead
+# smoke, and the benchmark perf-regression gate (BCP engines, hinted
+# re-check throughput, and the chunk-vs-DAG schedule). Run it before every
 # merge; CI and reviewers assume it is green.
-check: vet build race fuzz-smoke crash-smoke daemon-smoke lrat-smoke cluster-smoke trace-smoke bench-gate
+check: vet build race fuzz-smoke crash-smoke daemon-smoke lrat-smoke cluster-smoke par-smoke trace-smoke bench-gate
 
 # bench compiles and smoke-runs every benchmark once (not a measurement run).
 bench:

@@ -6,6 +6,7 @@
 //
 //	benchdiff [-tol 0.15] baseline.json fresh.json
 //	benchdiff -lrat [-tol 0.15] BENCH_lrat.json fresh.json
+//	benchdiff -par [-tol 0.15] BENCH_par.json fresh.json
 //
 // Deterministic per-check work (watcher visits/check, occurrence
 // touches/check) is gated per instance and engine at -tol; wall-clock
@@ -19,6 +20,11 @@
 // output): hints scanned and addition steps are gated per instance, hinted
 // check throughput (hints/sec) on the suite aggregate under the same
 // noise-floor rules.
+//
+// With -par the inputs are parallel-schedule benchmark reports (parbench
+// output): the hint DAG's shape (tasks, edges, costs, depth) is gated per
+// instance, the chunk/DAG speedup and scheduled replay throughput on the
+// suite aggregate under the same noise-floor rules.
 //
 // Exit status: 0 gate passed, 1 regressions found, 2 usage or input errors.
 package main
@@ -39,18 +45,35 @@ func main() {
 func run() int {
 	tol := flag.Float64("tol", 0.15, "fractional regression tolerance (0.15 = 15%)")
 	lratMode := flag.Bool("lrat", false, "diff hinted-proof benchmark reports (bcpbench -lrat output)")
+	parMode := flag.Bool("par", false, "diff parallel-schedule benchmark reports (parbench output)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-lrat] [-tol 0.15] baseline.json fresh.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-lrat|-par] [-tol 0.15] baseline.json fresh.json")
 		return 2
 	}
 	if *tol <= 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: -tol must be positive")
 		return 2
 	}
+	if *lratMode && *parMode {
+		fmt.Fprintln(os.Stderr, "benchdiff: -lrat and -par are mutually exclusive")
+		return 2
+	}
 	var regs []bench.Regression
 	var compared int
-	if *lratMode {
+	if *parMode {
+		base, err := readParReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			return 2
+		}
+		fresh, err := readParReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			return 2
+		}
+		regs, compared = bench.DiffPar(base, fresh, *tol)
+	} else if *lratMode {
 		base, err := readLRATReport(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
@@ -97,6 +120,21 @@ func readReport(path string) (*bench.BCPReport, error) {
 		return nil, err
 	}
 	rep := &bench.BCPReport{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Instances) == 0 {
+		return nil, fmt.Errorf("%s: report holds no instances", path)
+	}
+	return rep, nil
+}
+
+func readParReport(path string) (*bench.ParReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &bench.ParReport{}
 	if err := json.Unmarshal(data, rep); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

@@ -12,12 +12,19 @@
 //
 //	-all            check every proof clause (Proof_verification1)
 //	-engine NAME    watched | counting BCP engine (default watched)
-//	-par N          fan the check over N workers (0 = sequential; parallel
-//	                mode always checks every clause and extracts no core)
+//	-par N          fan the check over N workers (0 = sequential)
+//	-sched NAME     parallel schedule with -par: "chunk" slices the trace
+//	                into fixed per-worker ranges (always checks every
+//	                clause, extracts no core); "dag" runs the sequential
+//	                checker once to record LRAT hints, then revalidates
+//	                every recorded step in parallel over the hint
+//	                dependency DAG — honoring the default marked mode and
+//	                supporting -core/-trim/-emit-lrat (default chunk)
 //	-core FILE      write the unsatisfiable core as DIMACS
 //	-trim FILE      write the trimmed proof (used clauses only)
 //	-emit-lrat FILE write an LRAT hinted proof of the verification
-//	                (sequential only; lratcheck re-validates it without BCP)
+//	                (sequential or -sched dag; lratcheck re-validates it
+//	                without BCP)
 //	-lrat-binary    write -emit-lrat output in the compact binary format
 //	-timeout D      give up after this long (e.g. 30s, 5m; 0 = unlimited)
 //	-max-props N    give up after N unit propagations (0 = unlimited)
@@ -73,6 +80,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/proof"
+	"repro/internal/sched"
 	"repro/internal/service"
 )
 
@@ -83,7 +91,8 @@ func main() {
 func run() int {
 	all := flag.Bool("all", false, "check every clause (Proof_verification1)")
 	engine := flag.String("engine", "watched", "BCP engine: watched | counting | watched-scratch")
-	par := flag.Int("par", 0, "parallel workers (0 = sequential; implies -all, no core)")
+	par := flag.Int("par", 0, "parallel workers (0 = sequential)")
+	schedName := flag.String("sched", "chunk", "parallel schedule with -par: chunk | dag")
 	corePath := flag.String("core", "", "write the unsatisfiable core (DIMACS) to this file")
 	trimPath := flag.String("trim", "", "write the trimmed proof to this file")
 	lratPath := flag.String("emit-lrat", "", "write an LRAT hinted proof to this file")
@@ -110,12 +119,18 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "usage: dpv [flags] formula.cnf proof.trace")
 		return exitcode.Usage
 	}
-	if *par != 0 && (*corePath != "" || *trimPath != "") {
-		fmt.Fprintln(os.Stderr, "dpv: -par checks every clause without marking; -core/-trim need the sequential checker")
+	strategy, serr := sched.ParseStrategy(*schedName)
+	if serr != nil {
+		fmt.Fprintln(os.Stderr, "dpv:", serr)
 		return exitcode.Usage
 	}
-	if *par != 0 && *lratPath != "" {
-		fmt.Fprintln(os.Stderr, "dpv: -emit-lrat records one engine's propagation order; it needs the sequential checker")
+	dagSched := *par != 0 && strategy == sched.StrategyDAG
+	if *par != 0 && !dagSched && (*corePath != "" || *trimPath != "") {
+		fmt.Fprintln(os.Stderr, "dpv: chunked -par checks every clause without marking; -core/-trim need the sequential checker or -sched dag")
+		return exitcode.Usage
+	}
+	if *par != 0 && !dagSched && *lratPath != "" {
+		fmt.Fprintln(os.Stderr, "dpv: -emit-lrat records one engine's propagation order; it needs the sequential checker or -sched dag")
 		return exitcode.Usage
 	}
 	if *lratBinary && *lratPath == "" {
@@ -210,6 +225,7 @@ func run() int {
 	if *all {
 		opt.Mode = core.ModeCheckAll
 	}
+	opt.Sched = strategy
 	switch *engine {
 	case "watched":
 		opt.Engine = core.EngineWatched
@@ -242,7 +258,12 @@ func run() int {
 			FormulaFP: journal.FingerprintFormula(f),
 			ProofFP:   journal.FingerprintTrace(tr),
 		}
-		if *par != 0 {
+		if dagSched {
+			// DAG parallelism does not shape durable state (the watermark is
+			// worker-independent), so Workers stays 0 and any -par resumes
+			// the journal; the actual mode is honored and recorded.
+			meta.Kind = journal.KindVerifyDAG
+		} else if *par != 0 {
 			meta.Kind = journal.KindVerifyParallel
 			meta.Mode = uint8(core.ModeCheckAll)
 			meta.Workers = uint32(core.ResolveWorkers(tr.Len(), *par))
@@ -254,7 +275,16 @@ func run() int {
 			if jerr == nil {
 				cp, derr := core.DecodeCheckpoint(payload)
 				if derr == nil {
-					derr = cp.ValidateFor(f.NumClauses(), tr.Len(), int(meta.Workers))
+					if cp.DAG {
+						// A phase-2 record of a DAG run (journal kinds already
+						// matched, so this run is DAG-scheduled too).
+						derr = cp.ValidateForDAG(f.NumClauses(), tr.Len())
+					} else if dagSched {
+						// A DAG run killed during its sequential emit phase.
+						derr = cp.ValidateFor(f.NumClauses(), tr.Len(), 0)
+					} else {
+						derr = cp.ValidateFor(f.NumClauses(), tr.Len(), int(meta.Workers))
+					}
 				}
 				if derr == nil && hints != nil && cp.Hints == nil {
 					// The steps recorded before the crash live only in the

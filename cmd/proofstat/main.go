@@ -198,6 +198,19 @@ func lratStats(p *lrat.Proof) string {
 	trimmed := totalLits + int64(additions)
 	fmt.Fprintf(&b, "hinted/trimmed size: %d/%d tokens = %.2fx\n",
 		hinted, trimmed, float64(hinted)/float64(trimmed))
+
+	// The clause-dependency DAG the work-stealing scheduler would run over
+	// (internal/sched): depth bounds the number of sequential rounds, max
+	// width bounds useful workers, and total/critical cost is the Brent
+	// upper bound on achievable speedup.
+	ds := lrat.BuildDAG(p).Stats()
+	fmt.Fprintf(&b, "hint DAG: %d tasks, %d edges, %d roots\n", ds.Tasks, ds.Edges, ds.Roots)
+	fmt.Fprintf(&b, "  depth %d, max width %d, %.1f mean out-degree\n",
+		ds.Depth, ds.MaxWidth, ds.AvgOut)
+	if ds.CritCost > 0 {
+		fmt.Fprintf(&b, "  critical path %d of %d hint cost = %.1fx parallelism bound\n",
+			ds.CritCost, ds.TotalCost, float64(ds.TotalCost)/float64(ds.CritCost))
+	}
 	return b.String()
 }
 

@@ -19,8 +19,8 @@ import (
 // -resume until they finish. The crash-safety contract is that the final
 // verdict, exit code, stdout report, and every artifact written are
 // byte-identical to an uninterrupted checkpointed run, for every verifier
-// configuration: pv1/pv2 × watched/counting × sequential/parallel, plus the
-// DRAT backward checker.
+// configuration: pv1/pv2 × watched/counting × sequential/chunked/DAG-
+// scheduled parallel, plus the DRAT backward checker.
 
 // mkcl builds a clause from DIMACS literals.
 func mkcl(lits ...int) cnf.Clause {
@@ -139,6 +139,11 @@ func TestCrashRecoverMatrix(t *testing.T) {
 			config{"pv2-" + eng, []string{"-engine", eng}, true},
 			config{"pv1-" + eng, []string{"-all", "-engine", eng}, true},
 			config{"par-" + eng, []string{"-par", "3", "-engine", eng}, false},
+			// The DAG schedule honors marking and records hints, so unlike
+			// the chunked config it compares core and LRAT artifacts too. A
+			// crash can land in either phase: sequential-emit records and
+			// watermark records both occur at n/8.
+			config{"dag-" + eng, []string{"-par", "3", "-sched", "dag", "-engine", eng}, true},
 		)
 	}
 

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/cnf"
+	"repro/internal/lrat"
+	"repro/internal/proof"
+	"repro/internal/sched"
+)
+
+// DAG-scheduled parallel verification (opt.Sched == sched.StrategyDAG): the
+// emit-then-schedule pipeline.
+//
+// The fixed-chunk parallel mode buys wall-clock with brute force — every
+// worker builds its own clause database and every clause of the trace is
+// checked, marked or not. The DAG mode splits the run into two phases
+// instead:
+//
+//  1. Emit. The sequential checker runs once with an LRAT hint recorder
+//     attached. It honors opt.Mode — under ModeCheckMarked the recorded
+//     steps ARE the marking walk, so the schedule below is seeded from the
+//     marked set, not the whole trace — and produces the verdict, the core
+//     and the trimmed-proof marking exactly as a plain sequential run would.
+//  2. Schedule. The recorded steps form the clause-dependency DAG (an edge
+//     from each addition to every later step that cites it). The
+//     work-stealing scheduler revalidates every step by propagation-free
+//     hinted replay on per-worker scratchpads. Replay cost is linear in the
+//     hint list — no clause database per worker, no BCP.
+//
+// A phase-2 failure is not a verdict: phase 1 proved the proof correct and
+// emitted the very hints being replayed, so a failed replay means memory
+// corruption or a defect, and surfaces as an error (like a worker panic),
+// never as Result.OK == false.
+//
+// Crash recovery spans both phases with one journal. Phase 1 appends the
+// sequential hinted records (checkpoint version 2); phase 2 appends DAG
+// records (version 3) carrying the finished phase-1 outcome plus the
+// scheduler's drained-task watermark. Resume inspects the payload: a phase-1
+// record restarts the sequential emit, a phase-2 record reconstructs the
+// Result and recorder from the payload and reschedules from the watermark.
+// Because every phase-2 record carries the complete phase-1 outcome, the
+// final Result — and hence every output artifact — is byte-identical no
+// matter where the crash landed.
+
+// dagTaskHook, when non-nil, runs at the start of every DAG task attempt
+// (worker id, step index, 0-based attempt). Test-only: panic-isolation tests
+// use it to blow up inside a stolen task and check the attribution.
+var dagTaskHook func(worker, task, attempt int)
+
+// ResolveWorkersDAG maps a requested worker count to the effective one for
+// a DAG-scheduled run: non-positive selects GOMAXPROCS, and the count is
+// clamped to the DAG's maximum antilevel width — more workers than the
+// widest level can never run simultaneously. Unlike ResolveWorkers, the
+// result shapes no durable state: DAG journals resume under any count.
+func ResolveWorkersDAG(width, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if width < 1 {
+		width = 1
+	}
+	if workers > width {
+		workers = width
+	}
+	return workers
+}
+
+// resultFromDAGCheckpoint reconstructs the finished phase-1 Result a
+// version-3 record carries, re-seeding the obs counters the way sequential
+// resume does so a resumed run's snapshot matches an uninterrupted one.
+func resultFromDAGCheckpoint(cp *Checkpoint, term proof.Termination, nf, m int, opt *Options) *Result {
+	res := &Result{
+		OK: true, FailedIndex: -1, StoppedAt: -1, Termination: term,
+		ProofClauses: m, Tested: cp.Tested, Skipped: cp.Skipped,
+		Tautologies: cp.Tautologies, Propagations: cp.Stats.Propagations,
+		EngineStats: cp.Stats,
+	}
+	for i := 0; i < nf; i++ {
+		if cp.Marked[i] {
+			res.Core = append(res.Core, i)
+		}
+	}
+	res.UsedProof = make([]bool, m)
+	for i := 0; i < m; i++ {
+		if cp.Marked[nf+i] {
+			res.UsedProof[i] = true
+			res.MarkedProof++
+		}
+	}
+	opt.Obs.Counter("verify.checked").Add(int64(cp.Tested))
+	opt.Obs.Counter("verify.skipped").Add(int64(cp.Skipped))
+	opt.Obs.Counter("verify.tautologies").Add(int64(cp.Tautologies))
+	orig, prf := markedCounts(cp.Marked, nf)
+	opt.Obs.Counter("verify.marked_orig").Add(orig)
+	opt.Obs.Counter("verify.marked").Add(prf)
+	publishStats(opt.Obs, cp.Stats)
+	opt.Progress.Step(int64(m))
+	return res
+}
+
+func verifyDAG(f *cnf.Formula, t *proof.Trace, opt Options, workers int) (*Result, error) {
+	term := t.Terminates()
+	nf := len(f.Clauses)
+	m := len(t.Clauses)
+	ck := opt.Checkpoint
+
+	var rcp *Checkpoint // non-nil: resuming phase 2
+	if ck.Resume != nil {
+		if !ck.enabled() {
+			return nil, fmt.Errorf("%w: resume requires a checkpoint interval", ErrBadCheckpoint)
+		}
+		if ck.Resume.DAG {
+			rcp = ck.Resume
+			if err := rcp.ValidateForDAG(nf, m); err != nil {
+				return nil, err
+			}
+		}
+		// A non-DAG resume record is a phase-1 crash; Verify validates and
+		// restarts the sequential emit from it below.
+	}
+
+	rec := opt.Hints
+	if rec == nil {
+		rec = new(lrat.Recorder)
+	}
+
+	span := opt.Obs.StartSpan("verify-dag")
+	defer span.End()
+
+	var res *Result
+	if rcp == nil {
+		seq := opt
+		seq.Hints = rec
+		seq.Sched = sched.StrategyChunk
+		var err error
+		res, err = Verify(f, t, seq)
+		if err != nil || !res.OK {
+			return res, err
+		}
+	} else {
+		restored, err := lrat.DecodeRecorder(rcp.Hints)
+		if err != nil {
+			return nil, fmt.Errorf("%w: hint recorder: %v", ErrBadCheckpoint, err)
+		}
+		*rec = *restored
+		res = resultFromDAGCheckpoint(rcp, term, nf, m, &opt)
+	}
+
+	// Phase 2: revalidate the recording over the hint DAG. A structural or
+	// replay failure here contradicts phase 1 and is an internal error.
+	lp, err := rec.Proof()
+	if err != nil {
+		return res, fmt.Errorf("core: recorded hint proof: %w", err)
+	}
+	rep, err := lrat.NewReplayer(f, lp)
+	if err != nil {
+		return res, fmt.Errorf("core: recorded hint proof: %w", err)
+	}
+	start := 0
+	if rcp != nil {
+		start = rcp.Watermark
+		if start > rep.Steps() {
+			return res, fmt.Errorf("%w: watermark %d beyond %d recorded steps", ErrBadCheckpoint, start, rep.Steps())
+		}
+	}
+	d := rep.DAG()
+	st := d.Stats()
+	workers = ResolveWorkersDAG(st.MaxWidth, workers)
+	opt.Obs.Gauge("verify.workers").Set(int64(workers))
+	opt.Obs.Gauge("sched.dag.depth").Set(int64(st.Depth))
+	opt.Obs.Gauge("sched.dag.width").Set(int64(st.MaxWidth))
+	opt.Obs.Gauge("sched.dag.crit_cost").Set(st.CritCost)
+
+	var onEpoch func(int) error
+	every := 0
+	if ck.enabled() {
+		every = ck.Every
+		if ck.Sink != nil {
+			// Everything but the watermark is a phase-1 constant, computed
+			// once: marked bitmap, counters, engine statistics and the
+			// recorder blob. Phase 2 replays hints without BCP, so no field
+			// here ever changes between epochs.
+			marked := make([]bool, nf+m)
+			for _, i := range res.Core {
+				marked[i] = true
+			}
+			for i, used := range res.UsedProof {
+				if used {
+					marked[nf+i] = true
+				}
+			}
+			base := &Checkpoint{
+				DAG: true, Marked: marked,
+				Tested: res.Tested, Skipped: res.Skipped, Tautologies: res.Tautologies,
+				Stats: res.EngineStats,
+				Hints: rec.Encode(),
+			}
+			sink := ck.Sink
+			onEpoch = func(wm int) error {
+				cp := *base
+				cp.Watermark = wm
+				return sink(cp.Encode())
+			}
+		}
+	}
+
+	rws := make([]*lrat.ReplayWorker, workers)
+	fn := func(w, k, attempt int) error {
+		if dagTaskHook != nil {
+			dagTaskHook(w, k, attempt)
+		}
+		rw := rws[w]
+		if rw == nil || attempt > 0 {
+			// A panicked attempt may have left the scratchpad inconsistent;
+			// the retry rebuilds it — the DAG-mode analogue of the chunk
+			// mode's fallback-engine retry.
+			rw = rep.NewWorker()
+			rws[w] = rw
+		}
+		if _, why := rw.Step(k); why != "" {
+			return fmt.Errorf("core: recorded step %d failed revalidation: %s", k, why)
+		}
+		return nil
+	}
+	_, err = sched.Run(d, sched.Options{
+		Workers: workers, Ctx: opt.Ctx, Obs: opt.Obs, TrackPrefix: "verify-dag",
+		Every: every, OnEpoch: onEpoch, StartWatermark: start,
+	}, fn)
+	if err != nil {
+		var tp *sched.TaskPanicError
+		if errors.As(err, &tp) {
+			opt.Obs.Counter("verify.worker_panics").Add(int64(tp.Attempts))
+			err = &WorkerPanicError{Worker: tp.Worker, Lo: tp.Task, Hi: tp.Task + 1,
+				Attempts: tp.Attempts, Value: tp.Value, Stack: tp.Stack}
+		}
+		res.Incomplete = true
+		countStopErr(opt.Obs, err)
+		return res, err
+	}
+	return res, nil
+}

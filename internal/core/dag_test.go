@@ -1,0 +1,265 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/lrat"
+	"repro/internal/obs"
+	"repro/internal/proof"
+	"repro/internal/sched"
+)
+
+func TestResolveWorkersDAG(t *testing.T) {
+	if got := ResolveWorkersDAG(3, 8); got != 3 {
+		t.Errorf("width 3, asked 8: got %d", got)
+	}
+	if got := ResolveWorkersDAG(100, 4); got != 4 {
+		t.Errorf("width 100, asked 4: got %d", got)
+	}
+	if got := ResolveWorkersDAG(0, 4); got != 1 {
+		t.Errorf("width 0 must clamp to 1 worker, got %d", got)
+	}
+	if got := ResolveWorkersDAG(1, 0); got != 1 {
+		t.Errorf("serial DAG with default workers: got %d", got)
+	}
+}
+
+// dagOpt returns base with the DAG schedule selected.
+func dagOpt(base Options) Options {
+	base.Sched = sched.StrategyDAG
+	return base
+}
+
+// The DAG-scheduled run must agree with the sequential checker exactly —
+// verdict, counters, core, marking — for every mode × engine, because its
+// phase 1 IS the sequential checker and phase 2 must not perturb the result.
+func TestVerifyDAGMatchesSequential(t *testing.T) {
+	f, tr := longChain(200)
+	for _, base := range allModes() {
+		seq, err := Verify(f, tr, base)
+		if err != nil || !seq.OK {
+			t.Fatalf("%v/%v sequential: err=%v res=%+v", base.Mode, base.Engine, err, seq)
+		}
+		dag, err := VerifyParallelOpts(f, tr, dagOpt(base), 4)
+		if err != nil {
+			t.Fatalf("%v/%v dag: %v", base.Mode, base.Engine, err)
+		}
+		if got, want := resultFingerprint(dag), resultFingerprint(seq); got != want {
+			t.Fatalf("%v/%v diverged:\n dag %s\n seq %s", base.Mode, base.Engine, got, want)
+		}
+	}
+}
+
+// Check-marked DAG scheduling (satellite of the chunk mode's biggest
+// limitation): the schedule is seeded from the marking walk, so redundant
+// clauses are skipped — chunk mode cannot do that.
+func TestVerifyDAGHonorsCheckMarked(t *testing.T) {
+	f, tr := chainFormula()
+	padded := proof.New()
+	padded.Append(cl(1, 3), 0)
+	padded.Append(cl(1, -3), 0)
+	padded.Append(tr.Clauses[0], 0)
+	padded.Append(tr.Clauses[1], 0)
+
+	res, err := VerifyParallelOpts(f, padded, dagOpt(Options{Mode: ModeCheckMarked}), 4)
+	if err != nil || !res.OK {
+		t.Fatalf("err=%v res=%+v", err, res)
+	}
+	if res.Skipped == 0 {
+		t.Error("DAG check-marked run skipped nothing")
+	}
+	if len(res.Core) == 0 || res.UsedProof == nil {
+		t.Error("DAG run extracted no core/marking")
+	}
+
+	all, err := VerifyParallelOpts(f, padded, dagOpt(Options{Mode: ModeCheckAll}), 4)
+	if err != nil || !all.OK || all.Tested != padded.Len() {
+		t.Fatalf("check-all DAG: err=%v res=%+v", err, all)
+	}
+}
+
+func TestVerifyDAGRejectsBadClause(t *testing.T) {
+	// A clause over a fresh variable: falsifying it propagates nothing, so
+	// it is not RUP and check-all must reject it at the same index as the
+	// sequential checker.
+	f, tr := chainFormula()
+	bogus := proof.New()
+	bogus.Append(cl(9), 0)
+	bogus.Append(tr.Clauses[0], 0)
+	bogus.Append(tr.Clauses[1], 0)
+	seq, err := Verify(f, bogus, Options{Mode: ModeCheckAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dag, err := VerifyParallelOpts(f, bogus, dagOpt(Options{Mode: ModeCheckAll}), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.OK || seq.OK || dag.FailedIndex != seq.FailedIndex {
+		t.Fatalf("dag ok=%v failed=%d, sequential ok=%v failed=%d", dag.OK, dag.FailedIndex, seq.OK, seq.FailedIndex)
+	}
+}
+
+// The recorder attached to a DAG run must emit byte-identical LRAT to a
+// sequential run with the same options.
+func TestVerifyDAGEmitsIdenticalLRAT(t *testing.T) {
+	f, tr := longChain(80)
+	emit := func(par bool) []byte {
+		rec := new(lrat.Recorder)
+		opt := Options{Mode: ModeCheckMarked, Hints: rec}
+		var err error
+		if par {
+			_, err = VerifyParallelOpts(f, tr, dagOpt(opt), 3)
+		} else {
+			_, err = Verify(f, tr, opt)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.Encode()
+	}
+	if !bytes.Equal(emit(false), emit(true)) {
+		t.Fatal("DAG-scheduled run emitted different LRAT than the sequential run")
+	}
+}
+
+// Panic isolation: a task that panics on its first attempt is retried on a
+// fresh scratchpad; a task that panics twice stops the run with full
+// attribution, like the chunk mode's WorkerPanicError.
+func TestVerifyDAGPanicRetry(t *testing.T) {
+	f, tr := longChain(60)
+	defer func() { dagTaskHook = nil }()
+
+	dagTaskHook = func(worker, task, attempt int) {
+		if task == 10 && attempt == 0 {
+			panic("transient")
+		}
+	}
+	res, err := VerifyParallelOpts(f, tr, dagOpt(Options{}), 4)
+	if err != nil || !res.OK {
+		t.Fatalf("single panic not recovered: err=%v res=%+v", err, res)
+	}
+
+	dagTaskHook = func(worker, task, attempt int) {
+		if task == 10 {
+			panic(fmt.Sprintf("persistent %d", attempt))
+		}
+	}
+	res, err = VerifyParallelOpts(f, tr, dagOpt(Options{}), 4)
+	var wp *WorkerPanicError
+	if !errors.As(err, &wp) {
+		t.Fatalf("err = %v, want WorkerPanicError", err)
+	}
+	if wp.Lo != 10 || wp.Hi != 11 || wp.Attempts != 2 || wp.Value != "persistent 1" {
+		t.Fatalf("panic attribution = %+v", wp)
+	}
+	if !res.Incomplete {
+		t.Error("Incomplete not set after a double panic")
+	}
+}
+
+// The golden determinism test for DAG checkpoints: a checkpointed DAG run is
+// resumed from EVERY record it produced — phase-1 sequential records and
+// phase-2 watermark records alike — and each resumed run must reproduce the
+// result, the counters and the emitted LRAT bytes exactly.
+func TestVerifyDAGResumeMatchesUninterrupted(t *testing.T) {
+	f, tr := longChain(120)
+	const every = 16
+	for _, mode := range []Mode{ModeCheckMarked, ModeCheckAll} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			var records [][]byte
+			recA := new(lrat.Recorder)
+			regA := obs.New()
+			optA := dagOpt(Options{Mode: mode, Obs: regA, Hints: recA})
+			optA.Checkpoint = CheckpointConfig{Every: every, Sink: func(p []byte) error {
+				records = append(records, append([]byte(nil), p...))
+				return nil
+			}}
+			resA, err := VerifyParallelOpts(f, tr, optA, 4)
+			if err != nil || !resA.OK {
+				t.Fatalf("uninterrupted: err=%v res=%+v", err, resA)
+			}
+			var sawDAG bool
+			for _, p := range records {
+				if cp, err := DecodeCheckpoint(p); err == nil && cp.DAG {
+					sawDAG = true
+				}
+			}
+			if !sawDAG {
+				t.Fatal("run produced no phase-2 (DAG) checkpoint records")
+			}
+			wantRes := resultFingerprint(resA)
+			wantObs := fmt.Sprint(snapshotCounters(regA))
+			wantLRAT := recA.Encode()
+
+			for k, payload := range records {
+				cp, err := DecodeCheckpoint(payload)
+				if err != nil {
+					t.Fatalf("record %d: %v", k, err)
+				}
+				recC := new(lrat.Recorder)
+				regC := obs.New()
+				optC := dagOpt(Options{Mode: mode, Obs: regC, Hints: recC})
+				optC.Checkpoint = CheckpointConfig{Every: every, Resume: cp}
+				resC, err := VerifyParallelOpts(f, tr, optC, 4)
+				if err != nil {
+					t.Fatalf("resume from record %d: %v", k, err)
+				}
+				if got := resultFingerprint(resC); got != wantRes {
+					t.Fatalf("resume from record %d diverged:\n got %s\nwant %s", k, got, wantRes)
+				}
+				if got := fmt.Sprint(snapshotCounters(regC)); got != wantObs {
+					t.Fatalf("resume from record %d: counters diverged:\n got %s\nwant %s", k, got, wantObs)
+				}
+				if !bytes.Equal(recC.Encode(), wantLRAT) {
+					t.Fatalf("resume from record %d: LRAT recorder diverged", k)
+				}
+			}
+		})
+	}
+}
+
+// A DAG record must never be accepted by the sequential or chunked resume
+// paths, and vice versa.
+func TestDAGCheckpointCrossValidation(t *testing.T) {
+	cp := &Checkpoint{DAG: true, Watermark: 3, Marked: make([]bool, 10),
+		Hints: []byte{1}}
+	round, err := DecodeCheckpoint(cp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !round.DAG || round.Watermark != 3 || len(round.Marked) != 10 || len(round.Hints) != 1 {
+		t.Fatalf("round trip = %+v", round)
+	}
+	if err := round.ValidateFor(4, 6, 0); err == nil {
+		t.Error("sequential ValidateFor accepted a DAG record")
+	}
+	if err := round.ValidateForDAG(4, 6); err != nil {
+		t.Errorf("ValidateForDAG rejected a matching record: %v", err)
+	}
+	if err := round.ValidateForDAG(5, 6); err == nil {
+		t.Error("ValidateForDAG accepted a wrong-geometry record")
+	}
+	seq := &Checkpoint{NextIndex: 1, Marked: make([]bool, 10)}
+	if err := seq.ValidateForDAG(4, 6); err == nil {
+		t.Error("ValidateForDAG accepted a sequential record")
+	}
+}
+
+// One verifier end to end on a cnf.Formula built by hand, exercising the
+// no-hints + check-marked + DAG path the CLI default would take.
+func TestVerifyDAGSmallFormula(t *testing.T) {
+	f := cnf.NewFormula(0).Add(1, 2).Add(1, -2).Add(-1, 3).Add(-1, -3)
+	tr := proof.New()
+	tr.Append(cl(1), 1)
+	tr.Append(cl(-1), 1)
+	res, err := VerifyParallelOpts(f, tr, dagOpt(Options{}), 2)
+	if err != nil || !res.OK || len(res.Core) != 4 {
+		t.Fatalf("err=%v res=%+v", err, res)
+	}
+}

@@ -71,6 +71,10 @@ const (
 	KindVerifyParallel Kind = 2
 	// KindDRATBackward is drat.VerifyBackward.
 	KindDRATBackward Kind = 3
+	// KindVerifyDAG is core.VerifyParallelOpts with the DAG schedule. Its
+	// header records zero workers: DAG parallelism does not shape the
+	// durable state, so any -par may resume the journal.
+	KindVerifyDAG Kind = 4
 )
 
 func (k Kind) String() string {
@@ -81,6 +85,8 @@ func (k Kind) String() string {
 		return "verify-parallel"
 	case KindDRATBackward:
 		return "drat-backward"
+	case KindVerifyDAG:
+		return "verify-dag"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cnf"
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // The hint-driven checker. Where RUP verification falsifies a clause and
@@ -37,13 +38,21 @@ import (
 
 // Options configures Check.
 type Options struct {
-	// Workers > 1 enables the chunked parallel mode.
+	// Workers > 1 enables the parallel mode.
 	Workers int
+	// Strategy selects how parallel work is dispatched: StrategyChunk (the
+	// zero value) slices the proof into fixed contiguous per-worker chunks;
+	// StrategyDAG schedules steps work-stealing style over the hint
+	// dependency DAG (see dag.go), so wall-clock tracks the proof's
+	// critical path instead of the slowest chunk. Verdicts are identical
+	// either way. Ignored when Workers <= 1.
+	Strategy sched.Strategy
 	// Ctx, when non-nil, cancels the run; Check then returns ctx.Err()
 	// alongside a partial Result with Incomplete set.
 	Ctx context.Context
 	// Obs, when non-nil, receives counters ("lrat.steps_checked",
-	// "lrat.hints_scanned") and a "lrat-check" span.
+	// "lrat.hints_scanned"), a "lrat-check" span and — in DAG mode — the
+	// scheduler's sched.* counters and per-worker trace lanes.
 	Obs *obs.Registry
 }
 
@@ -119,6 +128,9 @@ func Check(f *cnf.Formula, p *Proof, opt Options) (*Result, error) {
 	}
 	if workers > len(p.Steps) {
 		workers = len(p.Steps)
+	}
+	if workers > 1 && opt.Strategy == sched.StrategyDAG {
+		return checkDAG(p, ck, workers, opt, res)
 	}
 	cSteps := opt.Obs.Counter("lrat.steps_checked")
 	cHints := opt.Obs.Counter("lrat.hints_scanned")

@@ -1,0 +1,94 @@
+package sched
+
+import "testing"
+
+func TestStrategyParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Strategy
+		ok   bool
+	}{
+		{"chunk", StrategyChunk, true},
+		{"dag", StrategyDAG, true},
+		{"DAG", StrategyChunk, false},
+		{"", StrategyChunk, false},
+	} {
+		got, err := ParseStrategy(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if StrategyChunk.String() != "chunk" || StrategyDAG.String() != "dag" {
+		t.Errorf("Strategy.String: got %q, %q", StrategyChunk, StrategyDAG)
+	}
+}
+
+// The diamond 0 -> {1, 2} -> 3 with task costs 1, 5, 2, 1: two roots is
+// wrong (only 0 has no predecessor), the critical path is 0-1-3.
+func TestDAGStatsDiamond(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	b.SetCost(0, 1)
+	b.SetCost(1, 5)
+	b.SetCost(2, 2)
+	b.SetCost(3, 1)
+	st := b.Build().Stats()
+	want := Stats{Tasks: 4, Edges: 4, Roots: 1, Depth: 3, MaxWidth: 2,
+		AvgOut: 1, TotalCost: 9, CritCost: 7}
+	if st != want {
+		t.Fatalf("diamond stats = %+v, want %+v", st, want)
+	}
+}
+
+func TestDAGStatsChainAndIndependent(t *testing.T) {
+	// A 5-task chain: depth 5, width 1, crit == total.
+	b := NewBuilder(5)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(i, i+1)
+	}
+	st := b.Build().Stats()
+	if st.Depth != 5 || st.MaxWidth != 1 || st.CritCost != st.TotalCost || st.Roots != 1 {
+		t.Fatalf("chain stats = %+v", st)
+	}
+
+	// 5 independent tasks: depth 1, width 5, all roots.
+	st = NewBuilder(5).Build().Stats()
+	if st.Depth != 1 || st.MaxWidth != 5 || st.Roots != 5 || st.Edges != 0 || st.CritCost != 1 {
+		t.Fatalf("independent stats = %+v", st)
+	}
+}
+
+func TestDAGStatsEmpty(t *testing.T) {
+	st := NewBuilder(0).Build().Stats()
+	if st.Tasks != 0 || st.Depth != 0 || st.CritCost != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestBuilderRejectsBackwardEdge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backward edge did not panic")
+		}
+	}()
+	NewBuilder(3).AddEdge(2, 1)
+}
+
+// Duplicate edges must stay consistent: the in-degree counts both citations
+// and completion releases both, so the successor still becomes ready.
+func TestDuplicateEdges(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	d := b.Build()
+	if d.indeg[1] != 2 || len(d.Successors(0)) != 2 {
+		t.Fatalf("dup edges: indeg=%d succ=%v", d.indeg[1], d.Successors(0))
+	}
+	order := runCollect(t, d, Options{Workers: 2})
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("dup-edge execution order = %v", order)
+	}
+}

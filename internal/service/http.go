@@ -8,6 +8,7 @@ import (
 	"mime"
 	"mime/multipart"
 	"net/http"
+	"runtime"
 	"runtime/debug"
 	"strconv"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/lrat"
 	"repro/internal/obs"
 	"repro/internal/proof"
+	"repro/internal/sched"
 )
 
 // API shapes. Submission and status responses always carry a "status" (or
@@ -361,7 +363,10 @@ func (d *Daemon) handleRecheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, StatusInternal, err.Error())
 		return
 	}
-	cres, err := lrat.Validate(f, b, lrat.Limits{}, lrat.Options{Ctx: r.Context(), Obs: d.opt.Obs})
+	cres, err := lrat.Validate(f, b, lrat.Limits{}, lrat.Options{
+		Workers: runtime.GOMAXPROCS(0), Strategy: sched.StrategyDAG,
+		Ctx: r.Context(), Obs: d.opt.Obs,
+	})
 	var ve *lrat.ValidationError
 	if errors.As(err, &ve) {
 		d.opt.Obs.Counter("service.rechecks_failed").Inc()
